@@ -1,0 +1,273 @@
+//! CRCount: pointer invalidation with reference counting (NDSS 2019) —
+//! the §6.4/§6.6 comparison family's refcounting representative.
+//!
+//! CRCount instruments every pointer store (via compiler support and a
+//! pointer bitmap) to keep a per-object reference count. An object is
+//! recycled only when the programmer has freed it **and** its count is
+//! zero; like MineSweeper it zero-fills freed allocations, which drops
+//! their outgoing references. The cost profile is the mirror image of
+//! MineSweeper's: no sweeps at all, but work on *every pointer write* —
+//! "overheads on even non-allocation-intensive workloads (e.g., mcf,
+//! povray)" (§6.6).
+//!
+//! The simulation engine drives the reference-count updates (it owns the
+//! pointer graph, standing in for the compiler's instrumented stores) via
+//! [`CrCount::inc_ref`]/[`CrCount::dec_ref`].
+
+use std::collections::HashMap;
+
+use jalloc::{JAlloc, JallocConfig};
+use vmem::{Addr, AddrSpace, WORD_SIZE};
+
+/// Outcome of a CRCount `free()`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrFreeOutcome {
+    /// Reference count was zero: released to the allocator immediately.
+    Released,
+    /// References remain: invalidated (zeroed) and parked until the count
+    /// drains to zero.
+    Deferred,
+    /// Not a live allocation base (or already freed).
+    Invalid,
+}
+
+/// CRCount statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CrStats {
+    /// Instrumented pointer stores processed (each pays runtime cost).
+    pub ptr_writes: u64,
+    /// Programmer frees released immediately (count already zero).
+    pub immediate_frees: u64,
+    /// Programmer frees deferred on a non-zero count.
+    pub deferred_frees: u64,
+    /// Deferred frees later released when their count drained.
+    pub drained_frees: u64,
+    /// Bytes zero-filled on free.
+    pub zeroed_bytes: u64,
+}
+
+/// The CRCount mitigation layer.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{CrCount, CrFreeOutcome};
+/// use vmem::AddrSpace;
+///
+/// let mut space = AddrSpace::new();
+/// let mut cr = CrCount::new();
+/// let p = cr.malloc(&mut space, 64);
+/// cr.inc_ref(p); // a pointer to p was stored somewhere
+/// assert_eq!(cr.free(&mut space, p), CrFreeOutcome::Deferred);
+/// cr.dec_ref(&mut space, p); // the pointer was overwritten
+/// assert_eq!(cr.pending(), 0); // drained => released
+/// ```
+#[derive(Debug)]
+pub struct CrCount {
+    heap: JAlloc,
+    /// base -> outstanding reference count (absent = 0).
+    counts: HashMap<u64, u64>,
+    /// base -> usable size, for frees deferred on a non-zero count.
+    pending: HashMap<u64, u64>,
+    stats: CrStats,
+}
+
+impl CrCount {
+    /// Creates a CRCount layer over a stock heap.
+    pub fn new() -> Self {
+        CrCount {
+            heap: JAlloc::with_config(JallocConfig::stock()),
+            counts: HashMap::new(),
+            pending: HashMap::new(),
+            stats: CrStats::default(),
+        }
+    }
+
+    /// The underlying heap (read-only).
+    pub fn heap(&self) -> &JAlloc {
+        &self.heap
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &CrStats {
+        &self.stats
+    }
+
+    /// Deferred frees currently parked on non-zero counts.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Bytes parked on non-zero counts.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending.values().sum()
+    }
+
+    /// Allocates `size` bytes.
+    pub fn malloc(&mut self, space: &mut AddrSpace, size: u64) -> Addr {
+        self.heap.malloc(space, size)
+    }
+
+    /// Usable size of the live allocation based at `addr`.
+    pub fn usable_size(&self, addr: Addr) -> Option<u64> {
+        self.heap.usable_size(addr)
+    }
+
+    /// Records an instrumented pointer store creating a reference to the
+    /// allocation based at `base`.
+    pub fn inc_ref(&mut self, base: Addr) {
+        self.stats.ptr_writes += 1;
+        *self.counts.entry(base.raw()).or_insert(0) += 1;
+    }
+
+    /// Records an instrumented overwrite/destruction of a reference to
+    /// `base`. If `base` was freed by the programmer and this was its last
+    /// reference, the memory is released to the allocator now.
+    pub fn dec_ref(&mut self, space: &mut AddrSpace, base: Addr) {
+        self.stats.ptr_writes += 1;
+        let Some(count) = self.counts.get_mut(&base.raw()) else { return };
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            self.counts.remove(&base.raw());
+            if self.pending.remove(&base.raw()).is_some() {
+                self.heap.free(space, base).expect("pending free owns the base");
+                self.stats.drained_frees += 1;
+            }
+        }
+    }
+
+    /// Intercepts `free()`: zero-fills (removing the object's outgoing
+    /// references — the engine mirrors that by dec-ing them), then either
+    /// releases immediately (count zero) or defers.
+    pub fn free(&mut self, space: &mut AddrSpace, addr: Addr) -> CrFreeOutcome {
+        if self.pending.contains_key(&addr.raw()) {
+            return CrFreeOutcome::Invalid; // double free absorbed
+        }
+        let Some(usable) = self.heap.usable_size(addr) else {
+            return CrFreeOutcome::Invalid;
+        };
+        let zero_len = usable / WORD_SIZE as u64 * WORD_SIZE as u64;
+        space.fill_zero(addr, zero_len).expect("live allocation");
+        self.stats.zeroed_bytes += zero_len;
+        if self.counts.get(&addr.raw()).copied().unwrap_or(0) == 0 {
+            self.heap.free(space, addr).expect("live allocation");
+            self.stats.immediate_frees += 1;
+            CrFreeOutcome::Released
+        } else {
+            self.pending.insert(addr.raw(), usable);
+            self.stats.deferred_frees += 1;
+            CrFreeOutcome::Deferred
+        }
+    }
+
+    /// Advances virtual time (allocator decay).
+    pub fn advance_clock(&mut self, now: u64) {
+        self.heap.advance_clock(now);
+    }
+
+    /// Background decay purging.
+    pub fn purge_aged(&mut self, space: &mut AddrSpace) {
+        self.heap.purge_aged(space);
+    }
+}
+
+impl Default for CrCount {
+    fn default() -> Self {
+        CrCount::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AddrSpace, CrCount) {
+        (AddrSpace::new(), CrCount::new())
+    }
+
+    #[test]
+    fn unreferenced_free_releases_immediately() {
+        let (mut space, mut cr) = setup();
+        let a = cr.malloc(&mut space, 64);
+        assert_eq!(cr.free(&mut space, a), CrFreeOutcome::Released);
+        assert_eq!(cr.heap().stats().frees, 1);
+        assert_eq!(cr.stats().immediate_frees, 1);
+    }
+
+    #[test]
+    fn referenced_free_defers_until_count_drains() {
+        let (mut space, mut cr) = setup();
+        let a = cr.malloc(&mut space, 64);
+        cr.inc_ref(a);
+        cr.inc_ref(a);
+        assert_eq!(cr.free(&mut space, a), CrFreeOutcome::Deferred);
+        assert_eq!(cr.heap().stats().frees, 0, "not yet released");
+        assert_eq!(cr.pending(), 1);
+        cr.dec_ref(&mut space, a);
+        assert_eq!(cr.pending(), 1, "one reference left");
+        cr.dec_ref(&mut space, a);
+        assert_eq!(cr.pending(), 0, "drained");
+        assert_eq!(cr.heap().stats().frees, 1);
+        assert_eq!(cr.stats().drained_frees, 1);
+    }
+
+    #[test]
+    fn no_reallocation_while_references_remain() {
+        let (mut space, mut cr) = setup();
+        let a = cr.malloc(&mut space, 64);
+        cr.inc_ref(a);
+        cr.free(&mut space, a);
+        for _ in 0..100 {
+            assert_ne!(cr.malloc(&mut space, 64), a, "deferred free must not recycle");
+        }
+    }
+
+    #[test]
+    fn free_zero_fills() {
+        let (mut space, mut cr) = setup();
+        let a = cr.malloc(&mut space, 64);
+        space.write_word(a, 0xdead).unwrap();
+        cr.inc_ref(a);
+        cr.free(&mut space, a);
+        assert_eq!(space.read_word(a).unwrap(), 0, "invalidated contents are zero");
+    }
+
+    #[test]
+    fn double_free_is_absorbed() {
+        let (mut space, mut cr) = setup();
+        let a = cr.malloc(&mut space, 64);
+        cr.inc_ref(a);
+        assert_eq!(cr.free(&mut space, a), CrFreeOutcome::Deferred);
+        assert_eq!(cr.free(&mut space, a), CrFreeOutcome::Invalid);
+        cr.dec_ref(&mut space, a);
+        assert_eq!(cr.heap().stats().frees, 1, "exactly one true free");
+    }
+
+    #[test]
+    fn invalid_free_rejected() {
+        let (mut space, mut cr) = setup();
+        let a = cr.malloc(&mut space, 64);
+        assert_eq!(cr.free(&mut space, a + 8), CrFreeOutcome::Invalid);
+    }
+
+    #[test]
+    fn dec_without_pending_is_harmless() {
+        let (mut space, mut cr) = setup();
+        let a = cr.malloc(&mut space, 64);
+        cr.inc_ref(a);
+        cr.dec_ref(&mut space, a);
+        cr.dec_ref(&mut space, a); // extra dec: saturates, no underflow
+        assert_eq!(cr.pending(), 0);
+        // Object is still live and freeable.
+        assert_eq!(cr.free(&mut space, a), CrFreeOutcome::Released);
+    }
+
+    #[test]
+    fn ptr_write_accounting() {
+        let (mut space, mut cr) = setup();
+        let a = cr.malloc(&mut space, 64);
+        cr.inc_ref(a);
+        cr.dec_ref(&mut space, a);
+        assert_eq!(cr.stats().ptr_writes, 2, "every instrumented store counts");
+    }
+}

@@ -1,0 +1,250 @@
+//! DangSan: scalable use-after-free detection via per-object pointer logs
+//! (EuroSys 2017) — the §6.4 family's log-structured representative.
+//!
+//! DangSan "notes that pointer metadata is heavily write-intensive: it is
+//! written on every pointer store but only read once per object on
+//! deallocation. Therefore, they structure it as a log, with some
+//! de-duplication, to move work to deallocation." On `free()`, the
+//! object's log is walked and every entry that still points into the
+//! object is nullified; the memory is then released immediately (no
+//! quarantine). Logs grow with pointer-store traffic and are only
+//! reclaimed when their object dies — the source of DangSan's pathological
+//! memory overheads (135× on omnetpp in the paper's Figure 10).
+
+use std::collections::HashMap;
+
+use jalloc::{JAlloc, JallocConfig};
+use vmem::{Addr, AddrSpace};
+
+/// Outcome of a DangSan `free()`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DsFreeOutcome {
+    /// Log walked, dangling entries nullified, memory released.
+    Released {
+        /// Log entries examined.
+        log_entries: u64,
+        /// Entries that still pointed into the object and were nullified.
+        nullified: u64,
+    },
+    /// Not a live allocation base (or already freed).
+    Invalid,
+}
+
+/// DangSan statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DsStats {
+    /// Log appends (one per instrumented pointer store, after dedup).
+    pub log_appends: u64,
+    /// Appends skipped by the last-entry dedup check.
+    pub dedup_hits: u64,
+    /// Total pointers nullified at frees.
+    pub nullified: u64,
+    /// Current bytes held by pointer logs (16 B/entry).
+    pub log_bytes: u64,
+    /// High-water mark of `log_bytes`.
+    pub peak_log_bytes: u64,
+}
+
+/// The DangSan mitigation layer.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{DangSan, DsFreeOutcome};
+/// use vmem::{AddrSpace, Segment};
+///
+/// let mut space = AddrSpace::new();
+/// let mut ds = DangSan::new();
+/// let p = ds.malloc(&mut space, 64);
+/// let slot = space.layout().segment_base(Segment::Stack);
+/// space.write_word(slot, p.raw()).unwrap();
+/// ds.note_ptr_store(p, slot);
+/// let outcome = ds.free(&mut space, p);
+/// assert!(matches!(outcome, DsFreeOutcome::Released { nullified: 1, .. }));
+/// assert_eq!(space.read_word(slot).unwrap(), 0);
+/// ```
+#[derive(Debug)]
+pub struct DangSan {
+    heap: JAlloc,
+    /// Per-object pointer logs: object base -> slot addresses that (at
+    /// some point) held a pointer to it.
+    logs: HashMap<u64, Vec<u64>>,
+    stats: DsStats,
+}
+
+impl DangSan {
+    /// Creates a DangSan layer over a stock heap.
+    pub fn new() -> Self {
+        DangSan {
+            heap: JAlloc::with_config(JallocConfig::stock()),
+            logs: HashMap::new(),
+            stats: DsStats::default(),
+        }
+    }
+
+    /// The underlying heap (read-only).
+    pub fn heap(&self) -> &JAlloc {
+        &self.heap
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &DsStats {
+        &self.stats
+    }
+
+    /// Allocates `size` bytes.
+    pub fn malloc(&mut self, space: &mut AddrSpace, size: u64) -> Addr {
+        self.heap.malloc(space, size)
+    }
+
+    /// Usable size of the live allocation based at `addr`.
+    pub fn usable_size(&self, addr: Addr) -> Option<u64> {
+        self.heap.usable_size(addr)
+    }
+
+    /// Records an instrumented pointer store: `slot` now holds a pointer
+    /// to the object based at `target`. Appends to the target's log with
+    /// DangSan's cheap last-entry de-duplication.
+    pub fn note_ptr_store(&mut self, target: Addr, slot: Addr) {
+        let log = self.logs.entry(target.raw()).or_default();
+        if log.last() == Some(&slot.raw()) {
+            self.stats.dedup_hits += 1;
+            return;
+        }
+        log.push(slot.raw());
+        self.stats.log_appends += 1;
+        self.stats.log_bytes += 16;
+        self.stats.peak_log_bytes = self.stats.peak_log_bytes.max(self.stats.log_bytes);
+    }
+
+    /// Intercepts `free()`: walks the object's log, nullifies entries that
+    /// still point into it, releases the memory immediately, reclaims the
+    /// log.
+    pub fn free(&mut self, space: &mut AddrSpace, addr: Addr) -> DsFreeOutcome {
+        let Some(usable) = self.heap.usable_size(addr) else {
+            return DsFreeOutcome::Invalid;
+        };
+        let log = self.logs.remove(&addr.raw()).unwrap_or_default();
+        self.stats.log_bytes -= log.len() as u64 * 16;
+        let mut nullified = 0;
+        for &slot in &log {
+            // The slot may itself be dead or recycled: only a value that
+            // still points into [addr, addr+usable) is live-dangling.
+            if let Ok(value) = space.read_word(Addr::new(slot)) {
+                if value >= addr.raw() && value < addr.raw() + usable {
+                    space.write_word(Addr::new(slot), 0).expect("slot readable");
+                    nullified += 1;
+                }
+            }
+        }
+        self.stats.nullified += nullified;
+        // A tcache-parked region still reports a usable size, so a double
+        // free can reach this point: the allocator's own check rejects it.
+        if self.heap.free(space, addr).is_err() {
+            return DsFreeOutcome::Invalid;
+        }
+        DsFreeOutcome::Released { log_entries: log.len() as u64, nullified }
+    }
+
+    /// Advances virtual time (allocator decay).
+    pub fn advance_clock(&mut self, now: u64) {
+        self.heap.advance_clock(now);
+    }
+
+    /// Background decay purging.
+    pub fn purge_aged(&mut self, space: &mut AddrSpace) {
+        self.heap.purge_aged(space);
+    }
+}
+
+impl Default for DangSan {
+    fn default() -> Self {
+        DangSan::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmem::Segment;
+
+    fn setup() -> (AddrSpace, DangSan, Addr) {
+        let space = AddrSpace::new();
+        let slot = space.layout().segment_base(Segment::Stack);
+        (space, DangSan::new(), slot)
+    }
+
+    #[test]
+    fn free_nullifies_logged_dangling_pointers() {
+        let (mut space, mut ds, slot) = setup();
+        let a = ds.malloc(&mut space, 64);
+        space.write_word(slot, a.raw()).unwrap();
+        ds.note_ptr_store(a, slot);
+        let outcome = ds.free(&mut space, a);
+        assert_eq!(outcome, DsFreeOutcome::Released { log_entries: 1, nullified: 1 });
+        assert_eq!(space.read_word(slot).unwrap(), 0);
+        assert_eq!(ds.heap().stats().frees, 1, "released immediately (no quarantine)");
+    }
+
+    #[test]
+    fn stale_log_entries_are_skipped() {
+        let (mut space, mut ds, slot) = setup();
+        let a = ds.malloc(&mut space, 64);
+        space.write_word(slot, a.raw()).unwrap();
+        ds.note_ptr_store(a, slot);
+        // The program overwrote the slot before the free: log entry stale.
+        space.write_word(slot, 0x1234).unwrap();
+        let outcome = ds.free(&mut space, a);
+        assert_eq!(outcome, DsFreeOutcome::Released { log_entries: 1, nullified: 0 });
+        assert_eq!(space.read_word(slot).unwrap(), 0x1234, "non-pointer untouched");
+    }
+
+    #[test]
+    fn dedup_suppresses_repeated_stores_to_one_slot() {
+        let (mut space, mut ds, slot) = setup();
+        let a = ds.malloc(&mut space, 64);
+        for _ in 0..10 {
+            ds.note_ptr_store(a, slot);
+        }
+        assert_eq!(ds.stats().log_appends, 1);
+        assert_eq!(ds.stats().dedup_hits, 9);
+        let _ = space;
+    }
+
+    #[test]
+    fn logs_grow_with_fanin_and_die_with_the_object() {
+        let (mut space, mut ds, slot) = setup();
+        let a = ds.malloc(&mut space, 64);
+        for i in 0..100u64 {
+            ds.note_ptr_store(a, slot + i * 8);
+        }
+        assert_eq!(ds.stats().log_bytes, 1600);
+        ds.free(&mut space, a);
+        assert_eq!(ds.stats().log_bytes, 0, "log reclaimed with object");
+        assert_eq!(ds.stats().peak_log_bytes, 1600);
+    }
+
+    #[test]
+    fn immediate_reuse_is_allowed_after_nullification() {
+        // DangSan mitigates by nullification, not quarantine: memory can
+        // recycle right away (its guarantee is weaker than MineSweeper's
+        // against hidden copies, but the logged pointers are dead).
+        let (mut space, mut ds, slot) = setup();
+        let a = ds.malloc(&mut space, 64);
+        space.write_word(slot, a.raw()).unwrap();
+        ds.note_ptr_store(a, slot);
+        ds.free(&mut space, a);
+        let b = ds.malloc(&mut space, 64);
+        assert_eq!(b, a, "tcache reuse immediately");
+        // And the old pointer can no longer reach it.
+        assert_eq!(space.read_word(slot).unwrap(), 0);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (mut space, mut ds, _slot) = setup();
+        let a = ds.malloc(&mut space, 64);
+        ds.free(&mut space, a);
+        assert_eq!(ds.free(&mut space, a), DsFreeOutcome::Invalid);
+    }
+}

@@ -1,0 +1,356 @@
+//! FFmalloc: the one-time allocator (USENIX Security 2021).
+//!
+//! "The allocator never reuses the same virtual-memory range; virtual
+//! memory is always mapped in increasing order of addresses. Once all
+//! allocations from a page are free()-d, the physical page is unmapped"
+//! (§5.2 of the MineSweeper paper). Temporal safety is absolute — a
+//! dangling pointer can never alias a new allocation — but fragmentation
+//! is unbounded: a single long-lived allocation pins its page(s) forever,
+//! which is the mechanism behind the paper's 244 % average / 1,070 %
+//! worst-case memory overheads on SPEC CPU2006.
+
+use std::collections::HashMap;
+
+use jalloc::FreeError;
+use vmem::{Addr, AddrSpace, PageIdx, PageRange, Protection, PAGE_SIZE};
+
+/// FFmalloc configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FfConfig {
+    /// Requests above this go straight to fresh page-granular mappings.
+    pub large_threshold: u64,
+    /// Pages mapped per small-allocation chunk (FFmalloc maps pools in
+    /// batches to amortise syscalls).
+    pub chunk_pages: u64,
+}
+
+impl FfConfig {
+    /// The published defaults (4 KiB-page pools, 2 MiB chunks, large at
+    /// 16 KiB).
+    pub fn standard() -> Self {
+        FfConfig { large_threshold: 16 * 1024, chunk_pages: 512 }
+    }
+}
+
+impl Default for FfConfig {
+    fn default() -> Self {
+        FfConfig::standard()
+    }
+}
+
+/// Per-free report (drives the cost model).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FfFreeReport {
+    /// Physical pages released by this free.
+    pub pages_released: u64,
+}
+
+/// FFmalloc statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FfStats {
+    /// `malloc` calls.
+    pub mallocs: u64,
+    /// Successful `free` calls.
+    pub frees: u64,
+    /// Bytes in live allocations (aligned sizes).
+    pub live_bytes: u64,
+    /// Total virtual bytes ever handed out (monotone).
+    pub va_consumed: u64,
+    /// Physical pages released so far.
+    pub pages_released: u64,
+    /// Pages still pinned by at least one live allocation.
+    pub pinned_pages: u64,
+}
+
+/// The one-time allocator.
+///
+/// # Example
+///
+/// ```
+/// use baselines::FfMalloc;
+/// use vmem::AddrSpace;
+///
+/// let mut space = AddrSpace::new();
+/// let mut ff = FfMalloc::new(Default::default());
+/// let a = ff.malloc(&mut space, 64);
+/// ff.free(&mut space, a).unwrap();
+/// let b = ff.malloc(&mut space, 64);
+/// assert_ne!(a, b, "virtual addresses are never reused");
+/// ```
+#[derive(Debug)]
+pub struct FfMalloc {
+    cfg: FfConfig,
+    /// Small-allocation bump cursor and current chunk end.
+    cursor: Addr,
+    chunk_end: Addr,
+    /// Live allocations: base -> aligned size.
+    allocs: HashMap<u64, u64>,
+    /// Live allocation count per page (plus the bump-cursor hold).
+    page_live: HashMap<u64, u32>,
+    /// Page currently held open for the bump cursor, if any.
+    cursor_hold: Option<u64>,
+    stats: FfStats,
+}
+
+impl FfMalloc {
+    /// Creates an empty one-time allocator.
+    pub fn new(cfg: FfConfig) -> Self {
+        FfMalloc {
+            cfg,
+            cursor: Addr::NULL,
+            chunk_end: Addr::NULL,
+            allocs: HashMap::new(),
+            page_live: HashMap::new(),
+            cursor_hold: None,
+            stats: FfStats::default(),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &FfStats {
+        &self.stats
+    }
+
+    /// Usable size of the live allocation based at `addr`.
+    pub fn usable_size(&self, addr: Addr) -> Option<u64> {
+        self.allocs.get(&addr.raw()).copied()
+    }
+
+    /// The live allocation containing `addr` (base, usable size). Linear in
+    /// the worst case is avoided by checking the two enclosing page spans.
+    pub fn allocation_range(&self, addr: Addr) -> Option<(Addr, u64)> {
+        // Small allocations never span a chunk; scan backwards within one
+        // chunk worth of candidate bases. Cheap approach: consult the
+        // sorted view lazily (allocation lookup is test/sweep-side only for
+        // FFmalloc, never on the hot path).
+        self.allocs
+            .iter()
+            .find(|(&b, &l)| addr.raw() >= b && addr.raw() < b + l)
+            .map(|(&b, &l)| (Addr::new(b), l))
+    }
+
+    /// Allocates `size` bytes at a never-before-used virtual address.
+    pub fn malloc(&mut self, space: &mut AddrSpace, size: u64) -> Addr {
+        self.stats.mallocs += 1;
+        let aligned = size.max(1).next_multiple_of(16);
+        let small = aligned <= self.cfg.large_threshold;
+        let base = if !small {
+            let pages = aligned.div_ceil(PAGE_SIZE as u64);
+            let base = space.reserve_heap(pages);
+            space.map(base, pages).expect("fresh VA");
+            base
+        } else {
+            if self.cursor.is_null() || self.cursor.add_bytes(aligned) > self.chunk_end {
+                // Abandon the old chunk (its tail is wasted) and open a
+                // fresh one.
+                self.move_cursor_hold(space, None);
+                let base = space.reserve_heap(self.cfg.chunk_pages);
+                space.map(base, self.cfg.chunk_pages).expect("fresh VA");
+                self.cursor = base;
+                self.chunk_end = base.add_bytes(self.cfg.chunk_pages * PAGE_SIZE as u64);
+                self.move_cursor_hold(space, Some(base.page()));
+            }
+            let base = self.cursor;
+            self.cursor = self.cursor.add_bytes(aligned);
+            base
+        };
+        // Pin the allocation's pages.
+        for page in PageRange::spanning(base, aligned).iter() {
+            self.pin(page);
+        }
+        // Move the bump-cursor hold onto the page the cursor now sits on,
+        // so a partially-carved page is never released under the cursor.
+        if small {
+            let hold = (self.cursor < self.chunk_end).then(|| self.cursor.page());
+            self.move_cursor_hold(space, hold);
+        }
+        self.allocs.insert(base.raw(), aligned);
+        self.stats.live_bytes += aligned;
+        self.stats.va_consumed += aligned;
+        base
+    }
+
+    fn pin(&mut self, page: PageIdx) {
+        let count = self.page_live.entry(page.raw()).or_insert_with(|| {
+            self.stats.pinned_pages += 1;
+            0
+        });
+        *count += 1;
+    }
+
+    /// Decrements a page's pin count; releases physical backing at zero.
+    /// Returns 1 if the page was released.
+    fn unpin(&mut self, space: &mut AddrSpace, page_raw: u64) -> u64 {
+        let count = self.page_live.get_mut(&page_raw).expect("pinned page");
+        *count -= 1;
+        if *count > 0 {
+            return 0;
+        }
+        self.page_live.remove(&page_raw);
+        let range = PageRange::new(PageIdx::new(page_raw), 1);
+        space.decommit(range).expect("mapped");
+        space.protect(range, Protection::None).expect("mapped");
+        self.stats.pages_released += 1;
+        self.stats.pinned_pages -= 1;
+        1
+    }
+
+    fn move_cursor_hold(&mut self, space: &mut AddrSpace, new: Option<PageIdx>) {
+        if self.cursor_hold == new.map(|p| p.raw()) {
+            return;
+        }
+        if let Some(p) = new {
+            self.pin(p);
+        }
+        if let Some(old) = self.cursor_hold.take() {
+            self.unpin(space, old);
+        }
+        self.cursor_hold = new.map(|p| p.raw());
+    }
+
+    /// Frees the allocation at `addr`; physical pages whose last allocation
+    /// this was are released and protected (a later dangling access faults
+    /// — FFmalloc's `munmap` behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`FreeError::InvalidPointer`] if `addr` is not a live allocation
+    /// base (which covers double frees: the base was removed by the first
+    /// free, and can never come back).
+    pub fn free(&mut self, space: &mut AddrSpace, addr: Addr) -> Result<FfFreeReport, FreeError> {
+        let Some(size) = self.allocs.remove(&addr.raw()) else {
+            return Err(FreeError::InvalidPointer(addr));
+        };
+        self.stats.frees += 1;
+        self.stats.live_bytes -= size;
+        let mut report = FfFreeReport::default();
+        for page in PageRange::spanning(addr, size).iter() {
+            report.pages_released += self.unpin(space, page.raw());
+        }
+        Ok(report)
+    }
+
+    /// Pages currently pinned by live allocations.
+    pub fn pinned_pages(&self) -> u64 {
+        self.stats.pinned_pages
+    }
+
+    /// Live allocation count.
+    pub fn live_allocations(&self) -> usize {
+        self.allocs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AddrSpace, FfMalloc) {
+        (AddrSpace::new(), FfMalloc::new(FfConfig::standard()))
+    }
+
+    #[test]
+    fn addresses_are_strictly_increasing() {
+        let (mut space, mut ff) = setup();
+        let mut prev = Addr::NULL;
+        for i in 0..200 {
+            let a = ff.malloc(&mut space, 16 + (i % 50) * 16);
+            assert!(a > prev, "monotone VA");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn freed_va_is_never_reused() {
+        let (mut space, mut ff) = setup();
+        let a = ff.malloc(&mut space, 64);
+        ff.free(&mut space, a).unwrap();
+        for _ in 0..1000 {
+            assert_ne!(ff.malloc(&mut space, 64), a);
+        }
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let (mut space, mut ff) = setup();
+        let a = ff.malloc(&mut space, 64);
+        ff.free(&mut space, a).unwrap();
+        assert_eq!(ff.free(&mut space, a), Err(FreeError::InvalidPointer(a)));
+    }
+
+    #[test]
+    fn page_released_when_last_allocation_dies() {
+        let (mut space, mut ff) = setup();
+        // Fill most of one page with 256 B allocations.
+        let addrs: Vec<Addr> = (0..16).map(|_| ff.malloc(&mut space, 256)).collect();
+        for &a in &addrs {
+            space.write_word(a, 1).unwrap();
+        }
+        assert!(space.rss_bytes() >= PAGE_SIZE as u64);
+        let mut released = 0;
+        for &a in &addrs {
+            released += ff.free(&mut space, a).unwrap().pages_released;
+        }
+        assert_eq!(released, 1, "page released exactly once, on the last free");
+    }
+
+    #[test]
+    fn dangling_access_to_released_page_faults() {
+        let (mut space, mut ff) = setup();
+        let a = ff.malloc(&mut space, 100_000);
+        space.write_word(a, 7).unwrap();
+        ff.free(&mut space, a).unwrap();
+        assert!(space.read_word(a).is_err(), "use-after-free faults cleanly");
+        assert!(space.write_word(a, 0xbad).is_err());
+    }
+
+    #[test]
+    fn one_survivor_pins_the_page() {
+        // The fragmentation pathology: page stays resident for one object.
+        let (mut space, mut ff) = setup();
+        let addrs: Vec<Addr> = (0..16).map(|_| ff.malloc(&mut space, 256)).collect();
+        for &a in &addrs {
+            space.write_word(a, 1).unwrap();
+        }
+        for &a in addrs.iter().skip(1) {
+            ff.free(&mut space, a).unwrap();
+        }
+        assert!(ff.pinned_pages() >= 1);
+        assert!(space.rss_bytes() >= PAGE_SIZE as u64, "survivor pins RSS");
+    }
+
+    #[test]
+    fn large_allocations_get_fresh_pages() {
+        let (mut space, mut ff) = setup();
+        let a = ff.malloc(&mut space, 50_000);
+        assert!(a.is_aligned(PAGE_SIZE as u64));
+        assert_eq!(ff.usable_size(a), Some(50_000u64.next_multiple_of(16)));
+        let r = ff.free(&mut space, a).unwrap();
+        assert_eq!(r.pages_released, 13);
+    }
+
+    #[test]
+    fn stats_balance() {
+        let (mut space, mut ff) = setup();
+        let a = ff.malloc(&mut space, 64);
+        let b = ff.malloc(&mut space, 64);
+        assert_eq!(ff.stats().live_bytes, 128);
+        ff.free(&mut space, a).unwrap();
+        assert_eq!(ff.stats().live_bytes, 64);
+        assert_eq!(ff.live_allocations(), 1);
+        assert_eq!(ff.allocation_range(b + 8), Some((b, 64)));
+    }
+
+    #[test]
+    fn va_consumption_is_monotone_under_churn() {
+        let (mut space, mut ff) = setup();
+        let mut consumed = 0;
+        for _ in 0..100 {
+            let a = ff.malloc(&mut space, 1024);
+            ff.free(&mut space, a).unwrap();
+            assert!(ff.stats().va_consumed > consumed);
+            consumed = ff.stats().va_consumed;
+        }
+        assert_eq!(consumed, 100 * 1024);
+    }
+}

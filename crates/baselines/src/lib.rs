@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! Baseline use-after-free mitigations the MineSweeper paper compares
+//! against, implemented over the same substrate for apples-to-apples
+//! evaluation (§5.1 reruns both on the authors' machine):
+//!
+//! * [`MarkUs`] — Ainsworth & Jones, *MarkUs: Drop-in use-after-free
+//!   prevention for low-level languages* (S&P 2020). Quarantine at 25 % of
+//!   the heap, released by a Boehm-style **transitive conservative marking**
+//!   pass from the roots: a quarantined allocation is recycled only when it
+//!   is unreachable. No zeroing — pointers inside quarantined objects keep
+//!   their referents pinned, and reachability must chase the whole object
+//!   graph (the work MineSweeper's zeroing + linear sweep eliminates,
+//!   Figure 6).
+//!
+//! * [`FfMalloc`] — Wickman et al., *Preventing Use-After-Free Attacks with
+//!   Fast Forward Allocation* (USENIX Security 2021). A **one-time
+//!   allocator**: virtual addresses are handed out in strictly increasing
+//!   order and never reused, so a dangling pointer can never alias a new
+//!   allocation; physical pages are released once every allocation on them
+//!   is freed. Fast, but fragmentation-prone: one long-lived allocation
+//!   pins a page forever (the §5.2 sphinx3/perlbench pathology).
+//!
+//! * [`CrCount`] — Shin et al., *CRCount: Pointer Invalidation with
+//!   Reference Counting* (NDSS 2019): the §6.4 pointer-nullification
+//!   family's refcounting representative, implemented for real (the paper
+//!   itself only reprints its published numbers). Every pointer store is
+//!   instrumented; frees defer until the count drains; zero-filling on
+//!   free removes outgoing references — "overheads on even
+//!   non-allocation-intensive workloads" (§6.6).
+//!
+//! * [`Oscar`] — Dang et al. (USENIX Security 2017): page-permission
+//!   revocation with per-object shadow virtual pages aliased onto shared
+//!   physical frames (§6.3), built on [`vmem`]'s page aliasing.
+//!
+//! * [`PSweeper`] — Liu et al. (CCS 2018): a live pointer table swept by a
+//!   background thread that actively **nullifies** dangling pointers;
+//!   deallocation waits for one full sweep (§6.4).
+//!
+//! * [`DangSan`] — van der Kouwe et al. (EuroSys 2017): per-object
+//!   append-only pointer logs, walked and nullified at `free()` (§6.4).
+//!
+//! The MineSweeper paper reprints these four schemes' published numbers
+//! (Figures 7 & 10, [`literature`]); this crate *implements* them so
+//! their published characters can be checked against the same substrate.
+
+mod crcount;
+mod dangsan;
+mod ffmalloc;
+pub mod literature;
+mod markus;
+mod oscar;
+mod psweeper;
+
+pub use crcount::{CrCount, CrFreeOutcome, CrStats};
+pub use dangsan::{DangSan, DsFreeOutcome, DsStats};
+pub use ffmalloc::{FfConfig, FfFreeReport, FfMalloc, FfStats};
+pub use oscar::{Oscar, OscarStats};
+pub use psweeper::{PSweeper, PsFreeOutcome, PsStats, PsSweepReport};
+pub use markus::{GcReport, MarkUs, MarkUsConfig, MarkUsFreeOutcome, MarkUsStats};

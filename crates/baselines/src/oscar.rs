@@ -1,0 +1,305 @@
+//! Oscar: page-permission-based use-after-free protection (USENIX
+//! Security 2017) — the §6.3 family's representative.
+//!
+//! Every allocation gets its **own virtual page(s)**; small objects are
+//! co-located on shared *physical frames* through per-object virtual
+//! aliases (Dhurjati & Adve's trick, plus Oscar's high-water mark so old
+//! virtual ranges are never reused). Revocation on `free()` simply unmaps
+//! the object's alias page: every dangling access faults. The costs are
+//! Oscar's signature ones — a syscall per allocation (mapping the alias)
+//! and per free (revoking it), plus ever-growing page tables — while
+//! physical memory stays modest thanks to frame sharing.
+
+use std::collections::HashMap;
+
+use jalloc::FreeError;
+use vmem::{Addr, AddrSpace, PageIdx, PageRange, Protection, PAGE_SIZE};
+
+/// Oscar statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OscarStats {
+    /// `malloc` calls.
+    pub mallocs: u64,
+    /// Successful `free` calls.
+    pub frees: u64,
+    /// Bytes in live allocations (16-byte rounded).
+    pub live_bytes: u64,
+    /// Alias mappings created (each is an `mmap`/`mremap` syscall and a
+    /// page-table entry that is never reclaimed — Oscar's page-table-size
+    /// cost).
+    pub aliases_created: u64,
+    /// Revocation syscalls (`munmap`/`mprotect`) issued.
+    pub revocations: u64,
+    /// Physical frames currently live.
+    pub live_frames: u64,
+}
+
+/// A slot on a shared physical frame.
+#[derive(Clone, Copy, Debug)]
+struct AllocInfo {
+    /// The alias VA page base (the address handed to the program is
+    /// `alias_base + slot_offset`).
+    alias: Addr,
+    /// Backing frame (for small) — `None` for large (own pages).
+    frame: Option<PageIdx>,
+    /// Offset within the frame.
+    offset: u64,
+    /// Rounded size.
+    size: u64,
+}
+
+/// Per-size bucket of frames with free slots.
+#[derive(Debug, Default)]
+struct Bucket {
+    /// (frame, free slot offsets).
+    frames: Vec<(PageIdx, Vec<u64>)>,
+}
+
+/// The Oscar allocator/mitigation.
+///
+/// # Example
+///
+/// ```
+/// use baselines::Oscar;
+/// use vmem::AddrSpace;
+///
+/// let mut space = AddrSpace::new();
+/// let mut oscar = Oscar::new();
+/// let p = oscar.malloc(&mut space, 64);
+/// space.write_word(p, 7).unwrap();
+/// oscar.free(&mut space, p).unwrap();
+/// assert!(space.read_word(p).is_err(), "revoked page faults");
+/// ```
+#[derive(Debug)]
+pub struct Oscar {
+    buckets: HashMap<u64, Bucket>,
+    /// Program address -> allocation record.
+    allocs: HashMap<u64, AllocInfo>,
+    /// Live objects per frame (frame page -> count), for frame reclaim.
+    frame_live: HashMap<u64, u32>,
+    stats: OscarStats,
+}
+
+impl Oscar {
+    /// Creates an empty Oscar instance.
+    pub fn new() -> Self {
+        Oscar {
+            buckets: HashMap::new(),
+            allocs: HashMap::new(),
+            frame_live: HashMap::new(),
+            stats: OscarStats::default(),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &OscarStats {
+        &self.stats
+    }
+
+    /// Live allocation count.
+    pub fn live_allocations(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Allocates `size` bytes on a fresh virtual page (alias onto a shared
+    /// frame for small objects).
+    pub fn malloc(&mut self, space: &mut AddrSpace, size: u64) -> Addr {
+        self.stats.mallocs += 1;
+        let rounded = size.max(1).next_multiple_of(16);
+        if rounded > PAGE_SIZE as u64 / 2 {
+            // Large: own fresh pages, no sharing.
+            let pages = rounded.div_ceil(PAGE_SIZE as u64);
+            let base = space.reserve_heap(pages);
+            space.map(base, pages).expect("fresh VA");
+            self.stats.aliases_created += pages;
+            self.stats.live_bytes += rounded;
+            self.allocs
+                .insert(base.raw(), AllocInfo { alias: base, frame: None, offset: 0, size: rounded });
+            return base;
+        }
+        // Small: take a frame slot (or open a new frame), then map a
+        // fresh alias VA page over the frame.
+        let bucket = self.buckets.entry(rounded).or_default();
+        let (frame, offset) = loop {
+            if let Some((frame, free)) = bucket.frames.last_mut() {
+                if let Some(off) = free.pop() {
+                    break (*frame, off);
+                }
+                bucket.frames.pop();
+                continue;
+            }
+            // Open a fresh physical frame.
+            let fbase = space.reserve_heap(1);
+            space.map(fbase, 1).expect("fresh VA");
+            let slots: Vec<u64> =
+                (0..PAGE_SIZE as u64 / rounded).map(|i| i * rounded).rev().collect();
+            bucket.frames.push((fbase.page(), slots));
+            self.stats.live_frames += 1;
+        };
+        *self.frame_live.entry(frame.raw()).or_insert(0) += 1;
+        let alias = space.reserve_heap(1);
+        space.map_alias(alias, frame).expect("fresh alias VA over live frame");
+        self.stats.aliases_created += 1;
+        self.stats.live_bytes += rounded;
+        let addr = alias.add_bytes(offset);
+        self.allocs.insert(addr.raw(), AllocInfo { alias, frame: Some(frame), offset, size: rounded });
+        addr
+    }
+
+    /// Usable size of the live allocation based at `addr`.
+    pub fn usable_size(&self, addr: Addr) -> Option<u64> {
+        self.allocs.get(&addr.raw()).map(|a| a.size)
+    }
+
+    /// Frees `addr`: the alias page is unmapped (revoked — dangling
+    /// accesses fault), the frame slot is recycled under a future alias,
+    /// and fully-free frames release their physical page.
+    ///
+    /// # Errors
+    ///
+    /// [`FreeError::InvalidPointer`] if `addr` is not a live allocation
+    /// base (covers double frees: the record is gone after the first).
+    pub fn free(&mut self, space: &mut AddrSpace, addr: Addr) -> Result<(), FreeError> {
+        let Some(info) = self.allocs.remove(&addr.raw()) else {
+            return Err(FreeError::InvalidPointer(addr));
+        };
+        self.stats.frees += 1;
+        self.stats.live_bytes -= info.size;
+        self.stats.revocations += 1;
+        match info.frame {
+            None => {
+                let range = PageRange::spanning(info.alias, info.size);
+                space.decommit(range).expect("mapped");
+                space.protect(range, Protection::None).expect("mapped");
+            }
+            Some(frame) => {
+                // Revoke the object's own window onto the frame.
+                space
+                    .unmap(PageRange::new(info.alias.page(), 1))
+                    .expect("alias is mapped");
+                // Recycle the frame slot for a future allocation.
+                self.buckets
+                    .entry(info.size)
+                    .or_default()
+                    .frames
+                    .push((frame, vec![info.offset]));
+                let live = self.frame_live.get_mut(&frame.raw()).expect("counted");
+                *live -= 1;
+                if *live == 0 {
+                    // Nothing lives here: release the physical frame (it
+                    // stays mapped for future slots, demand-zero).
+                    space.decommit(PageRange::new(frame, 1)).expect("mapped");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Oscar {
+    fn default() -> Self {
+        Oscar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AddrSpace, Oscar) {
+        (AddrSpace::new(), Oscar::new())
+    }
+
+    #[test]
+    fn small_objects_share_a_physical_frame() {
+        let (mut space, mut oscar) = setup();
+        let a = oscar.malloc(&mut space, 64);
+        let b = oscar.malloc(&mut space, 64);
+        assert_ne!(a.page(), b.page(), "distinct virtual pages");
+        space.write_word(a, 1).unwrap();
+        space.write_word(b, 2).unwrap();
+        // Both live on one frame: RSS is a single page.
+        assert_eq!(space.rss_bytes(), PAGE_SIZE as u64);
+        assert_eq!(oscar.stats().live_frames, 1);
+    }
+
+    #[test]
+    fn revocation_faults_dangling_accesses_only() {
+        let (mut space, mut oscar) = setup();
+        let a = oscar.malloc(&mut space, 64);
+        let b = oscar.malloc(&mut space, 64);
+        space.write_word(b, 0xb).unwrap();
+        oscar.free(&mut space, a).unwrap();
+        assert!(space.read_word(a).is_err(), "dangling access faults");
+        assert_eq!(space.read_word(b).unwrap(), 0xb, "co-located survivor fine");
+    }
+
+    #[test]
+    fn virtual_addresses_never_reused() {
+        let (mut space, mut oscar) = setup();
+        let a = oscar.malloc(&mut space, 64);
+        oscar.free(&mut space, a).unwrap();
+        for _ in 0..50 {
+            assert_ne!(oscar.malloc(&mut space, 64), a, "high-water mark");
+        }
+    }
+
+    #[test]
+    fn frame_slots_are_recycled_under_new_aliases() {
+        let (mut space, mut oscar) = setup();
+        let a = oscar.malloc(&mut space, 2048); // 2 per frame
+        let b = oscar.malloc(&mut space, 2048);
+        space.write_word(b, 5).unwrap();
+        oscar.free(&mut space, a).unwrap();
+        let c = oscar.malloc(&mut space, 2048);
+        // c reuses a's frame slot through a fresh alias: frame count
+        // unchanged.
+        assert_eq!(oscar.stats().live_frames, 1);
+        space.write_word(c, 6).unwrap();
+        assert_eq!(space.read_word(b).unwrap(), 5);
+        assert_ne!(c, a);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (mut space, mut oscar) = setup();
+        let a = oscar.malloc(&mut space, 64);
+        oscar.free(&mut space, a).unwrap();
+        assert_eq!(oscar.free(&mut space, a), Err(FreeError::InvalidPointer(a)));
+    }
+
+    #[test]
+    fn large_allocations_get_own_pages_and_fault_after_free() {
+        let (mut space, mut oscar) = setup();
+        let a = oscar.malloc(&mut space, 100_000);
+        space.write_word(a + 8192, 3).unwrap();
+        oscar.free(&mut space, a).unwrap();
+        assert!(space.write_word(a + 8192, 4).is_err());
+    }
+
+    #[test]
+    fn fully_freed_frame_releases_physical_memory() {
+        let (mut space, mut oscar) = setup();
+        let addrs: Vec<Addr> = (0..4).map(|_| oscar.malloc(&mut space, 1024)).collect();
+        for &a in &addrs {
+            space.write_word(a, 1).unwrap();
+        }
+        for &a in &addrs {
+            oscar.free(&mut space, a).unwrap();
+        }
+        assert_eq!(space.rss_bytes(), 0, "empty frame decommitted");
+    }
+
+    #[test]
+    fn stats_balance() {
+        let (mut space, mut oscar) = setup();
+        let a = oscar.malloc(&mut space, 60); // rounds to 64
+        assert_eq!(oscar.usable_size(a), Some(64));
+        assert_eq!(oscar.stats().live_bytes, 64);
+        assert_eq!(oscar.stats().aliases_created, 1);
+        oscar.free(&mut space, a).unwrap();
+        assert_eq!(oscar.stats().live_bytes, 0);
+        assert_eq!(oscar.stats().revocations, 1);
+        assert_eq!(oscar.live_allocations(), 0);
+    }
+}

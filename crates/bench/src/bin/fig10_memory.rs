@@ -1,0 +1,64 @@
+//! Figures 10 & 11: SPEC CPU2006 average memory overhead for the three
+//! rerun systems (plus literature rows), and MineSweeper's average vs peak
+//! overhead per benchmark.
+
+use baselines::literature;
+use ms_bench::{compared_systems, geomean_memory, geomean_peak, maybe_quick, run_suite};
+use sim::report::{fx, fx_opt, table};
+
+fn main() {
+    println!("== Figure 10: SPEC CPU2006 average memory overhead ==\n");
+    let profiles = maybe_quick(workloads::spec2006::all());
+    let rows = run_suite(&profiles, &compared_systems());
+
+    let mut out = vec![vec![
+        "benchmark".to_string(),
+        "markus".into(),
+        "ffmalloc".into(),
+        "minesweeper".into(),
+        "paper:markus".into(),
+        "paper:ff".into(),
+        "paper:ms".into(),
+    ]];
+    for r in &rows {
+        out.push(vec![
+            r.profile.name.to_string(),
+            fx(r.memory(0)),
+            fx(r.memory(1)),
+            fx(r.memory(2)),
+            fx_opt(r.profile.paper.markus_memory),
+            fx_opt(r.profile.paper.ff_memory),
+            fx_opt(r.profile.paper.ms_memory),
+        ]);
+    }
+    out.push(vec![
+        "geomean".to_string(),
+        fx(geomean_memory(&rows, 0)),
+        fx(geomean_memory(&rows, 1)),
+        fx(geomean_memory(&rows, 2)),
+        fx(1.123),
+        fx(2.44),
+        fx(1.111),
+    ]);
+    println!("{}", table(&out));
+
+    println!("== Figure 11: MineSweeper average vs peak memory overhead ==\n");
+    let mut out = vec![vec!["benchmark".to_string(), "average".into(), "peak".into()]];
+    for r in &rows {
+        out.push(vec![r.profile.name.to_string(), fx(r.memory(2)), fx(r.peak(2))]);
+    }
+    out.push(vec![
+        "geomean".to_string(),
+        fx(geomean_memory(&rows, 2)),
+        fx(geomean_peak(&rows, 2)),
+    ]);
+    println!("{}", table(&out));
+    println!("Paper geomeans: 1.111x average, 1.177x peak; worst case gcc.\n");
+
+    println!("Literature comparators (reported numbers):\n");
+    let mut lit = vec![vec!["scheme".to_string(), "geomean memory".into()]];
+    for row in literature::all() {
+        lit.push(vec![row.name.to_string(), fx(row.geomean_memory())]);
+    }
+    println!("{}", table(&lit));
+}

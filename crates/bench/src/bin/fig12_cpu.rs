@@ -1,0 +1,22 @@
+//! Figure 12: additional CPU utilisation from MineSweeper's background
+//! sweeper threads. Paper: geomean 1.096x, worst case 2.3x (xalancbmk).
+
+use ms_bench::{maybe_quick, run_suite};
+use sim::report::{fx, table};
+use sim::{geomean, System};
+
+fn main() {
+    println!("== Figure 12: additional CPU utilisation (MineSweeper) ==\n");
+    let profiles = maybe_quick(workloads::spec2006::all());
+    let rows = run_suite(&profiles, &[System::minesweeper_default()]);
+    let mut out = vec![vec!["benchmark".to_string(), "cpu utilisation".into()]];
+    let mut utils = Vec::new();
+    for r in &rows {
+        let u = r.first(0).cpu_utilisation();
+        utils.push(u);
+        out.push(vec![r.profile.name.to_string(), fx(u)]);
+    }
+    out.push(vec!["geomean".to_string(), fx(geomean(&utils))]);
+    println!("{}", table(&out));
+    println!("Paper: geomean 1.096x, maximum 2.3x for xalancbmk.");
+}

@@ -1,0 +1,27 @@
+//! Figure 13: fully concurrent vs mostly concurrent (stop-the-world)
+//! slowdown. Paper: 5.4% vs 8.2% geomean.
+
+use ms_bench::{geomean_slowdown, maybe_quick, run_suite};
+use sim::report::{fx, table};
+use sim::System;
+
+fn main() {
+    println!("== Figure 13: fully vs mostly concurrent slowdown ==\n");
+    let profiles = maybe_quick(workloads::spec2006::all());
+    let rows = run_suite(
+        &profiles,
+        &[System::minesweeper_default(), System::minesweeper_mostly()],
+    );
+    let mut out =
+        vec![vec!["benchmark".to_string(), "fully".into(), "mostly (STW)".into()]];
+    for r in &rows {
+        out.push(vec![r.profile.name.to_string(), fx(r.slowdown(0)), fx(r.slowdown(1))]);
+    }
+    out.push(vec![
+        "geomean".to_string(),
+        fx(geomean_slowdown(&rows, 0)),
+        fx(geomean_slowdown(&rows, 1)),
+    ]);
+    println!("{}", table(&out));
+    println!("Paper: 1.054x fully vs 1.082x mostly; memory similar (1.111 vs 1.117).");
+}

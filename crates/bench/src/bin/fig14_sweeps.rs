@@ -1,0 +1,31 @@
+//! Figure 14: number of sweeps triggered per benchmark (fully concurrent).
+//! Absolute counts scale with the (scaled-down) run length; the ordering —
+//! omnetpp most, xalancbmk second, allocation-light benchmarks near zero —
+//! is the reproduced shape.
+
+use ms_bench::{maybe_quick, run_suite};
+use sim::report::table;
+use sim::System;
+
+fn main() {
+    println!("== Figure 14: number of sweeps triggered ==\n");
+    let profiles = maybe_quick(workloads::spec2006::all());
+    let rows = run_suite(&profiles, &[System::minesweeper_default()]);
+    let mut out = vec![vec![
+        "benchmark".to_string(),
+        "sweeps".into(),
+        "failed frees".into(),
+        "paper sweeps (full-length run)".into(),
+    ]];
+    for r in &rows {
+        let m = r.first(0);
+        out.push(vec![
+            r.profile.name.to_string(),
+            m.sweeps.to_string(),
+            m.failed_frees.to_string(),
+            r.profile.paper.sweeps.map_or("-".into(), |s| s.to_string()),
+        ]);
+    }
+    println!("{}", table(&out));
+    println!("Shape check: omnetpp > xalancbmk > gcc/perlbench >> compute-bound.");
+}

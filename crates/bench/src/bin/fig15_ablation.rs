@@ -1,0 +1,52 @@
+//! Figures 15 & 16: run-time and memory overhead as the §4 optimisations
+//! are applied one-by-one: Unoptimised -> +Zeroing -> +Unmapping ->
+//! +Concurrency -> +Purging.
+
+use minesweeper::MsConfig;
+use ms_bench::{geomean_memory, geomean_slowdown, maybe_quick, run_suite};
+use sim::report::{fx, table};
+use sim::System;
+
+fn main() {
+    println!("== Figures 15 & 16: optimisation ablation ladder ==\n");
+    let profiles = maybe_quick(workloads::spec2006::all());
+    let ladder = [
+        ("unoptimised", MsConfig::ablation_unoptimised()),
+        ("+zeroing", MsConfig::ablation_zeroing()),
+        ("+unmapping", MsConfig::ablation_unmapping()),
+        ("+concurrency", MsConfig::ablation_concurrency()),
+        ("+purging", MsConfig::ablation_purging()),
+    ];
+    let systems: Vec<System> =
+        ladder.iter().map(|&(_, cfg)| System::MineSweeper(cfg)).collect();
+    let rows = run_suite(&profiles, &systems);
+
+    for (metric, titled) in [("slowdown", "Figure 15: run-time overhead"),
+                             ("memory", "Figure 16: average memory overhead")] {
+        println!("-- {titled} --\n");
+        let mut out = vec![{
+            let mut h = vec!["benchmark".to_string()];
+            h.extend(ladder.iter().map(|&(n, _)| n.to_string()));
+            h
+        }];
+        for r in &rows {
+            let mut line = vec![r.profile.name.to_string()];
+            for i in 0..ladder.len() {
+                line.push(fx(if metric == "slowdown" { r.slowdown(i) } else { r.memory(i) }));
+            }
+            out.push(line);
+        }
+        let mut gm = vec!["geomean".to_string()];
+        for i in 0..ladder.len() {
+            gm.push(fx(if metric == "slowdown" {
+                geomean_slowdown(&rows, i)
+            } else {
+                geomean_memory(&rows, i)
+            }));
+        }
+        out.push(gm);
+        println!("{}", table(&out));
+    }
+    println!("Paper waypoints: sequential (+unmapping) 1.095x time / 1.211x memory;");
+    println!("+concurrency 1.050x time / 1.241x memory; +purging 1.054x / 1.111x.");
+}

@@ -1,0 +1,58 @@
+//! Figure 17: sources of overhead — six partial versions of MineSweeper on
+//! the five most affected benchmarks (dealII, gcc, omnetpp, perlbench,
+//! xalancbmk): Base -> +Unmap+Zero -> +Quarantine -> +Concurrency ->
+//! +Sweep -> +Failed Frees.
+
+use minesweeper::MsConfig;
+use ms_bench::{geomean_memory, geomean_slowdown, run_suite};
+use sim::report::{fx, table};
+use sim::System;
+use workloads::spec2006;
+
+fn main() {
+    println!("== Figure 17: sources of overheads (partial versions) ==\n");
+    let names = ["dealII", "gcc", "omnetpp", "perlbench", "xalancbmk"];
+    let profiles: Vec<_> =
+        names.iter().map(|n| spec2006::by_name(n).expect("benchmark exists")).collect();
+    let ladder = [
+        ("base", MsConfig::partial_base()),
+        ("+unmap+zero", MsConfig::partial_unmap_zero()),
+        ("+quarantine", MsConfig::partial_quarantine()),
+        ("+concurrency", MsConfig::partial_concurrency()),
+        ("+sweep", MsConfig::partial_sweep()),
+        ("+failed-frees", MsConfig::partial_full()),
+    ];
+    let systems: Vec<System> =
+        ladder.iter().map(|&(_, cfg)| System::MineSweeper(cfg)).collect();
+    let rows = run_suite(&profiles, &systems);
+
+    for (metric, title) in
+        [("slowdown", "Figure 17a: time"), ("memory", "Figure 17b: memory")]
+    {
+        println!("-- {title} --\n");
+        let mut out = vec![{
+            let mut h = vec!["benchmark".to_string()];
+            h.extend(ladder.iter().map(|&(n, _)| n.to_string()));
+            h
+        }];
+        for r in &rows {
+            let mut line = vec![r.profile.name.to_string()];
+            for i in 0..ladder.len() {
+                line.push(fx(if metric == "slowdown" { r.slowdown(i) } else { r.memory(i) }));
+            }
+            out.push(line);
+        }
+        let mut gm = vec!["geomean".to_string()];
+        for i in 0..ladder.len() {
+            gm.push(fx(if metric == "slowdown" {
+                geomean_slowdown(&rows, i)
+            } else {
+                geomean_memory(&rows, i)
+            }));
+        }
+        out.push(gm);
+        println!("{}", table(&out));
+    }
+    println!("Paper waypoints (these 5 benchmarks): base 1.011x/1.002x;");
+    println!("+unmap+zero 1.058x/0.973x; +quarantine 1.179x/1.148x; full ~1.394x memory.");
+}

@@ -1,0 +1,49 @@
+//! Figure 18: SPECspeed2017 time and memory overheads under threaded
+//! workloads (starred benchmarks are OpenMP-parallel; sweeper threads
+//! compete with the application's own threads for cores).
+
+use ms_bench::{compared_systems, geomean_memory, geomean_slowdown, run_suite};
+use sim::report::{fx, fx_opt, table};
+
+fn main() {
+    println!("== Figure 18: SPECspeed2017 ==\n");
+    let profiles = workloads::spec2017::all();
+    let rows = run_suite(&profiles, &compared_systems());
+
+    for (metric, title) in
+        [("slowdown", "Figure 18a: time"), ("memory", "Figure 18b: average memory")]
+    {
+        println!("-- {title} --\n");
+        let mut out = vec![vec![
+            "benchmark".to_string(),
+            "markus".into(),
+            "ffmalloc".into(),
+            "minesweeper".into(),
+            "paper:ms".into(),
+        ]];
+        for r in &rows {
+            let star = if r.profile.threads > 1 { "*" } else { "" };
+            let paper = if metric == "slowdown" {
+                r.profile.paper.ms_slowdown
+            } else {
+                r.profile.paper.ms_memory
+            };
+            let v = |i| if metric == "slowdown" { r.slowdown(i) } else { r.memory(i) };
+            out.push(vec![
+                format!("{}{star}", r.profile.name),
+                fx(v(0)),
+                fx(v(1)),
+                fx(v(2)),
+                fx_opt(paper),
+            ]);
+        }
+        let gm = |i| {
+            if metric == "slowdown" { geomean_slowdown(&rows, i) } else { geomean_memory(&rows, i) }
+        };
+        out.push(vec!["geomean".to_string(), fx(gm(0)), fx(gm(1)), fx(gm(2)), "-".into()]);
+        println!("{}", table(&out));
+    }
+    println!("Paper geomeans: MineSweeper 1.108x time / 1.079x memory;");
+    println!("FFmalloc 1.053x / 1.222x; MarkUs 1.163x / 1.126x.");
+    println!("Worst cases: xalancbmk 2.0x, wrf 1.66x (sweeper/core contention).");
+}

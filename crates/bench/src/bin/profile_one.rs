@@ -1,0 +1,34 @@
+//! Developer utility: time one (benchmark, system) run in real seconds.
+//! `cargo run --release -p ms-bench --bin profile_one -- <bench> <system>`
+
+use sim::{run, System};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args.get(1).map(String::as_str).unwrap_or("dealII");
+    let sys = match args.get(2).map(String::as_str).unwrap_or("baseline") {
+        "ms" => System::minesweeper_default(),
+        "mostly" => System::minesweeper_mostly(),
+        "markus" => System::markus_default(),
+        "ff" => System::FfMalloc,
+        _ => System::Baseline,
+    };
+    let p = workloads::spec2006::by_name(bench)
+        .or_else(|| workloads::spec2017::by_name(bench))
+        .or_else(|| workloads::mimalloc_bench::by_name(bench))
+        .expect("unknown benchmark");
+    let t = Instant::now();
+    let m = run(&p, sys, 42);
+    println!(
+        "{bench}/{}: wall {:?}  vcycles {}  sweeps {}  rss_avg {:.1} MiB  peak {:.1} MiB  failed {}  bg {}",
+        sys.label(),
+        t.elapsed(),
+        m.mutator_cycles,
+        m.sweeps,
+        m.avg_rss() / (1024.0 * 1024.0),
+        m.peak_rss as f64 / (1024.0 * 1024.0),
+        m.failed_frees,
+        m.background_cycles,
+    );
+}

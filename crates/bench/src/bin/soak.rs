@@ -1,0 +1,88 @@
+//! Soak test: randomized (profile, system, seed) matrix, asserting the
+//! cross-cutting invariants on every run. Usage:
+//!
+//! ```sh
+//! cargo run --release -p ms-bench --bin soak -- [iterations]
+//! ```
+
+use sim::{run, System};
+use workloads::{LifetimeDist, Profile, Rng, SizeDist};
+
+fn random_profile(rng: &mut Rng) -> Profile {
+    Profile {
+        name: "soak",
+        total_allocs: rng.range(500, 8_000),
+        cycles_per_alloc: rng.range(50, 20_000),
+        size_dist: match rng.below(3) {
+            0 => SizeDist::Uniform(8, rng.range(64, 8_192)),
+            1 => SizeDist::LogNormal {
+                median: rng.range(16, 2_048),
+                sigma: 2.0 + rng.f64() * 2.0,
+                cap: 256 * 1024,
+            },
+            _ => SizeDist::Mixture(vec![
+                (0.9, SizeDist::LogNormal { median: 64, sigma: 2.5, cap: 8_192 }),
+                (0.1, SizeDist::Uniform(16 * 1024, 256 * 1024)),
+            ]),
+        },
+        lifetime: LifetimeDist::Mixture(vec![
+            (0.8, LifetimeDist::Exp(1.0 + rng.f64() * 2_000.0)),
+            (0.15, LifetimeDist::Exp(1.0 + rng.f64() * 20_000.0)),
+            (0.05, LifetimeDist::Permanent),
+        ]),
+        ptr_density: rng.f64(),
+        false_ptr_rate: rng.f64() * 0.002,
+        dangling_rate: rng.f64() * 0.05,
+        phases: 1 + rng.below(6) as u32,
+        phase_frac: rng.f64() * 0.4,
+        straggler_rate: rng.f64() * 0.05,
+        cache_sensitivity: rng.f64() * 1.5,
+        ..Profile::demo()
+    }
+}
+
+fn main() {
+    let iterations: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let systems = [
+        System::Baseline,
+        System::minesweeper_default(),
+        System::minesweeper_mostly(),
+        System::markus_default(),
+        System::FfMalloc,
+        System::ScudoBaseline,
+        System::minesweeper_scudo(),
+        System::CrCount,
+        System::Oscar,
+        System::PSweeper,
+        System::DangSan,
+    ];
+    let mut rng = Rng::new(0x50a6_2022);
+    let mut runs = 0u64;
+    for i in 0..iterations {
+        let profile = random_profile(&mut rng);
+        let seed = rng.next_u64();
+        let base = run(&profile, System::Baseline, seed);
+        assert_eq!(base.allocs, profile.total_allocs);
+        for &sys in &systems {
+            let m = run(&profile, sys, seed);
+            runs += 1;
+            assert_eq!(m.allocs, profile.total_allocs, "{}: allocs", sys.label());
+            assert_eq!(m.frees, profile.total_allocs, "{}: frees", sys.label());
+            let slowdown = m.slowdown_vs(&base);
+            assert!(
+                (0.4..100.0).contains(&slowdown),
+                "{}: slowdown {slowdown} out of bounds (iter {i})",
+                sys.label()
+            );
+            assert!(m.peak_rss >= m.rss_series.iter().map(|&(_, r)| r).max().unwrap_or(0));
+        }
+        println!(
+            "iter {i:>3}: allocs={:<6} cpa={:<6} ptr={:.2} ok ({} runs so far)",
+            profile.total_allocs, profile.cycles_per_alloc, profile.ptr_density, runs
+        );
+    }
+    println!("soak passed: {runs} randomized runs, all invariants held");
+}

@@ -1,0 +1,47 @@
+//! §5.8 headline summary: the numbers the abstract quotes, measured on the
+//! simulated substrate next to the paper's reported values.
+
+use ms_bench::{compared_systems, geomean_memory, geomean_slowdown, run_suite};
+use sim::report::{fx, table};
+use sim::{geomean, System};
+
+fn main() {
+    println!("== Headline summary (SPEC CPU2006) ==\n");
+    let profiles = workloads::spec2006::all();
+    let mut systems = compared_systems();
+    systems.push(System::minesweeper_mostly());
+    let rows = run_suite(&profiles, &systems);
+
+    let cpu: Vec<f64> =
+        rows.iter().map(|r| r.first(2).cpu_utilisation()).collect();
+    let out = vec![
+        vec!["metric".to_string(), "measured".into(), "paper".into()],
+        vec![
+            "MineSweeper slowdown (geomean)".into(),
+            fx(geomean_slowdown(&rows, 2)),
+            fx(1.054),
+        ],
+        vec![
+            "MineSweeper memory (geomean)".into(),
+            fx(geomean_memory(&rows, 2)),
+            fx(1.111),
+        ],
+        vec!["MineSweeper CPU utilisation".into(), fx(geomean(&cpu)), fx(1.096)],
+        vec![
+            "Mostly-concurrent slowdown".into(),
+            fx(geomean_slowdown(&rows, 3)),
+            fx(1.082),
+        ],
+        vec![
+            "Mostly-concurrent memory".into(),
+            fx(geomean_memory(&rows, 3)),
+            fx(1.117),
+        ],
+        vec!["MarkUs slowdown".into(), fx(geomean_slowdown(&rows, 0)), fx(1.155)],
+        vec!["MarkUs memory".into(), fx(geomean_memory(&rows, 0)), fx(1.123)],
+        vec!["FFmalloc slowdown".into(), fx(geomean_slowdown(&rows, 1)), fx(1.035)],
+        vec!["FFmalloc memory".into(), fx(geomean_memory(&rows, 1)), fx(3.44)],
+    ];
+    println!("{}", table(&out));
+    println!("(Paper FFmalloc memory: 244% overhead = 3.44x average factor.)");
+}

@@ -1,0 +1,164 @@
+//! Shared harness for the figure regenerators.
+//!
+//! Each `fig*` binary in `src/bin/` reproduces one table/figure from the
+//! paper: it replays the relevant benchmark profiles under the relevant
+//! systems (same seed everywhere), prints the measured series next to the
+//! paper-reported values, and summarises with geometric means. See
+//! `DESIGN.md` §5 for the experiment index and `EXPERIMENTS.md` for the
+//! recorded outcomes.
+
+use sim::{geomean, run, RunMetrics, System};
+use workloads::Profile;
+
+/// Results for one benchmark: the baseline plus each system under test,
+/// per seed. Ratios are medians over seeds — the paper "took the median
+/// of three runs" (Appendix A footnote 8).
+#[derive(Clone, Debug)]
+pub struct SuiteRow {
+    /// The benchmark profile.
+    pub profile: Profile,
+    /// Baseline (unmodified allocator) metrics, one per seed.
+    pub baselines: Vec<RunMetrics>,
+    /// Per system (input order): one metrics record per seed.
+    pub results: Vec<(String, Vec<RunMetrics>)>,
+}
+
+/// Median of a non-empty slice (averaging the middle pair on even sizes).
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+impl SuiteRow {
+    fn ratio(&self, i: usize, f: impl Fn(&RunMetrics, &RunMetrics) -> f64) -> f64 {
+        let per_seed: Vec<f64> = self.results[i]
+            .1
+            .iter()
+            .zip(&self.baselines)
+            .map(|(m, b)| f(m, b))
+            .collect();
+        median(&per_seed)
+    }
+
+    /// The first seed's metrics for system `i` (sweep counts etc.).
+    pub fn first(&self, i: usize) -> &RunMetrics {
+        &self.results[i].1[0]
+    }
+
+    /// Median slowdown of result `i` vs the baseline.
+    pub fn slowdown(&self, i: usize) -> f64 {
+        self.ratio(i, |m, b| m.slowdown_vs(b))
+    }
+
+    /// Median average-memory overhead of result `i` vs the baseline.
+    pub fn memory(&self, i: usize) -> f64 {
+        self.ratio(i, |m, b| m.memory_overhead_vs(b))
+    }
+
+    /// Median peak-memory overhead of result `i` vs the baseline.
+    pub fn peak(&self, i: usize) -> f64 {
+        self.ratio(i, |m, b| m.peak_overhead_vs(b))
+    }
+}
+
+/// The seed every figure uses; fixed so runs are reproducible and
+/// comparable across binaries.
+pub const SEED: u64 = 0x4d53_2022; // "MS 2022"
+
+/// Seeds per configuration: `MS_BENCH_SEEDS` (default 1; the paper used
+/// the median of 3).
+pub fn seed_count() -> u64 {
+    std::env::var("MS_BENCH_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+/// Runs every profile under the baseline plus each system, at
+/// [`seed_count`] seeds each.
+pub fn run_suite(profiles: &[Profile], systems: &[System]) -> Vec<SuiteRow> {
+    let seeds: Vec<u64> = (0..seed_count()).map(|i| SEED + i).collect();
+    profiles
+        .iter()
+        .map(|p| {
+            eprintln!("  running {} ({} allocs, {} seed(s))...", p.name, p.total_allocs, seeds.len());
+            let baselines: Vec<RunMetrics> =
+                seeds.iter().map(|&s| run(p, System::Baseline, s)).collect();
+            let results = systems
+                .iter()
+                .map(|&sys| {
+                    let per_seed = seeds.iter().map(|&s| run(p, sys, s)).collect();
+                    (sys.label().to_string(), per_seed)
+                })
+                .collect();
+            SuiteRow { profile: p.clone(), baselines, results }
+        })
+        .collect()
+}
+
+/// Geomean of per-benchmark slowdowns for system index `i`.
+pub fn geomean_slowdown(rows: &[SuiteRow], i: usize) -> f64 {
+    geomean(&rows.iter().map(|r| r.slowdown(i)).collect::<Vec<_>>())
+}
+
+/// Geomean of per-benchmark average-memory overheads for system index `i`.
+pub fn geomean_memory(rows: &[SuiteRow], i: usize) -> f64 {
+    geomean(&rows.iter().map(|r| r.memory(i)).collect::<Vec<_>>())
+}
+
+/// Geomean of per-benchmark peak-memory overheads for system index `i`.
+pub fn geomean_peak(rows: &[SuiteRow], i: usize) -> f64 {
+    geomean(&rows.iter().map(|r| r.peak(i)).collect::<Vec<_>>())
+}
+
+/// The standard three-way comparison the paper reruns (§5.1): MarkUs,
+/// FFmalloc, MineSweeper (fully concurrent).
+pub fn compared_systems() -> Vec<System> {
+    vec![System::markus_default(), System::FfMalloc, System::minesweeper_default()]
+}
+
+/// Honors `MS_BENCH_QUICK=1` by truncating a profile list to the named
+/// allocation-heavy subset — useful while iterating.
+pub fn maybe_quick(mut profiles: Vec<Profile>) -> Vec<Profile> {
+    if std::env::var("MS_BENCH_QUICK").is_ok_and(|v| v == "1") {
+        let keep = ["xalancbmk", "omnetpp", "perlbench", "gcc", "dealII", "sphinx3"];
+        profiles.retain(|p| keep.contains(&p.name));
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runner_produces_comparable_rows() {
+        let profiles = vec![Profile::demo()];
+        let rows = run_suite(&profiles, &[System::minesweeper_default()]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].results.len(), 1);
+        assert!(rows[0].slowdown(0) >= 1.0);
+        assert!(rows[0].memory(0) > 0.5);
+        assert!(geomean_slowdown(&rows, 0) >= 1.0);
+        assert!(rows[0].first(0).sweeps > 0);
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn quick_filter_respects_env() {
+        // Not set in the test environment: list passes through.
+        std::env::remove_var("MS_BENCH_QUICK");
+        let all = workloads::spec2006::all();
+        assert_eq!(maybe_quick(all.clone()).len(), all.len());
+    }
+}

@@ -1,0 +1,466 @@
+#![warn(missing_docs)]
+
+//! Command parsing and execution for `minesweeper-sim`.
+//!
+//! A dependency-free CLI over the simulation stack:
+//!
+//! ```text
+//! minesweeper-sim list
+//! minesweeper-sim run xalancbmk --system minesweeper --seed 7
+//! minesweeper-sim compare omnetpp
+//! minesweeper-sim exploit --system baseline
+//! ```
+
+use sim::report::{bytes, fx, table};
+use sim::{run, run_exploit, run_trace, System};
+use workloads::exploit::figure2_attack;
+use workloads::{mimalloc_bench, recorded, spec2006, spec2017, Profile, TraceGen};
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// List every benchmark, grouped by suite.
+    List,
+    /// Run one benchmark under one system.
+    Run {
+        /// Benchmark name.
+        benchmark: String,
+        /// System label.
+        system: String,
+        /// Trace seed.
+        seed: u64,
+    },
+    /// Run one benchmark under every system and print the overhead table.
+    Compare {
+        /// Benchmark name.
+        benchmark: String,
+        /// Trace seed.
+        seed: u64,
+    },
+    /// Replay the Figure 2 exploit under one system.
+    Exploit {
+        /// System label.
+        system: String,
+    },
+    /// Write a benchmark's generated allocation trace to a file.
+    Record {
+        /// Benchmark name.
+        benchmark: String,
+        /// Output path.
+        out: String,
+        /// Trace seed.
+        seed: u64,
+    },
+    /// Replay a recorded trace file under one system.
+    Replay {
+        /// Trace file path.
+        file: String,
+        /// System label.
+        system: String,
+        /// Profile supplying the pointer-graph knobs.
+        knobs: String,
+        /// Pointer-graph seed.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A CLI error: bad flag, unknown name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses argv (without the program name).
+///
+/// # Errors
+///
+/// [`CliError`] on unknown subcommands, unknown flags, or malformed
+/// values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else { return Ok(Command::Help) };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "run" | "compare" | "exploit" | "record" | "replay" => {
+            let mut benchmark = None;
+            let mut system = "minesweeper".to_string();
+            let mut seed = 42u64;
+            let mut out = None;
+            let mut knobs = "demo".to_string();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--system" => {
+                        system = it
+                            .next()
+                            .ok_or_else(|| CliError("--system needs a value".into()))?
+                            .clone();
+                    }
+                    "--seed" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--seed needs a value".into()))?;
+                        seed = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad seed: {v}")))?;
+                    }
+                    "--out" => {
+                        out = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--out needs a value".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--knobs" => {
+                        knobs = it
+                            .next()
+                            .ok_or_else(|| CliError("--knobs needs a value".into()))?
+                            .clone();
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError(format!("unknown flag: {flag}")));
+                    }
+                    name => {
+                        if benchmark.replace(name.to_string()).is_some() {
+                            return Err(CliError(format!("unexpected argument: {name}")));
+                        }
+                    }
+                }
+            }
+            let positional = |what: &str| {
+                benchmark.clone().ok_or_else(|| CliError(format!("{what} needed")))
+            };
+            match cmd.as_str() {
+                "run" => Ok(Command::Run {
+                    benchmark: positional("run needs a benchmark name")?,
+                    system,
+                    seed,
+                }),
+                "compare" => Ok(Command::Compare {
+                    benchmark: positional("compare needs a benchmark name")?,
+                    seed,
+                }),
+                "record" => Ok(Command::Record {
+                    benchmark: positional("record needs a benchmark name")?,
+                    out: out.ok_or_else(|| CliError("record needs --out <file>".into()))?,
+                    seed,
+                }),
+                "replay" => Ok(Command::Replay {
+                    file: positional("replay needs a trace file")?,
+                    system,
+                    knobs,
+                    seed,
+                }),
+                _ => Ok(Command::Exploit { system }),
+            }
+        }
+        other => Err(CliError(format!("unknown command: {other}"))),
+    }
+}
+
+/// Resolves a system label to a [`System`].
+///
+/// # Errors
+///
+/// [`CliError`] on unknown labels.
+pub fn system_by_label(label: &str) -> Result<System, CliError> {
+    match label {
+        "baseline" | "jemalloc" => Ok(System::Baseline),
+        "minesweeper" | "ms" => Ok(System::minesweeper_default()),
+        "minesweeper-mostly" | "mostly" => Ok(System::minesweeper_mostly()),
+        "markus" => Ok(System::markus_default()),
+        "ffmalloc" | "ff" => Ok(System::FfMalloc),
+        "scudo" => Ok(System::ScudoBaseline),
+        "minesweeper-scudo" | "ms-scudo" => Ok(System::minesweeper_scudo()),
+        "crcount" | "cr" => Ok(System::CrCount),
+        "oscar" => Ok(System::Oscar),
+        "psweeper" | "ps" => Ok(System::PSweeper),
+        "dangsan" => Ok(System::DangSan),
+        other => Err(CliError(format!(
+            "unknown system: {other} (try baseline, minesweeper, mostly, markus, \
+             ffmalloc, scudo, ms-scudo, crcount, oscar, psweeper, dangsan)"
+        ))),
+    }
+}
+
+/// Finds a benchmark profile across all suites.
+///
+/// # Errors
+///
+/// [`CliError`] when no suite knows the name.
+pub fn profile_by_name(name: &str) -> Result<Profile, CliError> {
+    if name == "demo" {
+        return Ok(Profile::demo());
+    }
+    spec2006::by_name(name)
+        .or_else(|| spec2017::by_name(name))
+        .or_else(|| mimalloc_bench::by_name(name))
+        .ok_or_else(|| CliError(format!("unknown benchmark: {name} (see `list`)")))
+}
+
+/// Executes a command, returning the text to print.
+///
+/// # Errors
+///
+/// [`CliError`] for unknown benchmark/system names.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::List => {
+            let mut out = String::new();
+            for (suite, profiles) in [
+                ("SPEC CPU2006", spec2006::all()),
+                ("SPECspeed2017", spec2017::all()),
+                ("mimalloc-bench", mimalloc_bench::all()),
+            ] {
+                out.push_str(&format!("{suite}:\n"));
+                for p in profiles {
+                    out.push_str(&format!(
+                        "  {:<14} {:>8} allocs, ~{} cycles/alloc\n",
+                        p.name, p.total_allocs, p.cycles_per_alloc
+                    ));
+                }
+            }
+            out.push_str("  demo           (synthetic quick-run profile)\n");
+            Ok(out)
+        }
+        Command::Run { benchmark, system, seed } => {
+            let profile = profile_by_name(benchmark)?;
+            let sys = system_by_label(system)?;
+            let m = run(&profile, sys, *seed);
+            let rows = vec![
+                vec!["metric".to_string(), "value".into()],
+                vec!["benchmark".into(), m.benchmark.clone()],
+                vec!["system".into(), m.system.clone()],
+                vec!["virtual cycles".into(), m.mutator_cycles.to_string()],
+                vec!["background cycles".into(), m.background_cycles.to_string()],
+                vec!["avg RSS".into(), bytes(m.avg_rss() as u64)],
+                vec!["peak RSS".into(), bytes(m.peak_rss)],
+                vec!["sweeps".into(), m.sweeps.to_string()],
+                vec!["failed frees".into(), m.failed_frees.to_string()],
+                vec!["cpu utilisation".into(), fx(m.cpu_utilisation())],
+            ];
+            Ok(table(&rows))
+        }
+        Command::Compare { benchmark, seed } => {
+            let profile = profile_by_name(benchmark)?;
+            let base = run(&profile, System::Baseline, *seed);
+            let mut rows = vec![vec![
+                "system".to_string(),
+                "slowdown".into(),
+                "avg memory".into(),
+                "peak memory".into(),
+                "cpu util".into(),
+                "sweeps".into(),
+            ]];
+            for sys in [
+                System::minesweeper_default(),
+                System::minesweeper_mostly(),
+                System::markus_default(),
+                System::FfMalloc,
+                System::minesweeper_scudo(),
+                System::CrCount,
+            ] {
+                let m = run(&profile, sys, *seed);
+                rows.push(vec![
+                    sys.label().to_string(),
+                    fx(m.slowdown_vs(&base)),
+                    fx(m.memory_overhead_vs(&base)),
+                    fx(m.peak_overhead_vs(&base)),
+                    fx(m.cpu_utilisation()),
+                    m.sweeps.to_string(),
+                ]);
+            }
+            Ok(table(&rows))
+        }
+        Command::Exploit { system } => {
+            let sys = system_by_label(system)?;
+            let r = run_exploit(&figure2_attack(), sys);
+            Ok(format!(
+                "system: {}\nvictim reallocated: {}\noutcome: {:?}\n",
+                sys.label(),
+                r.victim_reallocated,
+                r.outcome
+            ))
+        }
+        Command::Record { benchmark, out, seed } => {
+            let profile = profile_by_name(benchmark)?;
+            let text = recorded::write_trace(TraceGen::new(&profile, *seed));
+            std::fs::write(out, &text)
+                .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+            Ok(format!("wrote {} lines to {out}\n", text.lines().count()))
+        }
+        Command::Replay { file, system, knobs, seed } => {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+            let ops = recorded::read_trace(&text).map_err(|e| CliError(e.to_string()))?;
+            let ops = recorded::close_trace(ops);
+            let profile = profile_by_name(knobs)?;
+            let sys = system_by_label(system)?;
+            let m = run_trace(&profile, sys, *seed, ops);
+            Ok(format!(
+                "replayed {file} under {}: {} allocs, {} cycles, avg RSS {}, sweeps {}\n",
+                sys.label(),
+                m.allocs,
+                m.mutator_cycles,
+                bytes(m.avg_rss() as u64),
+                m.sweeps
+            ))
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+minesweeper-sim — MineSweeper (ASPLOS'22) reproduction driver
+
+USAGE:
+    minesweeper-sim list
+    minesweeper-sim run <benchmark> [--system <label>] [--seed <n>]
+    minesweeper-sim compare <benchmark> [--seed <n>]
+    minesweeper-sim exploit [--system <label>]
+    minesweeper-sim record <benchmark> --out <file> [--seed <n>]
+    minesweeper-sim replay <file> [--system <label>] [--knobs <benchmark>] [--seed <n>]
+    minesweeper-sim help
+
+SYSTEMS:
+    baseline, minesweeper (ms), minesweeper-mostly (mostly), markus,
+    ffmalloc (ff), scudo, minesweeper-scudo (ms-scudo), crcount (cr),
+    oscar, psweeper (ps), dangsan
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_run_with_flags() {
+        let cmd = parse(&argv("run xalancbmk --system markus --seed 9")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                benchmark: "xalancbmk".into(),
+                system: "markus".into(),
+                seed: 9
+            }
+        );
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cmd = parse(&argv("run demo")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run { benchmark: "demo".into(), system: "minesweeper".into(), seed: 42 }
+        );
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run demo --seed nope")).is_err());
+        assert!(parse(&argv("run demo --bogus 1")).is_err());
+        assert!(parse(&argv("run a b")).is_err());
+        assert!(parse(&argv("run")).is_err());
+    }
+
+    #[test]
+    fn system_labels_resolve() {
+        for label in
+            ["baseline", "ms", "mostly", "markus", "ff", "scudo", "ms-scudo", "cr", "oscar", "ps", "dangsan"]
+        {
+            assert!(system_by_label(label).is_ok(), "{label}");
+        }
+        assert!(system_by_label("gc").is_err());
+    }
+
+    #[test]
+    fn profiles_resolve_across_suites() {
+        assert!(profile_by_name("xalancbmk").is_ok()); // 2006
+        assert!(profile_by_name("leela").is_ok()); // 2017
+        assert!(profile_by_name("cfrac").is_ok()); // mimalloc
+        assert!(profile_by_name("demo").is_ok());
+        assert!(profile_by_name("quake").is_err());
+    }
+
+    #[test]
+    fn list_and_exploit_execute() {
+        let list = execute(&Command::List).unwrap();
+        assert!(list.contains("xalancbmk"));
+        assert!(list.contains("mimalloc-bench"));
+        let out =
+            execute(&Command::Exploit { system: "baseline".into() }).unwrap();
+        assert!(out.contains("Compromised"));
+        let out =
+            execute(&Command::Exploit { system: "ms".into() }).unwrap();
+        assert!(out.contains("Benign"));
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("ms_cli_trace_test.trace");
+        let path = dir.to_string_lossy().to_string();
+        let out = execute(&Command::Record {
+            benchmark: "demo".into(),
+            out: path.clone(),
+            seed: 3,
+        })
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let out = execute(&Command::Replay {
+            file: path.clone(),
+            system: "ms".into(),
+            knobs: "demo".into(),
+            seed: 3,
+        })
+        .unwrap();
+        assert!(out.contains("20000 allocs"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_record_requires_out() {
+        assert!(parse(&argv("record demo")).is_err());
+        let cmd = parse(&argv("record demo --out /tmp/x --seed 2")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Record { benchmark: "demo".into(), out: "/tmp/x".into(), seed: 2 }
+        );
+        let cmd = parse(&argv("replay /tmp/x --knobs xalancbmk")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Replay {
+                file: "/tmp/x".into(),
+                system: "minesweeper".into(),
+                knobs: "xalancbmk".into(),
+                seed: 42
+            }
+        );
+    }
+
+    #[test]
+    fn run_demo_executes() {
+        let out = execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "ms".into(),
+            seed: 1,
+        })
+        .unwrap();
+        assert!(out.contains("sweeps"));
+        assert!(out.contains("avg RSS"));
+    }
+}

@@ -1,0 +1,18 @@
+//! `minesweeper-sim`: the command-line driver. See [`ms_cli`] for the
+//! command grammar.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ms_cli::parse(&args).and_then(|cmd| ms_cli::execute(&cmd)) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", ms_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

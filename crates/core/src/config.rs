@@ -1,0 +1,354 @@
+//! MineSweeper configuration: the two operation modes, the sweep
+//! thresholds, and every knob the paper's ablation studies (§5.4, §5.5)
+//! toggle.
+
+/// The two sweep operation modes (§4.3, §5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SweepMode {
+    /// Single concurrent pass, no stop-the-world. Guarantees all dangling
+    /// pointers that are not moved/copied after their referent was freed
+    /// are found. The paper's recommended default.
+    #[default]
+    FullyConcurrent,
+    /// Adds a brief stop-the-world pass re-checking pages modified during
+    /// the concurrent pass (tracked via soft-dirty bits), giving the same
+    /// guarantees as MarkUs: every reachable dangling pointer is found even
+    /// if the program moves it around.
+    MostlyConcurrent,
+}
+
+/// Full configuration for a [`crate::MineSweeper`] instance.
+///
+/// Use the presets ([`MsConfig::fully_concurrent`],
+/// [`MsConfig::mostly_concurrent`], the `ablation_*` ladder of §5.4 and the
+/// `partial_*` ladder of §5.5) or [`MsConfig::builder`] for custom setups.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MsConfig {
+    /// Operation mode.
+    pub mode: SweepMode,
+    /// Trigger a sweep when
+    /// `quarantine_bytes - failed ≥ threshold × (heap_bytes - failed)`.
+    /// The paper picks 0.15 (vs MarkUs's 0.25) because the linear sweep is
+    /// cheap enough to trade towards lower memory overhead (§3.2).
+    pub sweep_threshold: f64,
+    /// Pause new allocations when the quarantine (minus failed frees)
+    /// exceeds `pause_factor × sweep_threshold × heap_bytes` while a sweep
+    /// is running — the overload valve that bounds the mimalloc-bench
+    /// worst cases (§5.7).
+    pub pause_factor: f64,
+    /// Zero-fill freed data before quarantining (§4.1).
+    pub zeroing: bool,
+    /// Decommit + protect the full interior pages of large quarantined
+    /// allocations (§4.2).
+    pub unmapping: bool,
+    /// Minimum number of *interior* pages before unmapping is worthwhile.
+    pub unmap_min_pages: u64,
+    /// Also sweep when unmapped quarantined bytes reach
+    /// `unmapped_trigger × RSS` ("nine times the program's total
+    /// physical-memory footprint", §4.2).
+    pub unmapped_trigger: f64,
+    /// Run the sweep concurrently on background threads (§4.3). When
+    /// `false` the whole sweep executes in the mutator (the paper's
+    /// "sequential version", §5.4).
+    pub concurrent: bool,
+    /// Helper threads for parallel marking, in addition to the main
+    /// sweeper (§4.4; the paper defaults to 6).
+    pub helper_threads: usize,
+    /// Trigger a full allocator purge after every sweep (§4.5).
+    pub purge_after_sweep: bool,
+    /// Whether the sweep actually marks memory. The §5.5 "Quarantining" /
+    /// "Concurrency" partial versions quarantine and then recycle *all*
+    /// entries without sweeping.
+    pub marking: bool,
+    /// Whether allocations with discovered pointers stay in quarantine.
+    /// The §5.5 "Sweeping" partial version sweeps, checks which frees would
+    /// fail, "but deallocate\[s\] regardless".
+    pub honor_failed_frees: bool,
+    /// Whether frees are quarantined at all. The §5.5 "Base overheads" and
+    /// "Unmapping + Zeroing" partial versions forward every free to the
+    /// allocator immediately.
+    pub quarantine: bool,
+    /// Thread-local quarantine buffer capacity (contribution (c): batching
+    /// reduces lock contention on the global quarantine).
+    pub tl_buffer_capacity: usize,
+    /// Report double frees (debug mode, §3 footnote 3). Always *handled*
+    /// idempotently; this only controls recording them.
+    pub report_double_frees: bool,
+}
+
+impl MsConfig {
+    /// The paper's default configuration: fully concurrent sweeps, all
+    /// optimisations on.
+    pub fn fully_concurrent() -> Self {
+        MsConfig {
+            mode: SweepMode::FullyConcurrent,
+            sweep_threshold: 0.15,
+            pause_factor: 4.0,
+            zeroing: true,
+            unmapping: true,
+            unmap_min_pages: 1,
+            unmapped_trigger: 9.0,
+            concurrent: true,
+            helper_threads: 6,
+            purge_after_sweep: true,
+            marking: true,
+            honor_failed_frees: true,
+            quarantine: true,
+            tl_buffer_capacity: 64,
+            report_double_frees: false,
+        }
+    }
+
+    /// Mostly concurrent mode: same as the default plus the stop-the-world
+    /// soft-dirty re-check (§5.3).
+    pub fn mostly_concurrent() -> Self {
+        MsConfig { mode: SweepMode::MostlyConcurrent, ..Self::fully_concurrent() }
+    }
+
+    /// Starts a builder from the fully-concurrent preset.
+    pub fn builder() -> MsConfigBuilder {
+        MsConfigBuilder { cfg: Self::fully_concurrent() }
+    }
+
+    // ---- §5.4 ablation ladder (Figures 15 & 16) -------------------------
+
+    /// "Unoptimised": quarantine + synchronous in-mutator sweeps only.
+    pub fn ablation_unoptimised() -> Self {
+        MsConfig {
+            zeroing: false,
+            unmapping: false,
+            concurrent: false,
+            purge_after_sweep: false,
+            ..Self::fully_concurrent()
+        }
+    }
+
+    /// "+ Zeroing".
+    pub fn ablation_zeroing() -> Self {
+        MsConfig { zeroing: true, ..Self::ablation_unoptimised() }
+    }
+
+    /// "+ Unmapping" (the paper's sequential version: 9.5 % time,
+    /// 21.1 % memory).
+    pub fn ablation_unmapping() -> Self {
+        MsConfig { unmapping: true, ..Self::ablation_zeroing() }
+    }
+
+    /// "+ Concurrency".
+    pub fn ablation_concurrency() -> Self {
+        MsConfig { concurrent: true, ..Self::ablation_unmapping() }
+    }
+
+    /// "+ Purging" — identical to [`MsConfig::fully_concurrent`].
+    pub fn ablation_purging() -> Self {
+        MsConfig { purge_after_sweep: true, ..Self::ablation_concurrency() }
+    }
+
+    // ---- §5.5 partial-version ladder (Figure 17) ------------------------
+
+    /// (1) "Base overheads": the layer is loaded, data structures are
+    /// maintained, but `free()` forwards straight to the allocator.
+    pub fn partial_base() -> Self {
+        MsConfig {
+            quarantine: false,
+            zeroing: false,
+            unmapping: false,
+            ..Self::fully_concurrent()
+        }
+    }
+
+    /// (2) "Unmapping + Zeroing": zero / unmap-and-remap on free, then
+    /// forward to the allocator immediately.
+    pub fn partial_unmap_zero() -> Self {
+        MsConfig { zeroing: true, unmapping: true, ..Self::partial_base() }
+    }
+
+    /// (3) "Quarantining": quarantine until the next sweep, which recycles
+    /// everything without marking, in the mutator thread.
+    pub fn partial_quarantine() -> Self {
+        MsConfig {
+            quarantine: true,
+            marking: false,
+            concurrent: false,
+            ..Self::partial_unmap_zero()
+        }
+    }
+
+    /// (4) "Concurrency": as (3) but recycling happens on the sweeper
+    /// thread.
+    pub fn partial_concurrency() -> Self {
+        MsConfig { concurrent: true, ..Self::partial_quarantine() }
+    }
+
+    /// (5) "Sweeping": marks memory and checks which frees would fail, but
+    /// deallocates regardless.
+    pub fn partial_sweep() -> Self {
+        MsConfig { marking: true, honor_failed_frees: false, ..Self::partial_concurrency() }
+    }
+
+    /// (6) Full version — identical to [`MsConfig::fully_concurrent`].
+    pub fn partial_full() -> Self {
+        MsConfig { honor_failed_frees: true, ..Self::partial_sweep() }
+    }
+}
+
+impl Default for MsConfig {
+    fn default() -> Self {
+        MsConfig::fully_concurrent()
+    }
+}
+
+/// Builder for [`MsConfig`].
+///
+/// # Example
+///
+/// ```
+/// use minesweeper::{MsConfig, SweepMode};
+/// let cfg = MsConfig::builder()
+///     .mode(SweepMode::MostlyConcurrent)
+///     .sweep_threshold(0.25)
+///     .helper_threads(2)
+///     .build();
+/// assert_eq!(cfg.sweep_threshold, 0.25);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MsConfigBuilder {
+    cfg: MsConfig,
+}
+
+impl MsConfigBuilder {
+    /// Sets the operation mode.
+    pub fn mode(mut self, mode: SweepMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Sets the quarantine-fraction sweep trigger.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < threshold`.
+    pub fn sweep_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold > 0.0, "sweep threshold must be positive");
+        self.cfg.sweep_threshold = threshold;
+        self
+    }
+
+    /// Sets the allocation-pause factor (§5.7).
+    pub fn pause_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 1.0, "pause factor must exceed 1");
+        self.cfg.pause_factor = factor;
+        self
+    }
+
+    /// Enables or disables zeroing on free.
+    pub fn zeroing(mut self, on: bool) -> Self {
+        self.cfg.zeroing = on;
+        self
+    }
+
+    /// Enables or disables large-allocation unmapping.
+    pub fn unmapping(mut self, on: bool) -> Self {
+        self.cfg.unmapping = on;
+        self
+    }
+
+    /// Enables or disables concurrent sweeping.
+    pub fn concurrent(mut self, on: bool) -> Self {
+        self.cfg.concurrent = on;
+        self
+    }
+
+    /// Sets the number of helper threads for parallel marking.
+    pub fn helper_threads(mut self, n: usize) -> Self {
+        self.cfg.helper_threads = n;
+        self
+    }
+
+    /// Enables or disables the post-sweep allocator purge.
+    pub fn purge_after_sweep(mut self, on: bool) -> Self {
+        self.cfg.purge_after_sweep = on;
+        self
+    }
+
+    /// Sets the thread-local quarantine buffer capacity.
+    pub fn tl_buffer_capacity(mut self, cap: usize) -> Self {
+        self.cfg.tl_buffer_capacity = cap;
+        self
+    }
+
+    /// Enables double-free reporting (debug mode).
+    pub fn report_double_frees(mut self, on: bool) -> Self {
+        self.cfg.report_double_frees = on;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> MsConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_headline_config() {
+        let c = MsConfig::default();
+        assert_eq!(c.mode, SweepMode::FullyConcurrent);
+        assert!((c.sweep_threshold - 0.15).abs() < 1e-12);
+        assert_eq!(c.helper_threads, 6);
+        assert!(c.zeroing && c.unmapping && c.concurrent && c.purge_after_sweep);
+        assert!((c.unmapped_trigger - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablation_ladder_is_cumulative() {
+        let steps = [
+            MsConfig::ablation_unoptimised(),
+            MsConfig::ablation_zeroing(),
+            MsConfig::ablation_unmapping(),
+            MsConfig::ablation_concurrency(),
+            MsConfig::ablation_purging(),
+        ];
+        let on = |c: &MsConfig| {
+            [c.zeroing, c.unmapping, c.concurrent, c.purge_after_sweep]
+                .iter()
+                .filter(|&&b| b)
+                .count()
+        };
+        for w in steps.windows(2) {
+            assert_eq!(on(&w[1]), on(&w[0]) + 1, "each step adds one optimisation");
+        }
+        assert_eq!(steps[4], MsConfig::fully_concurrent());
+    }
+
+    #[test]
+    fn partial_ladder_ends_at_full() {
+        assert_eq!(MsConfig::partial_full(), MsConfig::fully_concurrent());
+        assert!(!MsConfig::partial_base().quarantine);
+        assert!(!MsConfig::partial_quarantine().marking);
+        assert!(!MsConfig::partial_sweep().honor_failed_frees);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let c = MsConfig::builder()
+            .mode(SweepMode::MostlyConcurrent)
+            .sweep_threshold(0.3)
+            .zeroing(false)
+            .helper_threads(1)
+            .build();
+        assert_eq!(c.mode, SweepMode::MostlyConcurrent);
+        assert!((c.sweep_threshold - 0.3).abs() < 1e-12);
+        assert!(!c.zeroing);
+        assert_eq!(c.helper_threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn builder_rejects_zero_threshold() {
+        MsConfig::builder().sweep_threshold(0.0);
+    }
+}

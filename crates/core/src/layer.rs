@@ -1,0 +1,862 @@
+//! The drop-in allocator layer: `malloc`/`free` interposition, quarantine
+//! management, sweep orchestration (§3, Figure 3).
+
+use jalloc::{JAlloc, JallocConfig};
+use vmem::{Addr, AddrSpace, PageRange, Protection, WORD_SIZE};
+
+use crate::backend::HeapBackend;
+use crate::config::{MsConfig, SweepMode};
+use crate::quarantine::{InsertResult, QEntry, Quarantine};
+use crate::shadow::ShadowMap;
+use crate::stats::MsStats;
+use crate::sweep::{mark_page, Marker, StepResult, SweepPlan};
+
+/// Maximum double-free report entries retained in debug mode.
+const MAX_DOUBLE_FREE_REPORTS: usize = 64;
+
+/// Minimum quarantined bytes before the proportional trigger can fire;
+/// prevents degenerate sweeping while the heap is still tiny (an
+/// implementation floor, not from the paper).
+const MIN_SWEEP_BYTES: u64 = 64 * 1024;
+
+/// What happened to a `free()` call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FreeOutcome {
+    /// The allocation was quarantined (possibly zeroed/unmapped first).
+    Quarantined,
+    /// The base was already in quarantine: double free, absorbed
+    /// idempotently (§3).
+    DoubleFree,
+    /// Quarantining is disabled (§5.5 partial versions): the allocation
+    /// went straight back to the allocator.
+    Passthrough,
+    /// The address was not the base of a live allocation. MineSweeper never
+    /// forwards such frees, so the allocator state cannot be corrupted.
+    Invalid,
+}
+
+/// Outcome of one completed sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SweepReport {
+    /// Quarantined allocations proven pointer-free and recycled.
+    pub released: u64,
+    /// Bytes recycled.
+    pub released_bytes: u64,
+    /// Allocations that failed to free (possible dangling pointer found).
+    pub failed: u64,
+    /// Words examined by the marking phase.
+    pub marked_words: u64,
+    /// Pages re-examined by the stop-the-world pass (mostly-concurrent
+    /// mode only).
+    pub stw_pages: u64,
+    /// Granules marked in the shadow map.
+    pub marked_granules: u64,
+}
+
+/// The MineSweeper allocator layer.
+///
+/// Owns the underlying [`JAlloc`] heap and a [`Quarantine`]; exposes the
+/// allocator API (`malloc`/`free`) plus sweep control. See the
+/// [crate docs](crate) for an end-to-end example.
+///
+/// Sweeps can run three ways:
+///
+/// * [`MineSweeper::sweep_now`] — synchronously to completion (simple
+///   library use; also how the non-concurrent ablation configs behave);
+/// * [`MineSweeper::start_sweep`] / [`MineSweeper::sweep_step`] /
+///   [`MineSweeper::finish_sweep`] — incrementally, for callers that
+///   interleave mutator work with sweep progress (the discrete-event
+///   engine uses this to model concurrency in virtual time);
+/// * [`crate::parallel_mark`] — one-shot marking on real OS threads.
+#[derive(Debug)]
+pub struct MineSweeper<B: HeapBackend = JAlloc> {
+    cfg: MsConfig,
+    heap: B,
+    quarantine: Quarantine,
+    active: Option<ActiveSweep>,
+    stats: MsStats,
+}
+
+#[derive(Debug)]
+struct ActiveSweep {
+    marker: Marker,
+    shadow: ShadowMap,
+    locked: Vec<QEntry>,
+}
+
+impl MineSweeper<JAlloc> {
+    /// Creates a layer with the given configuration over a JeMalloc-style
+    /// heap. The heap runs the paper's "minimally modified JeMalloc"
+    /// (end-pointer padding; commit/decommit purge hooks when post-sweep
+    /// purging is enabled, plain `madvise` semantics otherwise, §4.5).
+    pub fn new(cfg: MsConfig) -> Self {
+        let jcfg = if cfg.purge_after_sweep {
+            JallocConfig::minesweeper()
+        } else {
+            JallocConfig { end_padding: true, ..JallocConfig::stock() }
+        };
+        Self::with_heap_config(cfg, jcfg)
+    }
+
+    /// Creates a layer over a heap with an explicit allocator
+    /// configuration.
+    pub fn with_heap_config(cfg: MsConfig, jcfg: JallocConfig) -> Self {
+        Self::with_backend(cfg, JAlloc::with_config(jcfg))
+    }
+}
+
+impl<B: HeapBackend> MineSweeper<B> {
+    /// Creates a layer over any [`HeapBackend`] — the §7 portability
+    /// story (e.g. `scudo::Scudo`).
+    pub fn with_backend(cfg: MsConfig, backend: B) -> Self {
+        MineSweeper {
+            quarantine: Quarantine::new(cfg.tl_buffer_capacity),
+            cfg,
+            heap: backend,
+            active: None,
+            stats: MsStats::default(),
+        }
+    }
+
+    /// The layer configuration.
+    pub fn config(&self) -> &MsConfig {
+        &self.cfg
+    }
+
+    /// The underlying heap (read-only; allocate through the layer).
+    pub fn heap(&self) -> &B {
+        &self.heap
+    }
+
+    /// The quarantine (read-only).
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &MsStats {
+        &self.stats
+    }
+
+    /// Allocates `size` bytes (forwarded to the heap; the quarantine layer
+    /// adds nothing to the allocation fast path).
+    pub fn malloc(&mut self, space: &mut AddrSpace, size: u64) -> Addr {
+        self.heap.malloc(space, size)
+    }
+
+    /// Advances virtual time (drives the allocator's decay purging).
+    pub fn advance_clock(&mut self, now: u64) {
+        self.heap.advance_clock(now);
+    }
+
+    /// Runs the allocator's background decay purge (no-op for extents
+    /// younger than the decay window).
+    pub fn decay_purge(&mut self, space: &mut AddrSpace) {
+        self.heap.purge_aged(space);
+    }
+
+    /// Intercepts `free()`: zero, unmap, quarantine (§3, §4.1, §4.2) — or
+    /// pass through / reject, depending on configuration and validity.
+    ///
+    /// Never panics and never corrupts allocator state, whatever `addr` is:
+    /// invalid frees return [`FreeOutcome::Invalid`], double frees
+    /// [`FreeOutcome::DoubleFree`].
+    pub fn free(&mut self, space: &mut AddrSpace, addr: Addr) -> FreeOutcome {
+        // A base already in quarantine is a double free even before we ask
+        // the heap (the heap still considers it live).
+        if self.cfg.quarantine && self.quarantine.contains(addr) {
+            return self.absorb_double_free(addr);
+        }
+        let Some(usable) = self.heap.usable_size(addr) else {
+            self.stats.invalid_frees += 1;
+            return FreeOutcome::Invalid;
+        };
+
+        if !self.cfg.quarantine {
+            // §5.5 partial versions (1)/(2): optional zero/unmap, then
+            // forward immediately.
+            if self.cfg.zeroing {
+                self.zero_entry(space, addr, usable, 0);
+            }
+            if self.cfg.unmapping {
+                let interior = PageRange::interior(addr, usable);
+                if interior.page_count() >= self.cfg.unmap_min_pages {
+                    // "unmap (and immediately remap)": discard backing but
+                    // leave the range usable for the allocator.
+                    space.decommit(interior).expect("live allocation is mapped");
+                    self.stats.unmapped_pages += interior.page_count();
+                }
+            }
+            self.heap.free(space, addr).expect("usable_size certified the base");
+            return FreeOutcome::Passthrough;
+        }
+
+        // Unmap large allocations' interior pages (§4.2).
+        let mut unmapped_pages = 0;
+        if self.cfg.unmapping {
+            let interior = PageRange::interior(addr, usable);
+            if interior.page_count() >= self.cfg.unmap_min_pages {
+                unmapped_pages = interior.page_count();
+            }
+        }
+        // Zero the parts sweeps will still see (§4.1). Unmapped pages lose
+        // their contents wholesale, so only the head/tail need zeroing.
+        if self.cfg.zeroing {
+            self.zero_entry(space, addr, usable, unmapped_pages);
+        }
+        if unmapped_pages > 0 {
+            let interior = PageRange::interior(addr, usable);
+            space.decommit(interior).expect("live allocation is mapped");
+            space.protect(interior, Protection::None).expect("mapped");
+            self.stats.unmapped_pages += unmapped_pages;
+        }
+
+        let entry = QEntry { base: addr, usable, unmapped_pages, failed: false };
+        match self.quarantine.insert(entry) {
+            InsertResult::Inserted { flushed } => {
+                if flushed {
+                    self.stats.tl_flushes += 1;
+                }
+                self.stats.quarantined += 1;
+                self.stats.quarantined_bytes += usable;
+                FreeOutcome::Quarantined
+            }
+            InsertResult::DoubleFree => self.absorb_double_free(addr),
+        }
+    }
+
+    fn absorb_double_free(&mut self, addr: Addr) -> FreeOutcome {
+        self.stats.double_frees += 1;
+        if self.cfg.report_double_frees
+            && self.stats.double_free_reports.len() < MAX_DOUBLE_FREE_REPORTS
+        {
+            self.stats.double_free_reports.push(addr);
+        }
+        FreeOutcome::DoubleFree
+    }
+
+    fn zero_entry(&mut self, space: &mut AddrSpace, base: Addr, usable: u64, unmapped_pages: u64) {
+        let zero_len = usable / WORD_SIZE as u64 * WORD_SIZE as u64;
+        if unmapped_pages == 0 {
+            space.fill_zero(base, zero_len).expect("live allocation is accessible");
+            self.stats.zeroed_bytes += zero_len;
+            return;
+        }
+        let interior = PageRange::interior(base, usable);
+        let head = interior.start().base().offset_from(base);
+        space.fill_zero(base, head).expect("head is accessible");
+        let tail_base = interior.end().base();
+        let tail = base.add_bytes(zero_len).offset_from(tail_base);
+        space.fill_zero(tail_base, tail).expect("tail is accessible");
+        self.stats.zeroed_bytes += head + tail;
+    }
+
+    /// Whether the sweep trigger has fired (§3.2 "When to Sweep" plus the
+    /// §4.2 unmapped-bytes trigger). Failed frees are subtracted from both
+    /// sides so they cannot force back-to-back sweeps.
+    pub fn sweep_needed(&self, space: &AddrSpace) -> bool {
+        if self.active.is_some() || !self.cfg.quarantine {
+            return false;
+        }
+        let q = self.quarantine.tracked_bytes();
+        let f = self.quarantine.failed_bytes();
+        // Unmapped quarantined bytes "do not count towards standard memory
+        // usage or quarantine-size sweep thresholds" (§4.2) — on either
+        // side: they are still 'allocated' from the heap's perspective but
+        // hold no physical memory.
+        let heap_bytes = self
+            .heap
+            .allocated_bytes()
+            .saturating_sub(self.quarantine.unmapped_bytes());
+        let eligible = q.saturating_sub(f);
+        let proportional = eligible >= MIN_SWEEP_BYTES
+            && eligible as f64 >= self.cfg.sweep_threshold * heap_bytes.saturating_sub(f) as f64;
+        let unmapped = self.quarantine.unmapped_bytes() > 0
+            && self.quarantine.unmapped_bytes() as f64
+                >= self.cfg.unmapped_trigger * space.rss_bytes() as f64;
+        proportional || unmapped
+    }
+
+    /// Whether the mutator should pause new allocations because the
+    /// quarantine has outrun the in-flight sweep (§5.7's overload valve).
+    pub fn pause_needed(&self) -> bool {
+        if self.active.is_none() {
+            return false;
+        }
+        let q = self.quarantine.tracked_bytes();
+        let f = self.quarantine.failed_bytes();
+        let heap_bytes = self.heap.allocated_bytes();
+        q.saturating_sub(f) as f64
+            >= self.cfg.pause_factor
+                * self.cfg.sweep_threshold
+                * heap_bytes.saturating_sub(f) as f64
+    }
+
+    /// Whether a sweep is in flight.
+    pub fn in_sweep(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Bytes of marking work left in the in-flight sweep.
+    pub fn sweep_remaining_bytes(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.marker.remaining_bytes())
+    }
+
+    /// Begins a sweep: locks in the current quarantine generation (§4.3 —
+    /// later frees wait for the next sweep), builds the plan over heap +
+    /// roots, and (in mostly-concurrent mode) clears soft-dirty bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sweep is already in flight.
+    pub fn start_sweep(&mut self, space: &mut AddrSpace) {
+        assert!(self.active.is_none(), "sweep already in flight");
+        let locked = self.quarantine.lock_generation();
+        let plan = if self.cfg.marking {
+            SweepPlan::build(space, &self.heap.active_ranges())
+        } else {
+            SweepPlan::from_ranges(Vec::new())
+        };
+        if self.cfg.mode == SweepMode::MostlyConcurrent {
+            space.clear_soft_dirty();
+        }
+        self.active =
+            Some(ActiveSweep { marker: Marker::new(plan), shadow: ShadowMap::new(), locked });
+    }
+
+    /// Advances the in-flight sweep's marking phase by up to `word_budget`
+    /// words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sweep is in flight.
+    pub fn sweep_step(&mut self, space: &mut AddrSpace, word_budget: u64) -> StepResult {
+        let active = self.active.as_mut().expect("no sweep in flight");
+        let layout = *space.layout();
+        let r = active.marker.step(space, &layout, &mut active.shadow, word_budget);
+        self.stats.swept_bytes += r.bytes;
+        r
+    }
+
+    /// Completes the in-flight sweep: finishes marking if needed, runs the
+    /// stop-the-world re-check (mostly-concurrent mode), then walks the
+    /// locked-in quarantine releasing unmarked entries and retaining failed
+    /// frees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sweep is in flight.
+    pub fn finish_sweep(&mut self, space: &mut AddrSpace) -> SweepReport {
+        let mut active = self.active.take().expect("no sweep in flight");
+        let layout = *space.layout();
+        let mut report = SweepReport::default();
+
+        // Drain any marking the caller did not step through.
+        report.marked_words +=
+            active.marker.run_to_end(space, &layout, &mut active.shadow);
+
+        // Phase 2 (optional): stop the world, re-check modified pages.
+        if self.cfg.mode == SweepMode::MostlyConcurrent && self.cfg.marking {
+            for page in space.soft_dirty_pages() {
+                report.marked_words += mark_page(space, &layout, &mut active.shadow, page);
+                report.stw_pages += 1;
+            }
+            self.stats.stw_pages += report.stw_pages;
+            self.stats.stw_passes += 1;
+        }
+
+        // Phase 3: release unmarked entries, retain the rest.
+        for entry in active.locked {
+            let dangling = self.cfg.marking
+                && active.shadow.range_marked(entry.base, entry.usable);
+            if dangling && self.cfg.honor_failed_frees {
+                self.quarantine.on_failed(entry);
+                self.stats.failed_frees += 1;
+                report.failed += 1;
+            } else {
+                self.release_entry(space, &entry);
+                report.released += 1;
+                report.released_bytes += entry.usable;
+            }
+        }
+        report.marked_granules = active.shadow.marked_count();
+
+        // §4.5: synchronise allocator cleanup with the end of the sweep.
+        if self.cfg.purge_after_sweep {
+            self.heap.purge_all(space);
+        }
+        self.stats.sweeps += 1;
+        report
+    }
+
+    fn release_entry(&mut self, space: &mut AddrSpace, entry: &QEntry) {
+        if entry.unmapped_pages > 0 {
+            // Restore access before handing the range back; backing stays
+            // discarded (the allocator reuses it demand-zero).
+            let interior = PageRange::interior(entry.base, entry.usable);
+            space.protect(interior, Protection::ReadWrite).expect("mapped");
+        }
+        self.heap.free(space, entry.base).expect("quarantine owns this allocation");
+        self.quarantine.on_released(entry);
+        self.stats.released += 1;
+        self.stats.released_bytes += entry.usable;
+    }
+
+    /// Runs a complete sweep synchronously and returns its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sweep is already in flight.
+    pub fn sweep_now(&mut self, space: &mut AddrSpace) -> SweepReport {
+        self.start_sweep(space);
+        self.finish_sweep(space)
+    }
+
+    /// Runs a sweep whose marking phase is replaced by a caller-provided
+    /// shadow map. Used by the MTE tag-aware sweep ([`crate::MteHeap`]),
+    /// whose marker only records pointers that could actually dereference
+    /// their target under tag checking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sweep is already in flight.
+    pub fn sweep_now_with_shadow(
+        &mut self,
+        space: &mut AddrSpace,
+        shadow: &ShadowMap,
+    ) -> SweepReport {
+        assert!(self.active.is_none(), "sweep already in flight");
+        let locked = self.quarantine.lock_generation();
+        let mut report = SweepReport::default();
+        for entry in locked {
+            let dangling = shadow.range_marked(entry.base, entry.usable);
+            if dangling && self.cfg.honor_failed_frees {
+                self.quarantine.on_failed(entry);
+                self.stats.failed_frees += 1;
+                report.failed += 1;
+            } else {
+                self.release_entry(space, &entry);
+                report.released += 1;
+                report.released_bytes += entry.usable;
+            }
+        }
+        report.marked_granules = shadow.marked_count();
+        if self.cfg.purge_after_sweep {
+            self.heap.purge_all(space);
+        }
+        self.stats.sweeps += 1;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmem::PAGE_SIZE;
+
+    fn setup(cfg: MsConfig) -> (AddrSpace, MineSweeper) {
+        (AddrSpace::new(), MineSweeper::new(cfg))
+    }
+
+    #[test]
+    fn free_quarantines_and_zeroes() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let a = ms.malloc(&mut space, 64);
+        space.write_word(a, 0xdead).unwrap();
+        assert_eq!(ms.free(&mut space, a), FreeOutcome::Quarantined);
+        assert_eq!(space.read_word(a).unwrap(), 0, "quarantined data is zeroed");
+        assert!(ms.quarantine().contains(a));
+        assert_eq!(ms.heap().stats().frees, 0, "allocator not yet told");
+    }
+
+    #[test]
+    fn clean_quarantine_is_released_by_sweep() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let a = ms.malloc(&mut space, 64);
+        ms.free(&mut space, a);
+        let report = ms.sweep_now(&mut space);
+        assert_eq!(report.released, 1);
+        assert_eq!(report.failed, 0);
+        assert!(!ms.quarantine().contains(a));
+        assert_eq!(ms.heap().stats().frees, 1);
+    }
+
+    #[test]
+    fn dangling_pointer_blocks_release_until_erased() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let a = ms.malloc(&mut space, 64);
+        let holder = ms.malloc(&mut space, 64);
+        space.write_word(holder, a.raw()).unwrap(); // dangling-to-be
+        ms.free(&mut space, a);
+
+        let report = ms.sweep_now(&mut space);
+        assert_eq!((report.released, report.failed), (0, 1));
+        assert!(ms.quarantine().contains(a), "failed free stays quarantined");
+
+        space.write_word(holder, 0).unwrap(); // erase the dangling pointer
+        let report = ms.sweep_now(&mut space);
+        assert_eq!((report.released, report.failed), (1, 0));
+    }
+
+    #[test]
+    fn interior_dangling_pointer_also_blocks() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let a = ms.malloc(&mut space, 256);
+        let holder = ms.malloc(&mut space, 64);
+        space.write_word(holder, a.raw() + 128).unwrap();
+        ms.free(&mut space, a);
+        assert_eq!(ms.sweep_now(&mut space).failed, 1);
+    }
+
+    #[test]
+    fn no_reallocation_while_dangling_pointer_exists() {
+        // The core security property: the quarantined range cannot be
+        // returned by malloc while a dangling pointer to it remains.
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let a = ms.malloc(&mut space, 64);
+        let holder = ms.malloc(&mut space, 64);
+        space.write_word(holder, a.raw()).unwrap();
+        ms.free(&mut space, a);
+        ms.sweep_now(&mut space);
+        for _ in 0..200 {
+            let b = ms.malloc(&mut space, 64);
+            assert_ne!(b, a, "quarantined memory must not be reallocated");
+        }
+    }
+
+    #[test]
+    fn zeroing_breaks_quarantine_internal_cycles() {
+        // §4.1 / Figure 6: two quarantined allocations pointing at each
+        // other must still be reclaimed, because free() zeroed the edges.
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let a = ms.malloc(&mut space, 64);
+        let b = ms.malloc(&mut space, 64);
+        space.write_word(a, b.raw()).unwrap();
+        space.write_word(b, a.raw()).unwrap();
+        ms.free(&mut space, a);
+        ms.free(&mut space, b);
+        let report = ms.sweep_now(&mut space);
+        assert_eq!((report.released, report.failed), (2, 0));
+    }
+
+    #[test]
+    fn without_zeroing_cycles_fail_to_free() {
+        let cfg = MsConfig::builder().zeroing(false).build();
+        let (mut space, mut ms) = setup(cfg);
+        let a = ms.malloc(&mut space, 64);
+        let b = ms.malloc(&mut space, 64);
+        space.write_word(a, b.raw()).unwrap();
+        space.write_word(b, a.raw()).unwrap();
+        ms.free(&mut space, a);
+        ms.free(&mut space, b);
+        let report = ms.sweep_now(&mut space);
+        assert_eq!((report.released, report.failed), (0, 2), "cycle pins both");
+    }
+
+    #[test]
+    fn double_free_is_idempotent_and_reported() {
+        let cfg = MsConfig::builder().report_double_frees(true).build();
+        let (mut space, mut ms) = setup(cfg);
+        let a = ms.malloc(&mut space, 64);
+        assert_eq!(ms.free(&mut space, a), FreeOutcome::Quarantined);
+        assert_eq!(ms.free(&mut space, a), FreeOutcome::DoubleFree);
+        assert_eq!(ms.free(&mut space, a), FreeOutcome::DoubleFree);
+        assert_eq!(ms.stats().double_frees, 2);
+        assert_eq!(ms.stats().double_free_reports, vec![a, a]);
+        // Exactly one true free reaches the allocator.
+        ms.sweep_now(&mut space);
+        assert_eq!(ms.heap().stats().frees, 1);
+    }
+
+    #[test]
+    fn invalid_free_is_rejected_without_corruption() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let a = ms.malloc(&mut space, 64);
+        assert_eq!(ms.free(&mut space, a + 8), FreeOutcome::Invalid);
+        assert_eq!(
+            ms.free(&mut space, Addr::new(0x4444_0000_0000)),
+            FreeOutcome::Invalid
+        );
+        assert_eq!(ms.stats().invalid_frees, 2);
+        // The real allocation is still usable and freeable.
+        space.write_word(a, 1).unwrap();
+        assert_eq!(ms.free(&mut space, a), FreeOutcome::Quarantined);
+    }
+
+    #[test]
+    fn large_allocation_unmapping_releases_rss_and_protects() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let size = 64 * PAGE_SIZE as u64;
+        let a = ms.malloc(&mut space, size);
+        // Touch every page.
+        for p in 0..64u64 {
+            space.write_word(a + p * PAGE_SIZE as u64, p).unwrap();
+        }
+        let rss_before = space.rss_bytes();
+        ms.free(&mut space, a);
+        assert!(
+            space.rss_bytes() <= rss_before - 63 * PAGE_SIZE as u64,
+            "interior pages decommitted"
+        );
+        // Dangling writes into the unmapped range fault (clean termination)
+        // instead of landing in recycled memory.
+        assert!(space.write_word(a + PAGE_SIZE as u64, 0xbad).is_err());
+        assert!(ms.stats().unmapped_pages >= 63);
+    }
+
+    #[test]
+    fn unmapped_entry_release_restores_usability() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let size = 16 * PAGE_SIZE as u64;
+        let a = ms.malloc(&mut space, size);
+        space.write_word(a, 1).unwrap();
+        ms.free(&mut space, a);
+        let report = ms.sweep_now(&mut space);
+        assert_eq!(report.released, 1);
+        let b = ms.malloc(&mut space, size);
+        assert_eq!(b, a, "extent recycled after quarantine");
+        space.write_word(b + 5 * PAGE_SIZE as u64, 7).unwrap();
+        assert_eq!(space.read_word(b + 5 * PAGE_SIZE as u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn sweep_trigger_fires_on_quarantine_fraction() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        // Build a heap of ~2 MiB live.
+        let live: Vec<Addr> = (0..512).map(|_| ms.malloc(&mut space, 4096)).collect();
+        assert!(!ms.sweep_needed(&space));
+        // Free ~20% of it (above the 15% threshold and the floor).
+        for &a in live.iter().take(103) {
+            ms.free(&mut space, a);
+        }
+        assert!(ms.sweep_needed(&space));
+        ms.sweep_now(&mut space);
+        assert!(!ms.sweep_needed(&space), "trigger resets after sweep");
+    }
+
+    #[test]
+    fn failed_frees_do_not_retrigger_sweeps() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let live: Vec<Addr> = (0..512).map(|_| ms.malloc(&mut space, 4096)).collect();
+        let holder = ms.malloc(&mut space, 4096);
+        // Free 20% with dangling pointers to each (all will fail).
+        for (i, &a) in live.iter().take(103).enumerate() {
+            space.write_word(holder + (i as u64 * 8), a.raw()).unwrap();
+            ms.free(&mut space, a);
+        }
+        ms.sweep_now(&mut space);
+        assert_eq!(ms.stats().failed_frees, 103);
+        assert!(
+            !ms.sweep_needed(&space),
+            "failed frees are subtracted from both sides (§3.2)"
+        );
+    }
+
+    #[test]
+    fn mostly_concurrent_stw_catches_moved_pointer() {
+        // The §4.3 race: the only copy of a dangling pointer moves from B
+        // to A (already swept), then B is erased. Fully-concurrent misses
+        // it; mostly-concurrent re-checks the dirty pages and catches it.
+        for (mode, expect_failed) in
+            [(SweepMode::FullyConcurrent, 0), (SweepMode::MostlyConcurrent, 1)]
+        {
+            let cfg = MsConfig::builder().mode(mode).build();
+            let (mut space, mut ms) = setup(cfg);
+            let victim = ms.malloc(&mut space, 64);
+            let slot_a = ms.malloc(&mut space, 64); // low address (swept first)
+            let slot_b = ms.malloc(&mut space, 64);
+            assert!(slot_a < slot_b);
+            space.write_word(slot_b, victim.raw()).unwrap();
+            ms.free(&mut space, victim);
+
+            ms.start_sweep(&mut space);
+            // Drive the marker one word at a time until it has passed
+            // slot_a but not yet reached slot_b.
+            loop {
+                let r = ms.sweep_step(&mut space, 1);
+                if marker_passed(&ms, slot_a) || r.finished {
+                    break;
+                }
+            }
+            // Move the pointer behind the cursor and erase the original.
+            if marker_passed(&ms, slot_b) {
+                // Degenerate layout; skip (cannot construct the race).
+                ms.finish_sweep(&mut space);
+                continue;
+            }
+            space.write_word(slot_a, victim.raw()).unwrap();
+            space.write_word(slot_b, 0).unwrap();
+            let report = ms.finish_sweep(&mut space);
+            assert_eq!(
+                report.failed, expect_failed,
+                "mode {mode:?}: STW must catch the moved pointer"
+            );
+        }
+    }
+
+    fn marker_passed(ms: &MineSweeper, addr: Addr) -> bool {
+        ms.active.as_ref().is_some_and(|a| a.marker.has_passed(addr))
+    }
+
+    #[test]
+    fn partial_base_forwards_frees() {
+        let (mut space, mut ms) = setup(MsConfig::partial_base());
+        let a = ms.malloc(&mut space, 64);
+        space.write_word(a, 0xdead).unwrap();
+        assert_eq!(ms.free(&mut space, a), FreeOutcome::Passthrough);
+        assert_eq!(ms.heap().stats().frees, 1);
+        assert!(!ms.sweep_needed(&space), "no quarantine, no sweeps");
+    }
+
+    #[test]
+    fn partial_unmap_zero_forwards_after_scrubbing() {
+        let (mut space, mut ms) = setup(MsConfig::partial_unmap_zero());
+        let a = ms.malloc(&mut space, 64);
+        space.write_word(a, 0xdead).unwrap();
+        assert_eq!(ms.free(&mut space, a), FreeOutcome::Passthrough);
+        // Data zeroed, allocation recycled immediately.
+        let b = ms.malloc(&mut space, 64);
+        assert_eq!(b, a);
+        assert_eq!(space.read_word(b).unwrap(), 0);
+    }
+
+    #[test]
+    fn partial_quarantine_recycles_without_marking() {
+        let (mut space, mut ms) = setup(MsConfig::partial_quarantine());
+        let a = ms.malloc(&mut space, 64);
+        let holder = ms.malloc(&mut space, 64);
+        space.write_word(holder, a.raw()).unwrap();
+        ms.free(&mut space, a);
+        let report = ms.sweep_now(&mut space);
+        assert_eq!(report.released, 1, "no marking: everything recycles");
+        assert_eq!(report.marked_words, 0);
+    }
+
+    #[test]
+    fn partial_sweep_marks_but_releases_anyway() {
+        let (mut space, mut ms) = setup(MsConfig::partial_sweep());
+        let a = ms.malloc(&mut space, 64);
+        let holder = ms.malloc(&mut space, 64);
+        space.write_word(holder, a.raw()).unwrap();
+        ms.free(&mut space, a);
+        let report = ms.sweep_now(&mut space);
+        assert_eq!(report.released, 1);
+        assert_eq!(report.failed, 0);
+        assert!(report.marked_words > 0, "marking did run");
+    }
+
+    #[test]
+    fn pause_trigger_fires_under_quarantine_overrun() {
+        let cfg = MsConfig::builder().pause_factor(2.0).build();
+        let (mut space, mut ms) = setup(cfg);
+        let live: Vec<Addr> = (0..600).map(|_| ms.malloc(&mut space, 4096)).collect();
+        ms.start_sweep(&mut space);
+        assert!(!ms.pause_needed());
+        // Quarantine > pause_factor * threshold * heap while sweeping.
+        for &a in live.iter().take(400) {
+            ms.free(&mut space, a);
+        }
+        assert!(ms.pause_needed());
+        ms.finish_sweep(&mut space);
+        assert!(!ms.pause_needed(), "pause clears once the sweep lands");
+    }
+
+    #[test]
+    fn purge_after_sweep_drops_free_extent_rss() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let addrs: Vec<Addr> =
+            (0..64).map(|_| ms.malloc(&mut space, 20 * PAGE_SIZE as u64)).collect();
+        for &a in &addrs {
+            space.write_word(a, 1).unwrap();
+            ms.free(&mut space, a);
+        }
+        ms.sweep_now(&mut space);
+        assert_eq!(
+            ms.heap().free_committed_bytes(&space),
+            0,
+            "post-sweep purge decommits the allocator's free extents"
+        );
+    }
+
+    #[test]
+    fn unmapped_trigger_fires_at_nine_times_rss() {
+        // §4.2: a sweep is also initiated once unmapped quarantined bytes
+        // reach 9x the program's physical footprint, to bound kernel and
+        // allocator metadata pressure.
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        // Small resident footprint.
+        let keep = ms.malloc(&mut space, 4096);
+        space.write_word(keep, 1).unwrap();
+        // Free a stream of large allocations; their pages are unmapped so
+        // the proportional trigger never sees them.
+        let mut fired = false;
+        for _ in 0..400 {
+            let big = ms.malloc(&mut space, 64 * PAGE_SIZE as u64);
+            space.write_word(big, 1).unwrap();
+            ms.free(&mut space, big);
+            if ms.sweep_needed(&space) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "unmapped trigger must eventually fire");
+        assert!(
+            ms.quarantine().unmapped_bytes() as f64 >= 9.0 * space.rss_bytes() as f64,
+            "fired exactly when unmapped bytes reached 9x RSS"
+        );
+        ms.sweep_now(&mut space);
+    }
+
+    #[test]
+    fn tiny_heaps_do_not_thrash_sweeps() {
+        // The MIN_SWEEP_BYTES floor: a few small frees on a tiny heap must
+        // not trigger a sweep even though they exceed 15% proportionally.
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let a = ms.malloc(&mut space, 256);
+        let _b = ms.malloc(&mut space, 256);
+        ms.free(&mut space, a);
+        assert!(!ms.sweep_needed(&space), "50% of a 512-byte heap is not sweep-worthy");
+    }
+
+    #[test]
+    fn quarantined_reads_are_benign_zeroes() {
+        // §1.2: quarantined memory may still be read (benign use-after-
+        // free); MineSweeper guarantees it is not *reallocated*. With
+        // zeroing, such reads observe zeroes rather than stale secrets.
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        let a = ms.malloc(&mut space, 64);
+        space.write_word(a, 0x5ec7e7).unwrap();
+        ms.free(&mut space, a);
+        assert_eq!(space.read_word(a).unwrap(), 0, "no data leaks from quarantine");
+    }
+
+    #[test]
+    fn sweep_step_budget_is_respected_midflight() {
+        let (mut space, mut ms) = setup(MsConfig::fully_concurrent());
+        for _ in 0..64 {
+            let a = ms.malloc(&mut space, 4096);
+            space.write_word(a, 1).unwrap();
+            ms.free(&mut space, a);
+        }
+        ms.start_sweep(&mut space);
+        assert!(ms.in_sweep());
+        let before = ms.sweep_remaining_bytes();
+        let r = ms.sweep_step(&mut space, 16);
+        assert!(r.words <= 16);
+        assert!(ms.sweep_remaining_bytes() < before);
+        let report = ms.finish_sweep(&mut space);
+        assert!(!ms.in_sweep());
+        assert!(report.released > 0);
+    }
+
+    #[test]
+    fn sweeps_count_in_stats() {
+        let (mut space, mut ms) = setup(MsConfig::mostly_concurrent());
+        let a = ms.malloc(&mut space, 64);
+        ms.free(&mut space, a);
+        ms.sweep_now(&mut space);
+        ms.sweep_now(&mut space);
+        assert_eq!(ms.stats().sweeps, 2);
+        assert_eq!(ms.stats().stw_passes, 2);
+    }
+}

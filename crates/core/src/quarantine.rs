@@ -1,0 +1,306 @@
+//! The quarantine: freed allocations waiting to be proven pointer-free.
+//!
+//! Frees are first batched in a thread-local buffer (contribution (c):
+//! "thread-local quarantine buffers to reduce lock contention"), then
+//! flushed to the global quarantine list. A shadow set of quarantined bases
+//! de-duplicates double frees, making `free()` idempotent while a dangling
+//! pointer exists (§3).
+
+use std::collections::HashSet;
+
+use vmem::{Addr, PAGE_SIZE};
+
+/// A quarantined allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QEntry {
+    /// Base address of the allocation.
+    pub base: Addr,
+    /// Usable size in bytes (size-class or page-rounded; includes the +1
+    /// `end()` padding, so past-the-end pointers are covered by the
+    /// shadow-map check).
+    pub usable: u64,
+    /// Interior pages decommitted + protected at quarantine time (§4.2).
+    pub unmapped_pages: u64,
+    /// Whether the entry has already failed at least one sweep.
+    pub failed: bool,
+}
+
+impl QEntry {
+    /// Creates an entry for an allocation with no unmapped pages.
+    pub fn new(base: Addr, usable: u64) -> Self {
+        QEntry { base, usable, unmapped_pages: 0, failed: false }
+    }
+
+    /// Bytes of this entry that sweeps must still examine (everything not
+    /// unmapped).
+    pub fn swept_bytes(&self) -> u64 {
+        self.usable - self.unmapped_bytes()
+    }
+
+    /// Bytes released from physical memory by unmapping.
+    pub fn unmapped_bytes(&self) -> u64 {
+        self.unmapped_pages * PAGE_SIZE as u64
+    }
+}
+
+/// Result of a quarantine insertion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InsertResult {
+    /// The entry was accepted; `flushed` reports whether the thread-local
+    /// buffer spilled to the global list (a lock acquisition in the real
+    /// implementation — the cost model charges for it).
+    Inserted { flushed: bool },
+    /// The base address is already quarantined: a double free, absorbed
+    /// idempotently.
+    DoubleFree,
+}
+
+/// The quarantine data structure.
+///
+/// # Example
+///
+/// ```
+/// use minesweeper::{Quarantine, QEntry};
+/// use vmem::Addr;
+///
+/// let mut q = Quarantine::new(4);
+/// let e = QEntry::new(Addr::new(0x1_0000_0000), 64);
+/// q.insert(e);
+/// assert_eq!(q.tracked_bytes(), 64);
+/// assert!(q.contains(e.base));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Quarantine {
+    tl_buffer: Vec<QEntry>,
+    tl_capacity: usize,
+    global: Vec<QEntry>,
+    dedup: HashSet<u64>,
+    tracked_bytes: u64,
+    failed_bytes: u64,
+    unmapped_bytes: u64,
+}
+
+impl Quarantine {
+    /// Creates an empty quarantine with the given thread-local buffer
+    /// capacity.
+    pub fn new(tl_capacity: usize) -> Self {
+        Quarantine {
+            tl_buffer: Vec::with_capacity(tl_capacity.max(1)),
+            tl_capacity: tl_capacity.max(1),
+            global: Vec::new(),
+            dedup: HashSet::new(),
+            tracked_bytes: 0,
+            failed_bytes: 0,
+            unmapped_bytes: 0,
+        }
+    }
+
+    /// Inserts a freed allocation, de-duplicating double frees.
+    pub fn insert(&mut self, entry: QEntry) -> InsertResult {
+        if !self.dedup.insert(entry.base.raw()) {
+            return InsertResult::DoubleFree;
+        }
+        self.tracked_bytes += entry.swept_bytes();
+        self.unmapped_bytes += entry.unmapped_bytes();
+        if entry.failed {
+            self.failed_bytes += entry.swept_bytes();
+        }
+        self.tl_buffer.push(entry);
+        let flushed = self.tl_buffer.len() >= self.tl_capacity;
+        if flushed {
+            self.global.append(&mut self.tl_buffer);
+        }
+        InsertResult::Inserted { flushed }
+    }
+
+    /// Locks in the current generation for a sweep: every entry quarantined
+    /// so far (thread-local buffers included) is drained and returned.
+    /// Entries quarantined after this call "can only be recycled by a
+    /// future sweep" (§4.3). Aggregate accounting is untouched until
+    /// [`Quarantine::on_released`] / [`Quarantine::on_failed`] decide each
+    /// entry's fate.
+    pub fn lock_generation(&mut self) -> Vec<QEntry> {
+        let mut locked = std::mem::take(&mut self.global);
+        locked.append(&mut self.tl_buffer);
+        locked
+    }
+
+    /// Records that a locked-in entry was proven pointer-free and released
+    /// to the allocator.
+    pub fn on_released(&mut self, entry: &QEntry) {
+        assert!(self.dedup.remove(&entry.base.raw()), "released entry must be tracked");
+        self.tracked_bytes -= entry.swept_bytes();
+        self.unmapped_bytes -= entry.unmapped_bytes();
+        if entry.failed {
+            self.failed_bytes -= entry.swept_bytes();
+        }
+    }
+
+    /// Records that a locked-in entry failed its sweep (a dangling pointer
+    /// was found): it rejoins the quarantine flagged as failed, so the
+    /// trigger maths can subtract it "from both sides" (§3.2).
+    pub fn on_failed(&mut self, mut entry: QEntry) {
+        debug_assert!(self.dedup.contains(&entry.base.raw()));
+        if !entry.failed {
+            entry.failed = true;
+            self.failed_bytes += entry.swept_bytes();
+        }
+        self.global.push(entry);
+    }
+
+    /// Whether `base` is currently quarantined (including locked-in
+    /// entries mid-sweep).
+    pub fn contains(&self, base: Addr) -> bool {
+        self.dedup.contains(&base.raw())
+    }
+
+    /// Total swept (non-unmapped) bytes in quarantine.
+    pub fn tracked_bytes(&self) -> u64 {
+        self.tracked_bytes
+    }
+
+    /// Swept bytes belonging to entries that already failed a sweep.
+    pub fn failed_bytes(&self) -> u64 {
+        self.failed_bytes
+    }
+
+    /// Bytes of quarantined allocations whose pages were unmapped; these
+    /// do "not count towards standard memory usage or quarantine-size sweep
+    /// thresholds" (§4.2) but feed the 9× unmapped trigger.
+    pub fn unmapped_bytes(&self) -> u64 {
+        self.unmapped_bytes
+    }
+
+    /// Number of quarantined allocations (including locked-in entries).
+    pub fn len(&self) -> usize {
+        self.dedup.len()
+    }
+
+    /// Whether the quarantine is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dedup.is_empty()
+    }
+
+    /// Entries awaiting the *next* sweep (not locked in), for tests and
+    /// introspection.
+    pub fn pending(&self) -> impl Iterator<Item = &QEntry> {
+        self.global.iter().chain(self.tl_buffer.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(base: u64, usable: u64) -> QEntry {
+        QEntry::new(Addr::new(base), usable)
+    }
+
+    #[test]
+    fn insert_tracks_bytes() {
+        let mut q = Quarantine::new(8);
+        q.insert(entry(0x1000, 64));
+        q.insert(entry(0x2000, 128));
+        assert_eq!(q.tracked_bytes(), 192);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn double_free_is_deduplicated() {
+        let mut q = Quarantine::new(8);
+        assert_eq!(q.insert(entry(0x1000, 64)), InsertResult::Inserted { flushed: false });
+        assert_eq!(q.insert(entry(0x1000, 64)), InsertResult::DoubleFree);
+        assert_eq!(q.tracked_bytes(), 64, "duplicate adds nothing");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn tl_buffer_flushes_at_capacity() {
+        let mut q = Quarantine::new(3);
+        assert_eq!(q.insert(entry(0x1000, 16)), InsertResult::Inserted { flushed: false });
+        assert_eq!(q.insert(entry(0x2000, 16)), InsertResult::Inserted { flushed: false });
+        assert_eq!(q.insert(entry(0x3000, 16)), InsertResult::Inserted { flushed: true });
+        assert_eq!(q.insert(entry(0x4000, 16)), InsertResult::Inserted { flushed: false });
+    }
+
+    #[test]
+    fn lock_generation_drains_everything_once() {
+        let mut q = Quarantine::new(2);
+        q.insert(entry(0x1000, 16));
+        q.insert(entry(0x2000, 16)); // flushes
+        q.insert(entry(0x3000, 16)); // stays in tl buffer
+        let locked = q.lock_generation();
+        assert_eq!(locked.len(), 3);
+        assert!(q.lock_generation().is_empty(), "second lock-in is empty");
+        assert_eq!(q.len(), 3, "locked entries still counted until resolved");
+    }
+
+    #[test]
+    fn released_entries_leave_completely() {
+        let mut q = Quarantine::new(8);
+        let e = entry(0x1000, 64);
+        q.insert(e);
+        let locked = q.lock_generation();
+        q.on_released(&locked[0]);
+        assert_eq!(q.tracked_bytes(), 0);
+        assert!(!q.contains(e.base));
+        // The base can be quarantined again after reallocation + refree.
+        assert_eq!(q.insert(e), InsertResult::Inserted { flushed: false });
+    }
+
+    #[test]
+    fn failed_entries_rejoin_flagged() {
+        let mut q = Quarantine::new(8);
+        q.insert(entry(0x1000, 64));
+        let locked = q.lock_generation();
+        q.on_failed(locked[0]);
+        assert_eq!(q.failed_bytes(), 64);
+        assert_eq!(q.tracked_bytes(), 64);
+        assert!(q.contains(Addr::new(0x1000)));
+        // Failing again must not double-count.
+        let locked = q.lock_generation();
+        assert!(locked[0].failed);
+        q.on_failed(locked[0]);
+        assert_eq!(q.failed_bytes(), 64);
+    }
+
+    #[test]
+    fn failed_then_released_restores_balance() {
+        let mut q = Quarantine::new(8);
+        q.insert(entry(0x1000, 64));
+        let locked = q.lock_generation();
+        q.on_failed(locked[0]);
+        let locked = q.lock_generation();
+        q.on_released(&locked[0]);
+        assert_eq!(q.tracked_bytes(), 0);
+        assert_eq!(q.failed_bytes(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn unmapped_bytes_are_separated_from_tracked() {
+        let mut q = Quarantine::new(8);
+        let e = QEntry {
+            base: Addr::new(0x10000),
+            usable: 10 * PAGE_SIZE as u64,
+            unmapped_pages: 9,
+            failed: false,
+        };
+        q.insert(e);
+        assert_eq!(q.tracked_bytes(), PAGE_SIZE as u64);
+        assert_eq!(q.unmapped_bytes(), 9 * PAGE_SIZE as u64);
+        let locked = q.lock_generation();
+        q.on_released(&locked[0]);
+        assert_eq!(q.unmapped_bytes(), 0);
+    }
+
+    #[test]
+    fn pending_excludes_locked_entries() {
+        let mut q = Quarantine::new(8);
+        q.insert(entry(0x1000, 16));
+        q.lock_generation();
+        q.insert(entry(0x2000, 16));
+        let pending: Vec<Addr> = q.pending().map(|e| e.base).collect();
+        assert_eq!(pending, vec![Addr::new(0x2000)]);
+    }
+}

@@ -1,0 +1,201 @@
+//! The shadow map: one mark bit per 16-byte granule of virtual memory.
+//!
+//! "The shadow map marks the targets of pointers, and is consulted for each
+//! quarantined allocation, to see if pointers have been discovered to it"
+//! (§3.2). One bit per 128 bits of memory is the smallest allocation
+//! granule, so every allocation maps to a distinct bit range. The paper
+//! implements it as a flat reservation; the simulation uses a sparse,
+//! chunked bitmap with identical indexing semantics (the flat space would
+//! be 2⁶⁰ bits here), keeping the <1 % space overhead property.
+
+use std::collections::HashMap;
+
+use vmem::{Addr, GRANULE_SIZE};
+
+/// Granules covered by one chunk: 512 words × 64 bits = 32 Ki granules,
+/// i.e. one 4 KiB bitmap chunk shadows 512 KiB of address space — the same
+/// 1/128 ratio as the paper's flat map.
+const CHUNK_GRANULES: u64 = 512 * 64;
+
+/// A sparse bitmap over granule indices.
+///
+/// # Example
+///
+/// ```
+/// use minesweeper::ShadowMap;
+/// use vmem::Addr;
+///
+/// let mut shadow = ShadowMap::new();
+/// shadow.mark(Addr::new(0x1_0000_0040)); // a pointer into some allocation
+/// assert!(shadow.range_marked(Addr::new(0x1_0000_0040), 16));
+/// assert!(!shadow.range_marked(Addr::new(0x1_0000_0100), 64));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ShadowMap {
+    chunks: HashMap<u64, Box<[u64; 512]>>,
+    marked: u64,
+}
+
+impl ShadowMap {
+    /// Creates an empty shadow map.
+    pub fn new() -> Self {
+        ShadowMap::default()
+    }
+
+    /// Marks the granule containing `target` — the operation the marking
+    /// phase performs for every word of memory that looks like a pointer.
+    #[inline]
+    pub fn mark(&mut self, target: Addr) {
+        let g = target.granule();
+        let (chunk, bit) = (g / CHUNK_GRANULES, g % CHUNK_GRANULES);
+        let words = self.chunks.entry(chunk).or_insert_with(|| Box::new([0; 512]));
+        let (w, b) = ((bit / 64) as usize, bit % 64);
+        if words[w] & (1 << b) == 0 {
+            words[w] |= 1 << b;
+            self.marked += 1;
+        }
+    }
+
+    /// Whether the granule containing `addr` is marked.
+    #[inline]
+    pub fn is_marked(&self, addr: Addr) -> bool {
+        let g = addr.granule();
+        let (chunk, bit) = (g / CHUNK_GRANULES, g % CHUNK_GRANULES);
+        self.chunks
+            .get(&chunk)
+            .is_some_and(|words| words[(bit / 64) as usize] & (1 << (bit % 64)) != 0)
+    }
+
+    /// Whether *any* granule overlapping `[base, base + len)` is marked —
+    /// the release-phase test: a marked granule means a possible dangling
+    /// pointer into the allocation, so it must stay quarantined. The paper
+    /// checks "the full shadow-map range corresponding to the allocation"
+    /// (§3.3 footnote), which includes interior pointers.
+    pub fn range_marked(&self, base: Addr, len: u64) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let first = base.granule();
+        let last = base.add_bytes(len - 1).granule();
+        (first..=last).any(|g| self.is_marked(Addr::new(g * GRANULE_SIZE as u64)))
+    }
+
+    /// Total granules marked.
+    pub fn marked_count(&self) -> u64 {
+        self.marked
+    }
+
+    /// Whether nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.marked == 0
+    }
+
+    /// Unions another shadow map into this one (used to merge the
+    /// per-thread maps of the parallel marking phase, §4.4).
+    pub fn union(&mut self, other: &ShadowMap) {
+        for (&chunk, other_words) in &other.chunks {
+            let words = self.chunks.entry(chunk).or_insert_with(|| Box::new([0; 512]));
+            for (w, &ow) in other_words.iter().enumerate() {
+                let newly = ow & !words[w];
+                self.marked += newly.count_ones() as u64;
+                words[w] |= ow;
+            }
+        }
+    }
+
+    /// Approximate resident size of the shadow map in bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.chunks.len() as u64 * 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_check_single_granule() {
+        let mut s = ShadowMap::new();
+        let a = Addr::new(0x1_0000_0000);
+        assert!(!s.is_marked(a));
+        s.mark(a);
+        assert!(s.is_marked(a));
+        assert!(s.is_marked(a + 15), "same granule");
+        assert!(!s.is_marked(a + 16), "next granule");
+        assert_eq!(s.marked_count(), 1);
+    }
+
+    #[test]
+    fn mark_is_idempotent() {
+        let mut s = ShadowMap::new();
+        s.mark(Addr::new(64));
+        s.mark(Addr::new(64));
+        s.mark(Addr::new(70)); // same granule
+        assert_eq!(s.marked_count(), 1);
+    }
+
+    #[test]
+    fn interior_pointer_retains_whole_allocation() {
+        // Figure 5: a pointer to any offset inside [a, a+size) must be
+        // caught by checking the allocation's full granule range.
+        let mut s = ShadowMap::new();
+        let base = Addr::new(0x1_0000_0000);
+        s.mark(base + 100); // interior pointer target
+        assert!(s.range_marked(base, 128));
+        assert!(!s.range_marked(base, 96), "range before the mark is clean");
+        assert!(!s.range_marked(base + 112, 16));
+    }
+
+    #[test]
+    fn range_marked_handles_granule_straddling() {
+        let mut s = ShadowMap::new();
+        let base = Addr::new(0x1_0000_0008); // misaligned to granule
+        s.mark(base);
+        // A range ending inside the marked granule must see the mark.
+        assert!(s.range_marked(Addr::new(0x1_0000_0000), 8));
+        assert!(s.range_marked(base, 1));
+    }
+
+    #[test]
+    fn zero_length_range_is_never_marked() {
+        let mut s = ShadowMap::new();
+        s.mark(Addr::new(0x1000));
+        assert!(!s.range_marked(Addr::new(0x1000), 0));
+    }
+
+    #[test]
+    fn union_merges_and_counts_exactly() {
+        let mut a = ShadowMap::new();
+        let mut b = ShadowMap::new();
+        a.mark(Addr::new(16));
+        a.mark(Addr::new(32));
+        b.mark(Addr::new(32)); // overlap
+        b.mark(Addr::new(1 << 30)); // distinct chunk
+        a.union(&b);
+        assert_eq!(a.marked_count(), 3);
+        assert!(a.is_marked(Addr::new(16)));
+        assert!(a.is_marked(Addr::new(32)));
+        assert!(a.is_marked(Addr::new(1 << 30)));
+    }
+
+    #[test]
+    fn chunk_boundaries_are_seamless() {
+        let mut s = ShadowMap::new();
+        let boundary = CHUNK_GRANULES * GRANULE_SIZE as u64;
+        s.mark(Addr::new(boundary - 16));
+        s.mark(Addr::new(boundary));
+        assert!(s.range_marked(Addr::new(boundary - 16), 32));
+        assert_eq!(s.marked_count(), 2);
+        assert_eq!(s.chunks.len(), 2);
+    }
+
+    #[test]
+    fn sparse_representation_stays_small() {
+        let mut s = ShadowMap::new();
+        // Marks across 1 GiB of address space land in few chunks.
+        for i in 0..1000u64 {
+            s.mark(Addr::new(0x1_0000_0000 + i * 1024));
+        }
+        assert!(s.resident_bytes() < 16 * 4096, "sparse map must stay small");
+    }
+}

@@ -1,0 +1,503 @@
+//! The sweep: linear marking of program memory, stop-the-world re-checks,
+//! and the parallel one-shot marker.
+//!
+//! "Each word of memory is interpreted as a pointer, its granule index is
+//! calculated and used to index and set the shadow-map bit" (§3.2). The
+//! sweep is *linear* — no transitive closure — because zeroing on free
+//! removed all edges out of the quarantine (§4.1, Figure 6).
+//!
+//! [`Marker`] exposes the marking phase as an incremental cursor so the
+//! discrete-event engine can interleave mutator progress with sweep
+//! progress in virtual time, faithfully reproducing the fully-concurrent
+//! mode's relaxed guarantee (a dangling pointer *moved ahead of the cursor
+//! and erased behind it* during the sweep is missed — §4.3 footnote 5) and
+//! the mostly-concurrent mode's soft-dirty stop-the-world fix.
+
+use vmem::{Addr, AddrSpace, Layout, MemError, PageIdx, Segment, PAGE_SIZE, WORD_SIZE};
+
+use crate::shadow::ShadowMap;
+
+/// The memory ranges one sweep will examine: active heap extents plus the
+/// committed pages of the globals and stack segments.
+#[derive(Clone, Debug)]
+pub struct SweepPlan {
+    ranges: Vec<(Addr, u64)>,
+    total_bytes: u64,
+}
+
+impl SweepPlan {
+    /// Builds a plan from the allocator's active extents and the root
+    /// segments. Only committed root pages are included (unbacked pages
+    /// cannot hold pointers); heap extents are taken as-is, with protected
+    /// or unbacked pages skipped during marking.
+    pub fn build(space: &AddrSpace, heap_ranges: &[(Addr, u64)]) -> Self {
+        let mut ranges: Vec<(Addr, u64)> = Vec::new();
+        for seg in [Segment::Globals, Segment::Stack] {
+            let base = space.layout().segment_base(seg);
+            let pages = space.layout().segment_pages(seg);
+            let mut run_start: Option<PageIdx> = None;
+            let flush = |start: Option<PageIdx>, end: PageIdx, out: &mut Vec<_>| {
+                if let Some(s) = start {
+                    out.push((s.base(), (end.raw() - s.raw()) * PAGE_SIZE as u64));
+                }
+            };
+            let first = base.page();
+            for i in 0..pages {
+                let p = PageIdx::new(first.raw() + i);
+                if space.is_committed(p.base()) {
+                    run_start.get_or_insert(p);
+                } else {
+                    flush(run_start.take(), p, &mut ranges);
+                }
+            }
+            flush(run_start.take(), PageIdx::new(first.raw() + pages), &mut ranges);
+        }
+        ranges.extend(heap_ranges.iter().copied());
+        let total_bytes = ranges.iter().map(|&(_, l)| l).sum();
+        SweepPlan { ranges, total_bytes }
+    }
+
+    /// A plan over explicit ranges (tests, custom root sets).
+    pub fn from_ranges(ranges: Vec<(Addr, u64)>) -> Self {
+        let total_bytes = ranges.iter().map(|&(_, l)| l).sum();
+        SweepPlan { ranges, total_bytes }
+    }
+
+    /// Total bytes the plan covers (before protected/unbacked skipping).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The ranges, address order within each segment group.
+    pub fn ranges(&self) -> &[(Addr, u64)] {
+        &self.ranges
+    }
+}
+
+/// Progress report from one [`Marker::step`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StepResult {
+    /// Words actually read and tested.
+    pub words: u64,
+    /// Bytes advanced through the plan (including skipped pages).
+    pub bytes: u64,
+    /// Whether the marking phase is complete.
+    pub finished: bool,
+}
+
+/// Scan disposition of one page.
+enum PageState {
+    Committed,
+    Unbacked,
+    Skip,
+}
+
+/// Incremental cursor over a [`SweepPlan`].
+///
+/// Each call to [`Marker::step`] reads up to `word_budget` aligned words,
+/// marking heap-pointing values in the shadow map. Protected and unmapped
+/// pages are skipped a page at a time (the §4.5 extent hooks make purged
+/// ranges fault rather than demand-commit).
+#[derive(Clone, Debug)]
+pub struct Marker {
+    plan: SweepPlan,
+    idx: usize,
+    off: u64,
+    done_bytes: u64,
+}
+
+impl Marker {
+    /// Creates a cursor at the start of `plan`.
+    pub fn new(plan: SweepPlan) -> Self {
+        Marker { plan, idx: 0, off: 0, done_bytes: 0 }
+    }
+
+    /// Bytes of plan not yet advanced through.
+    pub fn remaining_bytes(&self) -> u64 {
+        self.plan.total_bytes - self.done_bytes
+    }
+
+    /// Whether the cursor has passed `addr` (used by tests to position
+    /// race scenarios relative to the sweep front).
+    pub fn has_passed(&self, addr: Addr) -> bool {
+        for (i, &(base, len)) in self.plan.ranges.iter().enumerate() {
+            if addr >= base && addr < base.add_bytes(len) {
+                return i < self.idx || (i == self.idx && addr.offset_from(base) < self.off);
+            }
+        }
+        false
+    }
+
+    /// Advances the cursor by up to `word_budget` words, marking pointer
+    /// targets in `shadow`.
+    ///
+    /// Pages are processed in slices (one lookup per page). Sweeping a
+    /// `madvise`-purged (mapped, unprotected, unbacked) page
+    /// **demand-commits it** via [`AddrSpace::touch_page`], faithfully
+    /// reproducing the §4.5 failure mode that the commit/decommit extent
+    /// hooks exist to prevent; protected pages are skipped.
+    pub fn step(
+        &mut self,
+        space: &mut AddrSpace,
+        layout: &Layout,
+        shadow: &mut ShadowMap,
+        word_budget: u64,
+    ) -> StepResult {
+        let mut words = 0;
+        let start_bytes = self.done_bytes;
+        while words < word_budget && self.idx < self.plan.ranges.len() {
+            let (base, len) = self.plan.ranges[self.idx];
+            if self.off >= len {
+                self.idx += 1;
+                self.off = 0;
+                continue;
+            }
+            let addr = base.add_bytes(self.off);
+            // The chunk is bounded by the page end, the range end and the
+            // remaining word budget.
+            let page_end = addr.page().next().base().offset_from(base).min(len);
+            let chunk_words =
+                ((page_end - self.off) / WORD_SIZE as u64).min(word_budget - words);
+            // Probe without holding the page borrow across the arms.
+            let state = match space.scan_page(addr.page()) {
+                Ok(Some(_)) => PageState::Committed,
+                Ok(None) => PageState::Unbacked,
+                Err(MemError::Protected(_)) | Err(MemError::Unmapped(_)) => PageState::Skip,
+                Err(e) => unreachable!("scan_page cannot fail with {e}"),
+            };
+            match state {
+                PageState::Committed => {
+                    let start_word = addr.word_in_page();
+                    let page =
+                        space.scan_page(addr.page()).expect("probed").expect("committed");
+                    for &value in &page[start_word..start_word + chunk_words as usize] {
+                        if layout.heap_contains(Addr::new(value)) {
+                            shadow.mark(Addr::new(value));
+                        }
+                    }
+                    words += chunk_words;
+                    self.off += chunk_words * WORD_SIZE as u64;
+                    self.done_bytes += chunk_words * WORD_SIZE as u64;
+                }
+                PageState::Unbacked => {
+                    // Mapped but unbacked: a real read faults it in
+                    // (demand-zero) — the naive-purge RSS inflation. The
+                    // fresh zeroes mark nothing; consume the chunk.
+                    space.touch_page(addr.page()).expect("mapped page");
+                    words += chunk_words;
+                    self.off += chunk_words * WORD_SIZE as u64;
+                    self.done_bytes += chunk_words * WORD_SIZE as u64;
+                }
+                PageState::Skip => {
+                    // Skip the rest of the page without charge.
+                    self.done_bytes += page_end - self.off;
+                    self.off = page_end;
+                }
+            }
+        }
+        StepResult {
+            words,
+            bytes: self.done_bytes - start_bytes,
+            finished: self.idx >= self.plan.ranges.len(),
+        }
+    }
+
+    /// Runs the cursor to completion, returning total words examined.
+    pub fn run_to_end(
+        &mut self,
+        space: &mut AddrSpace,
+        layout: &Layout,
+        shadow: &mut ShadowMap,
+    ) -> u64 {
+        let mut total = 0;
+        loop {
+            let r = self.step(space, layout, shadow, u64::MAX);
+            total += r.words;
+            if r.finished {
+                return total;
+            }
+        }
+    }
+}
+
+/// Re-marks a single page (stop-the-world pass over soft-dirty pages,
+/// §4.3). Returns words examined; protected/unmapped pages contribute zero.
+pub fn mark_page(
+    space: &mut AddrSpace,
+    layout: &Layout,
+    shadow: &mut ShadowMap,
+    page: PageIdx,
+) -> u64 {
+    match space.scan_page(page) {
+        Ok(Some(words)) => {
+            for &value in words.iter() {
+                if layout.heap_contains(Addr::new(value)) {
+                    shadow.mark(Addr::new(value));
+                }
+            }
+            (PAGE_SIZE / WORD_SIZE) as u64
+        }
+        _ => 0,
+    }
+}
+
+/// One-shot parallel marking with real OS threads (§4.4: "a main sweeper
+/// thread and some helpers ... divides up the memory to sweep equally").
+///
+/// The plan's ranges are partitioned into `1 + helper_threads` contiguous
+/// byte shares; each thread marks its share into a private shadow map via
+/// side-effect-free reads ([`AddrSpace::peek_word`], which treats unbacked
+/// pages as zero — never a heap pointer), and the maps are unioned.
+///
+/// This is the library-facing sweep used when no discrete-event engine is
+/// orchestrating virtual time (examples, tests, raw-bandwidth benches).
+pub fn parallel_mark(
+    space: &AddrSpace,
+    plan: &SweepPlan,
+    layout: &Layout,
+    helper_threads: usize,
+) -> ShadowMap {
+    let threads = helper_threads + 1;
+    // Split ranges into per-thread shares of roughly equal byte counts.
+    let share = plan
+        .total_bytes()
+        .div_ceil(threads as u64)
+        .next_multiple_of(WORD_SIZE as u64)
+        .max(WORD_SIZE as u64);
+    let mut shares: Vec<Vec<(Addr, u64)>> = vec![Vec::new(); threads];
+    let mut t = 0;
+    let mut filled = 0u64;
+    for &(base, len) in plan.ranges() {
+        let mut base = base;
+        let mut len = len;
+        while len > 0 {
+            let room = share.saturating_sub(filled);
+            if room == 0 {
+                t = (t + 1).min(threads - 1);
+                filled = 0;
+                continue;
+            }
+            let take = len.min(room);
+            shares[t].push((base, take));
+            base = base.add_bytes(take);
+            len -= take;
+            filled += take;
+        }
+    }
+
+    let maps: Vec<ShadowMap> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                scope.spawn(move || {
+                    let mut shadow = ShadowMap::new();
+                    for &(base, len) in share {
+                        let mut off = 0;
+                        while off < len {
+                            let addr = base.add_bytes(off);
+                            let page_end =
+                                addr.page().next().base().offset_from(base).min(len);
+                            let chunk = (page_end - off) as usize / WORD_SIZE;
+                            if let Ok(Some(page)) = space.scan_page(addr.page()) {
+                                let w0 = addr.word_in_page();
+                                for &value in &page[w0..w0 + chunk] {
+                                    if layout.heap_contains(Addr::new(value)) {
+                                        shadow.mark(Addr::new(value));
+                                    }
+                                }
+                            }
+                            // Unbacked pages read as zero; protected pages
+                            // are skipped — neither marks anything.
+                            off = page_end;
+                        }
+                    }
+                    shadow
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("marker thread panicked")).collect()
+    });
+
+    let mut merged = ShadowMap::new();
+    for map in &maps {
+        merged.union(map);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmem::Protection;
+
+    /// Maps `pages` heap pages and returns the base.
+    fn heap(space: &mut AddrSpace, pages: u64) -> Addr {
+        let a = space.reserve_heap(pages);
+        space.map(a, pages).unwrap();
+        a
+    }
+
+    #[test]
+    fn plan_includes_committed_roots_only() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let stack = layout.segment_base(Segment::Stack);
+        space.write_word(stack, 1).unwrap(); // commit one stack page
+        let plan = SweepPlan::build(&space, &[]);
+        assert_eq!(plan.ranges().len(), 1);
+        assert_eq!(plan.ranges()[0], (stack, PAGE_SIZE as u64));
+    }
+
+    #[test]
+    fn plan_coalesces_adjacent_root_pages() {
+        let mut space = AddrSpace::new();
+        let stack = space.layout().segment_base(Segment::Stack);
+        space.write_word(stack, 1).unwrap();
+        space.write_word(stack + PAGE_SIZE as u64, 1).unwrap();
+        space.write_word(stack + 3 * PAGE_SIZE as u64, 1).unwrap();
+        let plan = SweepPlan::build(&space, &[]);
+        assert_eq!(
+            plan.ranges(),
+            &[
+                (stack, 2 * PAGE_SIZE as u64),
+                (stack + 3 * PAGE_SIZE as u64, PAGE_SIZE as u64)
+            ]
+        );
+    }
+
+    #[test]
+    fn marker_finds_pointers_and_ignores_data() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let target = heap(&mut space, 1);
+        let src = heap(&mut space, 1);
+        space.write_word(src, target.raw()).unwrap(); // a real pointer
+        space.write_word(src + 8, 42).unwrap(); // plain data
+        let mut shadow = ShadowMap::new();
+        let mut marker =
+            Marker::new(SweepPlan::from_ranges(vec![(src, PAGE_SIZE as u64)]));
+        marker.run_to_end(&mut space, &layout, &mut shadow);
+        assert!(shadow.is_marked(target));
+        assert_eq!(shadow.marked_count(), 1, "42 is not a heap pointer");
+    }
+
+    #[test]
+    fn marker_respects_word_budget() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let src = heap(&mut space, 1);
+        space.commit(vmem::PageRange::spanning(src, PAGE_SIZE as u64)).unwrap();
+        let mut shadow = ShadowMap::new();
+        let mut marker =
+            Marker::new(SweepPlan::from_ranges(vec![(src, PAGE_SIZE as u64)]));
+        let r = marker.step(&mut space, &layout, &mut shadow, 100);
+        assert_eq!(r.words, 100);
+        assert!(!r.finished);
+        assert_eq!(marker.remaining_bytes(), PAGE_SIZE as u64 - 800);
+        assert!(marker.has_passed(src + 792));
+        assert!(!marker.has_passed(src + 800));
+    }
+
+    #[test]
+    fn marker_skips_protected_pages() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let a = heap(&mut space, 2);
+        space.commit(vmem::PageRange::spanning(a, 2 * PAGE_SIZE as u64)).unwrap();
+        space
+            .protect(vmem::PageRange::spanning(a, PAGE_SIZE as u64), Protection::None)
+            .unwrap();
+        space.write_word(a + PAGE_SIZE as u64, 7).unwrap();
+        let mut shadow = ShadowMap::new();
+        let mut marker =
+            Marker::new(SweepPlan::from_ranges(vec![(a, 2 * PAGE_SIZE as u64)]));
+        let words = marker.run_to_end(&mut space, &layout, &mut shadow);
+        assert_eq!(words, 512, "only the unprotected page is read");
+    }
+
+    #[test]
+    fn sweeping_madvise_purged_page_demand_commits() {
+        // The §4.5 failure mode: a naive sweep re-inflates purged memory.
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let a = heap(&mut space, 1);
+        space.write_word(a, 1).unwrap();
+        space.decommit(vmem::PageRange::spanning(a, PAGE_SIZE as u64)).unwrap();
+        assert_eq!(space.rss_bytes(), 0);
+        let mut shadow = ShadowMap::new();
+        let mut marker = Marker::new(SweepPlan::from_ranges(vec![(a, PAGE_SIZE as u64)]));
+        marker.run_to_end(&mut space, &layout, &mut shadow);
+        assert_eq!(space.rss_bytes(), PAGE_SIZE as u64, "sweep faulted the page back");
+    }
+
+    #[test]
+    fn mark_page_rechecks_dirty_page() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let target = heap(&mut space, 1);
+        let src = heap(&mut space, 1);
+        space.write_word(src + 64, target.raw()).unwrap();
+        let mut shadow = ShadowMap::new();
+        let words = mark_page(&mut space, &layout, &mut shadow, src.page());
+        assert_eq!(words, 512);
+        assert!(shadow.is_marked(target));
+    }
+
+    #[test]
+    fn parallel_mark_agrees_with_serial() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let targets: Vec<Addr> = (0..8).map(|_| heap(&mut space, 1)).collect();
+        let src = heap(&mut space, 4);
+        // Scatter pointers and junk across the source pages.
+        for (i, t) in targets.iter().enumerate() {
+            space.write_word(src + (i as u64 * 1000 + 8) * 8 % (4 * 4096), t.raw()).unwrap();
+        }
+        for i in 0..200u64 {
+            space.write_word(src + (i * 37 % 2048) * 8, i).unwrap();
+        }
+        let plan = SweepPlan::from_ranges(vec![(src, 4 * PAGE_SIZE as u64)]);
+
+        let mut serial = ShadowMap::new();
+        let mut marker = Marker::new(plan.clone());
+        marker.run_to_end(&mut space, &layout, &mut serial);
+
+        for threads in [0, 1, 3, 6] {
+            let parallel = parallel_mark(&space, &plan, &layout, threads);
+            assert_eq!(
+                parallel.marked_count(),
+                serial.marked_count(),
+                "helper_threads={threads}"
+            );
+            for t in &targets {
+                assert_eq!(parallel.is_marked(*t), serial.is_marked(*t));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mark_skips_unbacked_pages_without_committing() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let a = heap(&mut space, 4); // never touched: unbacked
+        let plan = SweepPlan::from_ranges(vec![(a, 4 * PAGE_SIZE as u64)]);
+        let shadow = parallel_mark(&space, &plan, &layout, 3);
+        assert!(shadow.is_empty());
+        assert_eq!(space.rss_bytes(), 0, "peek-based marking must not commit");
+    }
+
+    #[test]
+    fn false_pointer_is_conservatively_marked() {
+        // Figure 4's purple case: integer data that equals an allocation
+        // address prevents deallocation.
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let victim = heap(&mut space, 1);
+        let src = heap(&mut space, 1);
+        space.write_word(src, victim.raw()).unwrap(); // "just an integer"
+        let mut shadow = ShadowMap::new();
+        let mut marker = Marker::new(SweepPlan::from_ranges(vec![(src, PAGE_SIZE as u64)]));
+        marker.run_to_end(&mut space, &layout, &mut shadow);
+        assert!(shadow.range_marked(victim, 64), "false pointers retain allocations");
+    }
+}

@@ -1,0 +1,153 @@
+//! JeMalloc-style size classes.
+
+use vmem::PAGE_SIZE;
+
+/// Largest size served from slabs; bigger requests get page-granular
+/// extents. Matches jemalloc's 14 KiB small/large boundary for 4 KiB pages.
+pub const SMALL_MAX: u64 = 14 * 1024;
+
+/// The size-class table.
+///
+/// Classes are 16-byte quantum-spaced up to 128 bytes, then four per size
+/// doubling (jemalloc's layout), ending at [`SMALL_MAX`]. The smallest class
+/// is 16 bytes — one shadow-map granule, which is why one mark bit per
+/// 16 bytes "is sufficient to uniquely distinguish each allocation" (§3.2).
+///
+/// # Example
+///
+/// ```
+/// use jalloc::SizeClasses;
+/// let classes = SizeClasses::new();
+/// let idx = classes.class_for(100).unwrap();
+/// assert_eq!(classes.size_of(idx), 112);
+/// assert!(classes.class_for(1 << 20).is_none(), "large sizes have no class");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SizeClasses {
+    sizes: Vec<u64>,
+}
+
+impl SizeClasses {
+    /// Builds the standard table.
+    pub fn new() -> Self {
+        let mut sizes: Vec<u64> = (1..=8).map(|i| i * 16).collect(); // 16..=128
+        let mut base = 128u64;
+        while base < SMALL_MAX {
+            let step = base / 4;
+            for i in 1..=4 {
+                let s = base + i * step;
+                if s <= SMALL_MAX {
+                    sizes.push(s);
+                }
+            }
+            base *= 2;
+        }
+        SizeClasses { sizes }
+    }
+
+    /// Number of classes.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size in bytes of class `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn size_of(&self, idx: usize) -> u64 {
+        self.sizes[idx]
+    }
+
+    /// The smallest class that fits `size` bytes, or `None` if the request
+    /// is large (> [`SMALL_MAX`]).
+    pub fn class_for(&self, size: u64) -> Option<usize> {
+        if size > SMALL_MAX {
+            return None;
+        }
+        Some(self.sizes.partition_point(|&s| s < size.max(1)))
+    }
+
+    /// Pages per slab for class `idx`: enough for at least 16 regions for
+    /// sub-KiB classes and at least 4 regions above, rounded so the slab is
+    /// a whole number of pages with minimal tail waste.
+    pub fn slab_pages(&self, idx: usize) -> u64 {
+        let class = self.size_of(idx);
+        let min_regions = if class <= 1024 { 16 } else { 4 };
+        let bytes = class * min_regions;
+        bytes.div_ceil(PAGE_SIZE as u64)
+    }
+
+    /// Regions per slab for class `idx`.
+    pub fn regions_per_slab(&self, idx: usize) -> u64 {
+        self.slab_pages(idx) * PAGE_SIZE as u64 / self.size_of(idx)
+    }
+}
+
+impl Default for SizeClasses {
+    fn default() -> Self {
+        SizeClasses::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_quantum_spaced_low() {
+        let c = SizeClasses::new();
+        assert!(c.sizes.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(&c.sizes[..8], &[16, 32, 48, 64, 80, 96, 112, 128]);
+    }
+
+    #[test]
+    fn four_classes_per_doubling() {
+        let c = SizeClasses::new();
+        // Between 128 and 256 there are exactly 4 classes: 160 192 224 256.
+        let mid: Vec<u64> =
+            c.sizes.iter().copied().filter(|&s| s > 128 && s <= 256).collect();
+        assert_eq!(mid, vec![160, 192, 224, 256]);
+    }
+
+    #[test]
+    fn class_for_rounds_up() {
+        let c = SizeClasses::new();
+        for (req, want) in [(1, 16), (16, 16), (17, 32), (129, 160), (14336, 14336)] {
+            let idx = c.class_for(req).unwrap();
+            assert_eq!(c.size_of(idx), want, "req={req}");
+        }
+        assert!(c.class_for(SMALL_MAX + 1).is_none());
+    }
+
+    #[test]
+    fn every_class_fits_its_requests() {
+        let c = SizeClasses::new();
+        for req in 1..=SMALL_MAX {
+            let idx = c.class_for(req).unwrap();
+            let got = c.size_of(idx);
+            assert!(got >= req);
+            if idx > 0 {
+                assert!(c.size_of(idx - 1) < req, "not the tightest class for {req}");
+            }
+        }
+    }
+
+    #[test]
+    fn slabs_hold_enough_regions() {
+        let c = SizeClasses::new();
+        for idx in 0..c.count() {
+            let regions = c.regions_per_slab(idx);
+            let min = if c.size_of(idx) <= 1024 { 16 } else { 4 };
+            assert!(regions >= min, "class {} has {regions} regions", c.size_of(idx));
+            // Whole number of regions never overruns the slab.
+            assert!(regions * c.size_of(idx) <= c.slab_pages(idx) * PAGE_SIZE as u64);
+        }
+    }
+
+    #[test]
+    fn largest_class_is_small_max() {
+        let c = SizeClasses::new();
+        assert_eq!(*c.sizes.last().unwrap(), SMALL_MAX);
+    }
+}

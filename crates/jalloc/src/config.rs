@@ -1,0 +1,86 @@
+//! Allocator configuration.
+
+/// How freed extents release their physical pages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PurgePolicy {
+    /// JeMalloc's default: `madvise(MADV_DONTNEED)`-style. The extent is
+    /// decommitted but stays readable; the next touch (including a naive
+    /// memory sweep!) demand-commits it back to zeroes, re-inflating RSS.
+    #[default]
+    Madvise,
+    /// The paper's extent-hook pair (§4.5): decommit **and** protect. The
+    /// range faults on access, so sweeps observe `Protected` and skip it;
+    /// reuse commits and restores protection.
+    CommitDecommit,
+}
+
+/// Tunables for [`crate::JAlloc`].
+///
+/// # Example
+///
+/// ```
+/// use jalloc::{JallocConfig, PurgePolicy};
+/// let cfg = JallocConfig::minesweeper();
+/// assert_eq!(cfg.purge_policy, PurgePolicy::CommitDecommit);
+/// assert!(cfg.end_padding);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JallocConfig {
+    /// Purge behaviour for freed extents.
+    pub purge_policy: PurgePolicy,
+    /// Grow every request by 1 byte so C/C++ `end()` pointers stay inside
+    /// the allocation (§3.2). The paper's modified JeMalloc enables this.
+    pub end_padding: bool,
+    /// Enable the thread-local cache of small regions.
+    pub tcache: bool,
+    /// Virtual-time age (in cycles) after which a free dirty extent is
+    /// purged by [`crate::JAlloc::purge_aged`]. Models jemalloc's 10 s decay
+    /// curve, scaled to simulated time.
+    pub decay_cycles: u64,
+}
+
+impl JallocConfig {
+    /// Stock JeMalloc behaviour (the paper's baseline).
+    pub fn stock() -> Self {
+        JallocConfig {
+            purge_policy: PurgePolicy::Madvise,
+            end_padding: false,
+            tcache: true,
+            decay_cycles: 10_000_000_000, // ~10 s at 1 GHz virtual clock
+        }
+    }
+
+    /// The minimally modified JeMalloc the paper ships: end-pointer padding
+    /// plus commit/decommit extent hooks.
+    pub fn minesweeper() -> Self {
+        JallocConfig {
+            purge_policy: PurgePolicy::CommitDecommit,
+            end_padding: true,
+            ..Self::stock()
+        }
+    }
+}
+
+impl Default for JallocConfig {
+    fn default() -> Self {
+        JallocConfig::stock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_matches_jemalloc_defaults() {
+        let c = JallocConfig::stock();
+        assert_eq!(c.purge_policy, PurgePolicy::Madvise);
+        assert!(!c.end_padding);
+        assert!(c.tcache);
+    }
+
+    #[test]
+    fn default_is_stock() {
+        assert_eq!(JallocConfig::default(), JallocConfig::stock());
+    }
+}

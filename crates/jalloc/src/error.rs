@@ -1,0 +1,53 @@
+//! Allocator errors.
+
+use std::error::Error;
+use std::fmt;
+use vmem::Addr;
+
+/// An invalid `free()` call.
+///
+/// In a baseline run these are the undefined-behaviour events (double free,
+/// free of a wild pointer) that an attacker exploits; the engine records
+/// them as potential compromises. With MineSweeper layered on top they can
+/// no longer reach the allocator: the quarantine de-duplicates double frees
+/// (§3) and only ever forwards allocations it owns.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FreeError {
+    /// The address does not point at the base of a live allocation.
+    InvalidPointer(Addr),
+    /// The address is the base of a region that is already free
+    /// (double free).
+    DoubleFree(Addr),
+}
+
+impl FreeError {
+    /// The offending address.
+    pub fn addr(&self) -> Addr {
+        match *self {
+            FreeError::InvalidPointer(a) | FreeError::DoubleFree(a) => a,
+        }
+    }
+}
+
+impl fmt::Display for FreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FreeError::InvalidPointer(a) => write!(f, "free of invalid pointer {a}"),
+            FreeError::DoubleFree(a) => write!(f, "double free of {a}"),
+        }
+    }
+}
+
+impl Error for FreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_addr() {
+        let e = FreeError::DoubleFree(Addr::new(0x20));
+        assert_eq!(e.to_string(), "double free of 0x20");
+        assert_eq!(e.addr(), Addr::new(0x20));
+    }
+}

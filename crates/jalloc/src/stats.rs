@@ -1,0 +1,49 @@
+//! Allocator statistics.
+
+/// Counters describing a [`crate::JAlloc`]'s state and history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AllocStats {
+    /// Bytes in live allocations, rounded to their size class / page span.
+    /// This is the "total memory use of the application" against which the
+    /// quarantine threshold is compared (§3.2 "When to Sweep").
+    pub allocated_bytes: u64,
+    /// Bytes the caller actually requested (before class rounding and the
+    /// +1 `end()` padding).
+    pub requested_bytes: u64,
+    /// Bytes in active extents (slabs with ≥1 live region + large).
+    pub active_extent_bytes: u64,
+    /// `malloc` calls.
+    pub mallocs: u64,
+    /// Successful `free` calls.
+    pub frees: u64,
+    /// `malloc` fast paths served from the tcache.
+    pub tcache_hits: u64,
+    /// Slabs created.
+    pub slabs_created: u64,
+    /// Extents recycled from the free cache.
+    pub extent_recycles: u64,
+    /// Fresh extents mapped from the OS.
+    pub fresh_maps: u64,
+    /// Pages decommitted by purging.
+    pub purged_pages: u64,
+    /// Explicit `purge_all` calls (MineSweeper triggers one per sweep).
+    pub purge_all_calls: u64,
+}
+
+impl AllocStats {
+    /// Live allocation count.
+    pub fn live_allocations(&self) -> u64 {
+        self.mallocs - self.frees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_allocations_is_mallocs_minus_frees() {
+        let s = AllocStats { mallocs: 10, frees: 4, ..Default::default() };
+        assert_eq!(s.live_allocations(), 6);
+    }
+}

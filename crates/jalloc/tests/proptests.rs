@@ -1,0 +1,162 @@
+//! Property-based tests for the allocator.
+//!
+//! Invariants:
+//! * Live allocations never overlap, and each lies inside an active extent.
+//! * `allocation_range` agrees with the allocator's own bookkeeping for
+//!   every live base and for interior pointers.
+//! * Free + purge never lose mapped memory: RSS ≤ mapped, and purge_all
+//!   drops RSS of the free cache to zero without disturbing live data.
+//! * Double frees and wild frees are always rejected, whatever the history.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use jalloc::{FreeError, JAlloc, JallocConfig, PurgePolicy};
+use vmem::{Addr, AddrSpace};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Malloc { size: u64 },
+    FreeNth { n: usize },
+    DoubleFreeNth { n: usize },
+    PurgeAll,
+    Tick { cycles: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u64..40_000).prop_map(|size| Op::Malloc { size }),
+        4 => any::<usize>().prop_map(|n| Op::FreeNth { n }),
+        1 => any::<usize>().prop_map(|n| Op::DoubleFreeNth { n }),
+        1 => Just(Op::PurgeAll),
+        1 => (1u64..10_000).prop_map(|cycles| Op::Tick { cycles }),
+    ]
+}
+
+fn run_ops(cfg: JallocConfig, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut space = AddrSpace::new();
+    let mut heap = JAlloc::with_config(cfg);
+    let mut live: BTreeMap<u64, u64> = BTreeMap::new(); // base -> usable
+    let mut freed: Vec<Addr> = Vec::new();
+    let mut clock = 0u64;
+
+    for op in ops {
+        match *op {
+            Op::Malloc { size } => {
+                let a = heap.malloc(&mut space, size);
+                let usable = heap.usable_size(a).expect("fresh allocation has a size");
+                prop_assert!(usable >= size, "usable {usable} < requested {size}");
+                // No overlap with any live allocation.
+                if let Some((&b, &l)) = live.range(..=a.raw()).next_back() {
+                    prop_assert!(b + l <= a.raw(), "overlaps predecessor");
+                }
+                if let Some((&b, _)) = live.range(a.raw() + 1..).next() {
+                    prop_assert!(a.raw() + usable <= b, "overlaps successor");
+                }
+                live.insert(a.raw(), usable);
+                // Previously freed bases that got reused are no longer freed.
+                freed.retain(|&f| !(f.raw() >= a.raw() && f.raw() < a.raw() + usable));
+            }
+            Op::FreeNth { n } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let &base = live.keys().nth(n % live.len()).unwrap();
+                heap.free(&mut space, Addr::new(base))
+                    .expect("freeing a live base must succeed");
+                live.remove(&base);
+                freed.push(Addr::new(base));
+            }
+            Op::DoubleFreeNth { n } => {
+                if freed.is_empty() {
+                    continue;
+                }
+                let addr = freed[n % freed.len()];
+                // The address may have been reused (then it's live again and
+                // not in `freed`), so any address still in `freed` must fail.
+                let res = heap.free(&mut space, addr);
+                prop_assert!(
+                    matches!(
+                        res,
+                        Err(FreeError::DoubleFree(_)) | Err(FreeError::InvalidPointer(_))
+                    ),
+                    "double free must be rejected, got {res:?}"
+                );
+            }
+            Op::PurgeAll => {
+                heap.purge_all(&mut space);
+                prop_assert_eq!(heap.free_committed_bytes(&space), 0);
+            }
+            Op::Tick { cycles } => {
+                clock += cycles;
+                heap.advance_clock(clock);
+                heap.purge_aged(&mut space);
+            }
+        }
+
+        // Global invariants.
+        prop_assert!(space.rss_bytes() <= space.mapped_bytes());
+        let ranges = heap.active_ranges();
+        for (&base, &usable) in &live {
+            let a = Addr::new(base);
+            prop_assert_eq!(heap.usable_size(a), Some(usable));
+            let (b2, l2) = heap.allocation_range(a + (usable - 8).min(64)).unwrap();
+            prop_assert_eq!(b2, a, "interior pointer resolves to base");
+            prop_assert_eq!(l2, usable);
+            prop_assert!(
+                ranges.iter().any(|&(rb, rl)| a >= rb && a.raw() + usable <= rb.raw() + rl),
+                "live allocation outside active ranges"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stock_allocator_obeys_invariants(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_ops(JallocConfig::stock(), &ops)?;
+    }
+
+    #[test]
+    fn minesweeper_allocator_obeys_invariants(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_ops(JallocConfig::minesweeper(), &ops)?;
+    }
+
+    #[test]
+    fn no_tcache_allocator_obeys_invariants(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_ops(JallocConfig { tcache: false, ..JallocConfig::stock() }, &ops)?;
+    }
+
+    #[test]
+    fn purge_policies_preserve_live_data(
+        sizes in proptest::collection::vec(1u64..100_000, 1..20),
+        policy in prop_oneof![Just(PurgePolicy::Madvise), Just(PurgePolicy::CommitDecommit)],
+    ) {
+        let mut space = AddrSpace::new();
+        let mut heap = JAlloc::with_config(JallocConfig {
+            purge_policy: policy,
+            ..JallocConfig::stock()
+        });
+        // Allocate, write a signature, free every other one, purge.
+        let addrs: Vec<Addr> = sizes.iter().map(|&s| {
+            let a = heap.malloc(&mut space, s.max(8));
+            space.write_word(a, a.raw() ^ 0xabcd).unwrap();
+            a
+        }).collect();
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % 2 == 1 {
+                heap.free(&mut space, a).unwrap();
+            }
+        }
+        heap.purge_all(&mut space);
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % 2 == 0 {
+                prop_assert_eq!(space.read_word(a).unwrap(), a.raw() ^ 0xabcd,
+                    "purge must not corrupt live allocation {}", i);
+            }
+        }
+    }
+}

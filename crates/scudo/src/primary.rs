@@ -1,0 +1,170 @@
+//! The primary allocator: one isolated region per size class with
+//! randomized free-list recycling and `releaseToOS` page reclamation.
+
+use vmem::{Addr, AddrSpace, PageIdx, PageRange, PAGE_SIZE};
+
+/// Pages reserved per region growth step.
+const GROW_PAGES: u64 = 64;
+
+/// One size class's region.
+#[derive(Debug)]
+pub(crate) struct Region {
+    block_size: u64,
+    /// Base of the reserved region (set on first use).
+    base: Option<Addr>,
+    /// Bytes carved from the region so far (bump frontier).
+    carved: u64,
+    /// Bytes mapped so far.
+    mapped: u64,
+    /// Freed blocks awaiting reuse.
+    free_list: Vec<Addr>,
+    /// Cheap xorshift state for free-list shuffling (deterministic).
+    rng: u64,
+    /// Live blocks per region page (for releaseToOS), indexed by page
+    /// offset within the region.
+    page_live: Vec<u32>,
+}
+
+impl Region {
+    pub(crate) fn new(block_size: u64) -> Self {
+        Region {
+            block_size,
+            base: None,
+            carved: 0,
+            mapped: 0,
+            free_list: Vec::new(),
+            rng: 0x5c0d_0001 ^ block_size,
+            page_live: Vec::new(),
+        }
+    }
+
+    fn next_rand(&mut self, n: u64) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d)) % n.max(1)
+    }
+
+    /// Allocates one block: randomized pick from the free list, else bump.
+    pub(crate) fn allocate(&mut self, space: &mut AddrSpace, _now: u64) -> Addr {
+        if !self.free_list.is_empty() {
+            // Swap-remove a pseudo-random entry: O(1) and order-breaking.
+            let idx = self.next_rand(self.free_list.len() as u64) as usize;
+            let addr = self.free_list.swap_remove(idx);
+            self.pin(space, addr);
+            return addr;
+        }
+        let base = match self.base {
+            Some(b) => b,
+            None => {
+                let b = space.reserve_heap(1 << 14); // 64 MiB region VA
+                self.base = Some(b);
+                b
+            }
+        };
+        if self.carved + self.block_size > self.mapped {
+            space
+                .map(base.add_bytes(self.mapped), GROW_PAGES)
+                .expect("region VA is exclusively ours");
+            self.mapped += GROW_PAGES * PAGE_SIZE as u64;
+            self.page_live.resize((self.mapped / PAGE_SIZE as u64) as usize, 0);
+        }
+        let addr = base.add_bytes(self.carved);
+        self.carved += self.block_size;
+        self.pin(space, addr);
+        addr
+    }
+
+    /// Returns a block to the (randomized) free list.
+    pub(crate) fn deallocate(&mut self, addr: Addr, _now: u64) {
+        self.unpin(addr);
+        self.free_list.push(addr);
+    }
+
+    fn pin(&mut self, space: &mut AddrSpace, addr: Addr) {
+        let base = self.base.expect("allocating region has a base");
+        for page in PageRange::spanning(addr, self.block_size).iter() {
+            let idx = (page.base().offset_from(base) / PAGE_SIZE as u64) as usize;
+            if self.page_live[idx] == 0 {
+                // Page may have been released; make sure it is usable.
+                space.commit(PageRange::new(page, 1)).expect("region page is mapped");
+            }
+            self.page_live[idx] += 1;
+        }
+    }
+
+    fn unpin(&mut self, addr: Addr) {
+        let base = self.base.expect("deallocating region has a base");
+        for page in PageRange::spanning(addr, self.block_size).iter() {
+            let idx = (page.base().offset_from(base) / PAGE_SIZE as u64) as usize;
+            self.page_live[idx] -= 1;
+        }
+    }
+
+    /// Decommits pages with no live blocks. Returns pages released.
+    pub(crate) fn release_to_os(&mut self, space: &mut AddrSpace) -> u64 {
+        let Some(base) = self.base else { return 0 };
+        let mut released = 0;
+        for (idx, &live) in self.page_live.iter().enumerate() {
+            if live == 0 {
+                let page = PageIdx::new(base.page().raw() + idx as u64);
+                if space.is_committed(page.base()) {
+                    space.decommit(PageRange::new(page, 1)).expect("mapped");
+                    released += 1;
+                }
+            }
+        }
+        released
+    }
+
+    /// The carved (potentially live) prefix of the region, for sweeps.
+    pub(crate) fn carved_range(&self) -> Option<(Addr, u64)> {
+        let base = self.base?;
+        (self.carved > 0).then_some((base, self.carved))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_then_randomized_reuse() {
+        let mut space = AddrSpace::new();
+        let mut r = Region::new(64);
+        let a = r.allocate(&mut space, 0);
+        let b = r.allocate(&mut space, 0);
+        assert_eq!(b.offset_from(a), 64, "bump carve is contiguous");
+        r.deallocate(a, 0);
+        r.deallocate(b, 0);
+        let c = r.allocate(&mut space, 0);
+        assert!(c == a || c == b, "reuse comes from the free list");
+    }
+
+    #[test]
+    fn release_and_recommit_cycle() {
+        let mut space = AddrSpace::new();
+        let mut r = Region::new(4096);
+        let a = r.allocate(&mut space, 0);
+        space.write_word(a, 9).unwrap();
+        r.deallocate(a, 0);
+        assert_eq!(r.release_to_os(&mut space), 1);
+        let b = r.allocate(&mut space, 0);
+        assert_eq!(b, a, "single free block comes back");
+        assert_eq!(space.read_word(b).unwrap(), 0, "released page is demand-zero");
+    }
+
+    #[test]
+    fn carved_range_tracks_frontier() {
+        let mut space = AddrSpace::new();
+        let mut r = Region::new(32);
+        assert!(r.carved_range().is_none());
+        let a = r.allocate(&mut space, 0);
+        let (base, len) = r.carved_range().unwrap();
+        assert_eq!(base, a);
+        assert_eq!(len, 32);
+    }
+}

@@ -1,0 +1,71 @@
+//! The secondary allocator: page-granular mappings for large requests,
+//! unmapped (decommitted + protected) on free.
+
+use std::collections::HashMap;
+
+use vmem::{Addr, AddrSpace, PageRange, Protection, PAGE_SIZE};
+
+#[derive(Debug, Default)]
+pub(crate) struct Secondary {
+    /// Live large allocations: base -> rounded size.
+    live: HashMap<u64, u64>,
+}
+
+impl Secondary {
+    pub(crate) fn new() -> Self {
+        Secondary::default()
+    }
+
+    /// Maps a fresh page-granular allocation. Returns `(base, rounded)`.
+    pub(crate) fn allocate(&mut self, space: &mut AddrSpace, req: u64) -> (Addr, u64) {
+        let pages = req.div_ceil(PAGE_SIZE as u64);
+        let base = space.reserve_heap(pages);
+        space.map(base, pages).expect("fresh VA");
+        let rounded = pages * PAGE_SIZE as u64;
+        self.live.insert(base.raw(), rounded);
+        (base, rounded)
+    }
+
+    /// Releases an allocation: backing discarded, range protected (Scudo
+    /// unmaps; dangling access faults). Returns `(rounded, pages)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a live secondary base (the ledger validated
+    /// it).
+    pub(crate) fn deallocate(&mut self, space: &mut AddrSpace, addr: Addr) -> (u64, u64) {
+        let rounded = self.live.remove(&addr.raw()).expect("ledger-validated base");
+        let range = PageRange::spanning(addr, rounded);
+        space.decommit(range).expect("mapped");
+        space.protect(range, Protection::None).expect("mapped");
+        (rounded, range.page_count())
+    }
+
+    pub(crate) fn usable(&self, addr: Addr) -> Option<u64> {
+        self.live.get(&addr.raw()).copied()
+    }
+
+    /// Live allocations as sweep ranges.
+    pub(crate) fn ranges(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        self.live.iter().map(|(&b, &l)| (Addr::new(b), l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_fault_after_free() {
+        let mut space = AddrSpace::new();
+        let mut s = Secondary::new();
+        let (a, rounded) = s.allocate(&mut space, 100_000);
+        assert_eq!(rounded, 25 * PAGE_SIZE as u64);
+        assert_eq!(s.usable(a), Some(rounded));
+        space.write_word(a, 1).unwrap();
+        let (r2, pages) = s.deallocate(&mut space, a);
+        assert_eq!((r2, pages), (rounded, 25));
+        assert!(space.write_word(a, 2).is_err(), "freed secondary faults");
+        assert_eq!(s.usable(a), None);
+    }
+}

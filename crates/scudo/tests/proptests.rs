@@ -1,0 +1,104 @@
+//! Property tests for the Scudo-style substrate.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use scudo::Scudo;
+use vmem::{Addr, AddrSpace};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Malloc { size: u64 },
+    FreeNth { n: usize },
+    Release,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (1u64..200_000).prop_map(|size| Op::Malloc { size }),
+        4 => any::<usize>().prop_map(|n| Op::FreeNth { n }),
+        1 => Just(Op::Release),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scudo_never_overlaps_live_allocations(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let mut space = AddrSpace::new();
+        let mut heap = Scudo::new();
+        let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Malloc { size } => {
+                    let a = heap.allocate(&mut space, size);
+                    let usable = heap.usable(a).expect("fresh allocation");
+                    prop_assert!(usable > size, "usable covers the +1 end byte");
+                    if let Some((&b, &l)) = live.range(..=a.raw()).next_back() {
+                        prop_assert!(b + l <= a.raw(), "overlaps predecessor");
+                    }
+                    if let Some((&b, _)) = live.range(a.raw() + 1..).next() {
+                        prop_assert!(a.raw() + usable <= b, "overlaps successor");
+                    }
+                    // Writable end to end.
+                    space.write_word(a, 1).unwrap();
+                    space.write_word(a.add_bytes(usable / 8 * 8 - 8), 2).unwrap();
+                    live.insert(a.raw(), usable);
+                }
+                Op::FreeNth { n } => {
+                    if live.is_empty() { continue; }
+                    let &base = live.keys().nth(n % live.len()).unwrap();
+                    heap.deallocate(&mut space, Addr::new(base)).unwrap();
+                    live.remove(&base);
+                    // Immediate double free must be rejected.
+                    prop_assert!(heap.deallocate(&mut space, Addr::new(base)).is_err());
+                }
+                Op::Release => {
+                    heap.release_to_os(&mut space);
+                }
+            }
+            // Every live allocation stays inside a swept range.
+            let ranges = heap.ranges();
+            for (&b, &l) in &live {
+                prop_assert!(
+                    ranges.iter().any(|&(rb, rl)| b >= rb.raw()
+                        && b + l <= rb.raw() + rl),
+                    "live allocation escapes sweep ranges"
+                );
+            }
+            prop_assert_eq!(
+                heap.stats().allocated_bytes,
+                live.values().sum::<u64>(),
+                "allocated-bytes ledger balances"
+            );
+        }
+    }
+
+    #[test]
+    fn release_to_os_never_corrupts_live_data(
+        sizes in proptest::collection::vec(1u64..4000, 1..40)
+    ) {
+        let mut space = AddrSpace::new();
+        let mut heap = Scudo::new();
+        let addrs: Vec<Addr> = sizes.iter().map(|&s| {
+            let a = heap.allocate(&mut space, s);
+            space.write_word(a, a.raw() ^ 0x77).unwrap();
+            a
+        }).collect();
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % 2 == 0 {
+                heap.deallocate(&mut space, a).unwrap();
+            }
+        }
+        heap.release_to_os(&mut space);
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % 2 == 1 {
+                prop_assert_eq!(space.read_word(a).unwrap(), a.raw() ^ 0x77);
+            }
+        }
+    }
+}

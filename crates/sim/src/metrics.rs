@@ -1,0 +1,142 @@
+//! Run metrics: virtual-time accounting and RSS traces.
+
+/// Everything measured during one simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// System-under-test label ("baseline", "minesweeper", …).
+    pub system: String,
+    /// Virtual cycles of mutator-visible time: compute + allocator calls +
+    /// mitigation work on the critical path (zeroing, syscalls, pauses,
+    /// stop-the-world). This is the "run time" of the paper's slowdown
+    /// figures.
+    pub mutator_cycles: u64,
+    /// Virtual cycles consumed by background threads (sweepers, purgers).
+    /// Drives the Figure 12 CPU-utilisation overhead.
+    pub background_cycles: u64,
+    /// `(virtual time, RSS bytes)` samples — the PSRecord trace.
+    pub rss_series: Vec<(u64, u64)>,
+    /// Peak RSS observed.
+    pub peak_rss: u64,
+    /// Sweeps / collections performed.
+    pub sweeps: u64,
+    /// Failed frees (entries retained by sweeps).
+    pub failed_frees: u64,
+    /// Allocations performed.
+    pub allocs: u64,
+    /// Frees performed.
+    pub frees: u64,
+    /// Cycles the mutator spent paused waiting for an overloaded sweep.
+    pub pause_cycles: u64,
+    /// Cycles of stop-the-world re-checking charged to the mutator.
+    pub stw_cycles: u64,
+    /// Pages re-inflated by sweeps demand-committing purged memory (only
+    /// non-zero with `madvise`-style purging, §4.5).
+    pub sweep_demand_commits: u64,
+}
+
+impl RunMetrics {
+    /// Time-weighted average RSS in bytes.
+    pub fn avg_rss(&self) -> f64 {
+        if self.rss_series.len() < 2 {
+            return self.rss_series.first().map_or(0.0, |&(_, r)| r as f64);
+        }
+        let mut weighted = 0.0;
+        for pair in self.rss_series.windows(2) {
+            let (t0, r0) = pair[0];
+            let (t1, _) = pair[1];
+            weighted += r0 as f64 * (t1 - t0) as f64;
+        }
+        let span = self.rss_series.last().unwrap().0 - self.rss_series[0].0;
+        if span == 0 {
+            self.rss_series[0].1 as f64
+        } else {
+            weighted / span as f64
+        }
+    }
+
+    /// Wall-clock slowdown factor relative to a baseline run of the same
+    /// trace.
+    pub fn slowdown_vs(&self, baseline: &RunMetrics) -> f64 {
+        self.mutator_cycles as f64 / baseline.mutator_cycles.max(1) as f64
+    }
+
+    /// Average-memory overhead factor relative to a baseline run.
+    pub fn memory_overhead_vs(&self, baseline: &RunMetrics) -> f64 {
+        self.avg_rss() / baseline.avg_rss().max(1.0)
+    }
+
+    /// Peak-memory overhead factor relative to a baseline run.
+    pub fn peak_overhead_vs(&self, baseline: &RunMetrics) -> f64 {
+        self.peak_rss as f64 / baseline.peak_rss.max(1) as f64
+    }
+
+    /// CPU-utilisation factor: total cycles burned (mutator + background)
+    /// over mutator cycles. 1.0 = no extra threads (Figure 12).
+    pub fn cpu_utilisation(&self) -> f64 {
+        (self.mutator_cycles + self.background_cycles) as f64
+            / self.mutator_cycles.max(1) as f64
+    }
+}
+
+/// Geometric mean of a slice of factors.
+///
+/// # Panics
+///
+/// Panics if any factor is non-positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive factors");
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_rss_is_time_weighted() {
+        let m = RunMetrics {
+            rss_series: vec![(0, 100), (10, 100), (20, 400), (40, 400)],
+            ..Default::default()
+        };
+        // 100 for half the span [0,20), 400 for [20,40).
+        assert!((m.avg_rss() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios() {
+        let base = RunMetrics {
+            mutator_cycles: 1000,
+            rss_series: vec![(0, 100), (10, 100)],
+            peak_rss: 100,
+            ..Default::default()
+        };
+        let sys = RunMetrics {
+            mutator_cycles: 1100,
+            background_cycles: 110,
+            rss_series: vec![(0, 120), (10, 120)],
+            peak_rss: 150,
+            ..Default::default()
+        };
+        assert!((sys.slowdown_vs(&base) - 1.1).abs() < 1e-9);
+        assert!((sys.memory_overhead_vs(&base) - 1.2).abs() < 1e-9);
+        assert!((sys.peak_overhead_vs(&base) - 1.5).abs() < 1e-9);
+        assert!((sys.cpu_utilisation() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Plain-text table formatting for the figure regenerators.
+
+/// Formats an aligned table. The first row is the header; a separator line
+/// is inserted under it. Columns are right-aligned except the first.
+///
+/// # Example
+///
+/// ```
+/// let t = sim::report::table(&[
+///     vec!["bench".into(), "slowdown".into()],
+///     vec!["xalancbmk".into(), "1.73".into()],
+/// ]);
+/// assert!(t.contains("xalancbmk"));
+/// ```
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats a factor as `1.234x`.
+pub fn fx(x: f64) -> String {
+    format!("{x:.3}x")
+}
+
+/// Formats an optional paper-reported factor, or `-`.
+pub fn fx_opt(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".to_string(), fx)
+}
+
+/// Formats bytes with a binary-unit suffix.
+pub fn bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&[
+            vec!["name".into(), "x".into()],
+            vec!["longer-name".into(), "1.5".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].starts_with("longer-name"));
+        assert!(lines[0].ends_with("  x") || lines[0].contains('x'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fx(1.2345), "1.234x");
+        assert_eq!(fx_opt(None), "-");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.0 KiB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(table(&[]), "");
+    }
+}

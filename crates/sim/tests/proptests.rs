@@ -1,0 +1,99 @@
+//! Property tests for the simulation engine: for arbitrary small
+//! profiles, every system preserves the cross-cutting invariants (a
+//! `cargo test`-sized version of the `soak` binary).
+
+use proptest::prelude::*;
+
+use sim::{run, System};
+use workloads::{LifetimeDist, Profile, SizeDist};
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        100u64..1_500,
+        50u64..10_000,
+        0.0f64..1.2,   // ptr_density
+        0.0f64..0.03,  // dangling
+        0.0f64..1.5,   // cache sensitivity
+        1u32..5,       // phases
+        0.0f64..0.3,   // phase_frac
+    )
+        .prop_map(|(allocs, cpa, ptr, dangling, sens, phases, pfrac)| Profile {
+            total_allocs: allocs,
+            cycles_per_alloc: cpa,
+            size_dist: SizeDist::LogNormal { median: 96, sigma: 2.5, cap: 64 * 1024 },
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.85, LifetimeDist::Exp(120.0)),
+                (0.13, LifetimeDist::Exp(2_500.0)),
+                (0.02, LifetimeDist::Permanent),
+            ]),
+            ptr_density: ptr,
+            dangling_rate: dangling,
+            cache_sensitivity: sens,
+            phases,
+            phase_frac: pfrac,
+            ..Profile::demo()
+        })
+}
+
+fn arb_system() -> impl Strategy<Value = System> {
+    prop_oneof![
+        Just(System::minesweeper_default()),
+        Just(System::minesweeper_mostly()),
+        Just(System::markus_default()),
+        Just(System::FfMalloc),
+        Just(System::ScudoBaseline),
+        Just(System::minesweeper_scudo()),
+        Just(System::CrCount),
+        Just(System::Oscar),
+        Just(System::PSweeper),
+        Just(System::DangSan),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_system_any_profile_preserves_invariants(
+        profile in arb_profile(),
+        system in arb_system(),
+        seed in any::<u64>(),
+    ) {
+        let base = run(&profile, System::Baseline, seed);
+        prop_assert_eq!(base.allocs, profile.total_allocs);
+        prop_assert_eq!(base.frees, profile.total_allocs);
+        prop_assert_eq!(base.background_cycles, 0);
+
+        let m = run(&profile, system, seed);
+        prop_assert_eq!(m.allocs, profile.total_allocs);
+        prop_assert_eq!(m.frees, profile.total_allocs, "no system may lose frees");
+        // Sub-1.0 is legitimate: a bump allocator (FFmalloc) can beat the
+        // arena path on zero-reuse micro-profiles, and aggressive purging
+        // can shave baseline RSS costs — Figure 19's axis starts at 0.5.
+        let slowdown = m.slowdown_vs(&base);
+        prop_assert!((0.4..100.0).contains(&slowdown),
+            "{}: slowdown {slowdown}", system.label());
+        // RSS sanity: series is time-monotone and peak dominates it.
+        for w in m.rss_series.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        let series_max = m.rss_series.iter().map(|&(_, r)| r).max().unwrap_or(0);
+        prop_assert!(m.peak_rss >= series_max);
+        prop_assert!(m.cpu_utilisation() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs_for_any_system(
+        profile in arb_profile(),
+        system in arb_system(),
+        seed in any::<u64>(),
+    ) {
+        let a = run(&profile, system, seed);
+        let b = run(&profile, system, seed);
+        prop_assert_eq!(a.mutator_cycles, b.mutator_cycles);
+        prop_assert_eq!(a.background_cycles, b.background_cycles);
+        prop_assert_eq!(a.peak_rss, b.peak_rss);
+        prop_assert_eq!(a.sweeps, b.sweeps);
+        prop_assert_eq!(a.failed_frees, b.failed_frees);
+    }
+}

@@ -1,0 +1,395 @@
+//! Address arithmetic newtypes.
+//!
+//! All of the workspace's "pointer" maths goes through [`Addr`] and
+//! [`PageIdx`] so that byte offsets, word indices, granule indices and page
+//! indices can never be confused — a large class of off-by-shift bugs in
+//! shadow-map code is ruled out statically.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Size of a simulated page in bytes (4 KiB, matching x86-64 Linux).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Size of a machine word in bytes. The sweep inspects memory one aligned
+/// word at a time, treating each as a potential pointer (§3.2 of the paper).
+pub const WORD_SIZE: usize = 8;
+
+/// Size of a shadow-map granule in bytes. The paper uses "one bit per every
+/// 128 bits; the smallest allocation granule" (§3.2).
+pub const GRANULE_SIZE: usize = 16;
+
+/// A byte address in the simulated virtual address space.
+///
+/// `Addr` is a plain 64-bit value with helpers for alignment and page/word
+/// decomposition. It is deliberately *not* a pointer: dereferencing goes
+/// through [`crate::AddrSpace`], which enforces mapping and protection.
+///
+/// # Example
+///
+/// ```
+/// use vmem::{Addr, PAGE_SIZE};
+/// let a = Addr::new(0x1_0000_0123);
+/// assert_eq!(a.page().base(), Addr::new(0x1_0000_0000));
+/// assert_eq!(a.align_down(8), Addr::new(0x1_0000_0120));
+/// assert_eq!(a.align_up(PAGE_SIZE as u64), Addr::new(0x1_0000_1000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. Never a valid allocation target: the heap, stack
+    /// and globals segments all live far above it, so zeroed memory can
+    /// never be mistaken for a pointer by the sweep.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw 64-bit value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of the page containing this address.
+    #[inline]
+    pub const fn page(self) -> PageIdx {
+        PageIdx(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// Byte offset of this address within its page.
+    #[inline]
+    pub const fn page_offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// Index of the word within its page (for word-granular page storage).
+    #[inline]
+    pub const fn word_in_page(self) -> usize {
+        self.page_offset() / WORD_SIZE
+    }
+
+    /// Global granule index (address / 16). This is the shadow-map index
+    /// `g(p)` from Figure 5 of the paper.
+    #[inline]
+    pub const fn granule(self) -> u64 {
+        self.0 / GRANULE_SIZE as u64
+    }
+
+    /// Returns `true` if the address is aligned to `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (align - 1) == 0
+    }
+
+    /// Rounds down to a multiple of `align` (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[inline]
+    pub fn align_down(self, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr(self.0 & !(align - 1))
+    }
+
+    /// Rounds up to a multiple of `align` (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or on address overflow.
+    #[inline]
+    pub fn align_up(self, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr(self.0.checked_add(align - 1).expect("address overflow") & !(align - 1))
+    }
+
+    /// Byte offset from `base` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self < base`.
+    #[inline]
+    pub fn offset_from(self, base: Addr) -> u64 {
+        self.0.checked_sub(base.0).expect("offset_from: address below base")
+    }
+
+    /// The address `self + bytes`, checked against overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address overflow.
+    #[inline]
+    pub fn add_bytes(self, bytes: u64) -> Addr {
+        Addr(self.0.checked_add(bytes).expect("address overflow"))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        self.add_bytes(rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = self.add_bytes(rhs);
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    fn sub(self, rhs: Addr) -> u64 {
+        self.offset_from(rhs)
+    }
+}
+
+/// Index of a 4 KiB page in the simulated address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PageIdx(u64);
+
+impl PageIdx {
+    /// Creates a page index from its raw value (`address / PAGE_SIZE`).
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PageIdx(raw)
+    }
+
+    /// The raw index value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Base address of this page.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr::new(self.0 * PAGE_SIZE as u64)
+    }
+
+    /// The next page.
+    #[inline]
+    pub const fn next(self) -> PageIdx {
+        PageIdx(self.0 + 1)
+    }
+}
+
+/// A half-open range of pages `[start, end)`.
+///
+/// # Example
+///
+/// ```
+/// use vmem::{Addr, PageRange, PAGE_SIZE};
+/// let r = PageRange::spanning(Addr::new(100), 5000);
+/// assert_eq!(r.page_count(), 2); // bytes 100..5100 touch pages 0 and 1
+/// assert_eq!(r.byte_len(), 2 * PAGE_SIZE as u64);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PageRange {
+    start: PageIdx,
+    end: PageIdx,
+}
+
+impl PageRange {
+    /// Range of `count` pages starting at `start`.
+    pub fn new(start: PageIdx, count: u64) -> Self {
+        PageRange { start, end: PageIdx(start.0 + count) }
+    }
+
+    /// The smallest page range covering `len` bytes starting at `addr`.
+    /// A zero-length range at `addr` covers no pages.
+    pub fn spanning(addr: Addr, len: u64) -> Self {
+        if len == 0 {
+            let p = addr.page();
+            return PageRange { start: p, end: p };
+        }
+        let start = addr.page();
+        let end = addr.add_bytes(len - 1).page().next();
+        PageRange { start, end }
+    }
+
+    /// The largest page range fully contained in `[addr, addr + len)`.
+    /// Used for §4.2 unmapping: only *full* pages of a quarantined
+    /// allocation can be released.
+    pub fn interior(addr: Addr, len: u64) -> Self {
+        let start_addr = addr.align_up(PAGE_SIZE as u64);
+        let end_addr = addr.add_bytes(len).align_down(PAGE_SIZE as u64);
+        if end_addr.raw() <= start_addr.raw() {
+            let p = start_addr.page();
+            return PageRange { start: p, end: p };
+        }
+        PageRange { start: start_addr.page(), end: end_addr.page() }
+    }
+
+    /// First page in the range.
+    pub fn start(self) -> PageIdx {
+        self.start
+    }
+
+    /// One past the last page in the range.
+    pub fn end(self) -> PageIdx {
+        self.end
+    }
+
+    /// Number of pages in the range.
+    pub fn page_count(self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// Number of bytes covered by the range.
+    pub fn byte_len(self) -> u64 {
+        self.page_count() * PAGE_SIZE as u64
+    }
+
+    /// Returns `true` if the range contains no pages.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates over the page indices in the range.
+    pub fn iter(self) -> impl Iterator<Item = PageIdx> {
+        (self.start.0..self.end.0).map(PageIdx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_decomposition() {
+        let a = Addr::new(3 * PAGE_SIZE as u64 + 24);
+        assert_eq!(a.page(), PageIdx::new(3));
+        assert_eq!(a.page_offset(), 24);
+        assert_eq!(a.word_in_page(), 3);
+        assert_eq!(a.page().base(), Addr::new(3 * PAGE_SIZE as u64));
+    }
+
+    #[test]
+    fn granule_index_matches_paper_figure5() {
+        // Figure 5: for any p pointing into [a, a + size) there is a
+        // corresponding mark bit at granule(p).
+        let a = Addr::new(0x1000);
+        assert_eq!(a.granule(), 0x100);
+        assert_eq!(a.add_bytes(15).granule(), 0x100);
+        assert_eq!(a.add_bytes(16).granule(), 0x101);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let a = Addr::new(100);
+        assert_eq!(a.align_down(16), Addr::new(96));
+        assert_eq!(a.align_up(16), Addr::new(112));
+        assert_eq!(Addr::new(96).align_up(16), Addr::new(96));
+        assert!(Addr::new(96).is_aligned(32));
+        assert!(!Addr::new(100).is_aligned(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_rejects_non_power_of_two() {
+        Addr::new(8).align_up(12);
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = Addr::new(0x1000);
+        assert_eq!(a + 8, Addr::new(0x1008));
+        assert_eq!((a + 24) - a, 24);
+        let mut b = a;
+        b += 16;
+        assert_eq!(b, Addr::new(0x1010));
+    }
+
+    #[test]
+    #[should_panic(expected = "below base")]
+    fn offset_from_rejects_underflow() {
+        Addr::new(8).offset_from(Addr::new(16));
+    }
+
+    #[test]
+    fn spanning_ranges() {
+        let r = PageRange::spanning(Addr::new(0), 1);
+        assert_eq!(r.page_count(), 1);
+        let r = PageRange::spanning(Addr::new(0), PAGE_SIZE as u64);
+        assert_eq!(r.page_count(), 1);
+        let r = PageRange::spanning(Addr::new(1), PAGE_SIZE as u64);
+        assert_eq!(r.page_count(), 2);
+        let r = PageRange::spanning(Addr::new(123), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn interior_ranges_for_unmapping() {
+        // An allocation spanning [100, 100 + 3 pages) only fully covers the
+        // pages strictly inside — the partial head and tail must stay.
+        let r = PageRange::interior(Addr::new(100), 3 * PAGE_SIZE as u64);
+        assert_eq!(r.start(), PageIdx::new(1));
+        assert_eq!(r.page_count(), 2);
+        // Page-aligned allocations cover all their pages.
+        let r = PageRange::interior(Addr::new(PAGE_SIZE as u64), 2 * PAGE_SIZE as u64);
+        assert_eq!(r.page_count(), 2);
+        // Small allocations cover no full page.
+        let r = PageRange::interior(Addr::new(100), 64);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn page_range_iterates_in_order() {
+        let r = PageRange::new(PageIdx::new(5), 3);
+        let pages: Vec<u64> = r.iter().map(PageIdx::raw).collect();
+        assert_eq!(pages, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn null_is_never_in_a_granule_collision_with_heap() {
+        assert!(Addr::NULL.is_null());
+        assert_eq!(Addr::NULL.granule(), 0);
+    }
+}

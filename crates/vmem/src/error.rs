@@ -1,0 +1,84 @@
+//! Memory access and mapping errors.
+
+use crate::Addr;
+use std::error::Error;
+use std::fmt;
+
+/// An invalid operation on the simulated address space.
+///
+/// In the paper's threat model an access to unmapped or protected memory is a
+/// memory-protection violation leading to "immediate clean termination"
+/// (§2) — the benign outcome MineSweeper turns use-after-reallocate exploits
+/// into. The simulation surfaces that as `Unmapped` / `Protected` errors that
+/// the engine records as a clean termination instead of a compromise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// The address is not part of any mapped region (SIGSEGV on real
+    /// hardware).
+    Unmapped(Addr),
+    /// The page is mapped but its protection forbids the access — e.g. a
+    /// quarantined large allocation whose pages MineSweeper has decommitted
+    /// and protected (§4.2).
+    Protected(Addr),
+    /// A mapping request overlaps an existing mapping.
+    AlreadyMapped(Addr),
+    /// The operation requires an alignment the address does not satisfy.
+    Misaligned(Addr),
+}
+
+impl MemError {
+    /// The faulting address.
+    pub fn addr(&self) -> Addr {
+        match *self {
+            MemError::Unmapped(a)
+            | MemError::Protected(a)
+            | MemError::AlreadyMapped(a)
+            | MemError::Misaligned(a) => a,
+        }
+    }
+
+    /// `true` if the error corresponds to a hardware memory-protection
+    /// violation (as opposed to an API misuse such as a double map).
+    pub fn is_fault(&self) -> bool {
+        matches!(self, MemError::Unmapped(_) | MemError::Protected(_))
+    }
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped(a) => write!(f, "access to unmapped address {a}"),
+            MemError::Protected(a) => write!(f, "access to protected address {a}"),
+            MemError::AlreadyMapped(a) => write!(f, "mapping overlaps existing page at {a}"),
+            MemError::Misaligned(a) => write!(f, "misaligned access at {a}"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = MemError::Unmapped(Addr::new(0x40));
+        assert_eq!(e.to_string(), "access to unmapped address 0x40");
+        assert_eq!(e.addr(), Addr::new(0x40));
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(MemError::Unmapped(Addr::NULL).is_fault());
+        assert!(MemError::Protected(Addr::NULL).is_fault());
+        assert!(!MemError::AlreadyMapped(Addr::NULL).is_fault());
+        assert!(!MemError::Misaligned(Addr::NULL).is_fault());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

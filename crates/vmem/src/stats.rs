@@ -1,0 +1,80 @@
+//! Address-space statistics: RSS, mapped bytes, operation counts.
+
+use crate::PAGE_SIZE;
+
+/// Counters describing the state and history of an [`crate::AddrSpace`].
+///
+/// `committed_pages * PAGE_SIZE` is the simulated resident set size (RSS),
+/// the quantity PSRecord samples in the paper's memory-overhead figures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemStats {
+    /// Pages currently mapped (VA reserved).
+    pub mapped_pages: u64,
+    /// Pages currently committed (physically backed; counts towards RSS).
+    pub committed_pages: u64,
+    /// High-water mark of `committed_pages`.
+    pub peak_committed_pages: u64,
+    /// Pages committed on demand by a read or write access (demand paging).
+    pub demand_commits: u64,
+    /// Pages committed explicitly via `commit`.
+    pub explicit_commits: u64,
+    /// Pages decommitted via `decommit`.
+    pub decommits: u64,
+    /// `map` calls.
+    pub maps: u64,
+    /// `unmap` calls.
+    pub unmaps: u64,
+    /// `protect` calls.
+    pub protects: u64,
+}
+
+impl MemStats {
+    /// Current resident set size in bytes.
+    pub fn rss_bytes(&self) -> u64 {
+        self.committed_pages * PAGE_SIZE as u64
+    }
+
+    /// Peak resident set size in bytes.
+    pub fn peak_rss_bytes(&self) -> u64 {
+        self.peak_committed_pages * PAGE_SIZE as u64
+    }
+
+    /// Currently mapped virtual memory in bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_pages * PAGE_SIZE as u64
+    }
+
+    pub(crate) fn on_commit(&mut self, on_demand: bool) {
+        self.committed_pages += 1;
+        if on_demand {
+            self.demand_commits += 1;
+        } else {
+            self.explicit_commits += 1;
+        }
+        self.peak_committed_pages = self.peak_committed_pages.max(self.committed_pages);
+    }
+
+    pub(crate) fn on_decommit(&mut self) {
+        self.committed_pages -= 1;
+        self.decommits += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_tracks_commits_and_peak() {
+        let mut s = MemStats::default();
+        s.on_commit(false);
+        s.on_commit(true);
+        assert_eq!(s.committed_pages, 2);
+        assert_eq!(s.demand_commits, 1);
+        assert_eq!(s.explicit_commits, 1);
+        assert_eq!(s.rss_bytes(), 2 * PAGE_SIZE as u64);
+        s.on_decommit();
+        assert_eq!(s.rss_bytes(), PAGE_SIZE as u64);
+        assert_eq!(s.peak_rss_bytes(), 2 * PAGE_SIZE as u64, "peak survives decommit");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the virtual-memory substrate.
+//!
+//! Invariants checked:
+//! * RSS never exceeds mapped bytes and both are non-negative multiples of
+//!   the page size.
+//! * `read_word` always returns the last value written to an address
+//!   (until decommit/unmap), regardless of the interleaving of mapping,
+//!   commit, decommit and protection operations.
+//! * Decommit + re-access always yields zero (demand-zero paging).
+//! * Soft-dirty tracking is a superset of the pages actually written since
+//!   the last clear.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use vmem::{AddrSpace, PageRange, Protection, PAGE_SIZE, WORD_SIZE};
+
+/// Operations the state machine may apply to a small heap region.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { page: u8, word: u8, value: u64 },
+    Read { page: u8, word: u8 },
+    Decommit { page: u8 },
+    Commit { page: u8 },
+    ProtectNone { page: u8 },
+    ProtectRw { page: u8 },
+    ClearSoftDirty,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, 0u8..64, any::<u64>())
+            .prop_map(|(page, word, value)| Op::Write { page, word, value }),
+        (0u8..8, 0u8..64).prop_map(|(page, word)| Op::Read { page, word }),
+        (0u8..8).prop_map(|page| Op::Decommit { page }),
+        (0u8..8).prop_map(|page| Op::Commit { page }),
+        (0u8..8).prop_map(|page| Op::ProtectNone { page }),
+        (0u8..8).prop_map(|page| Op::ProtectRw { page }),
+        Just(Op::ClearSoftDirty),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn space_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut space = AddrSpace::new();
+        let base = space.reserve_heap(8);
+        space.map(base, 8).unwrap();
+
+        // Reference model: word address -> value, page -> protected?, page -> dirty?
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut protected = [false; 8];
+        let mut dirtied = [false; 8];
+
+        for op in ops {
+            match op {
+                Op::Write { page, word, value } => {
+                    let addr = base + page as u64 * PAGE_SIZE as u64 + word as u64 * WORD_SIZE as u64;
+                    let res = space.write_word(addr, value);
+                    if protected[page as usize] {
+                        prop_assert!(res.is_err(), "write through PROT_NONE must fault");
+                    } else {
+                        prop_assert!(res.is_ok());
+                        model.insert(addr.raw(), value);
+                        dirtied[page as usize] = true;
+                    }
+                }
+                Op::Read { page, word } => {
+                    let addr = base + page as u64 * PAGE_SIZE as u64 + word as u64 * WORD_SIZE as u64;
+                    let res = space.read_word(addr);
+                    if protected[page as usize] {
+                        prop_assert!(res.is_err(), "read through PROT_NONE must fault");
+                    } else {
+                        let expected = model.get(&addr.raw()).copied().unwrap_or(0);
+                        prop_assert_eq!(res.unwrap(), expected);
+                    }
+                }
+                Op::Decommit { page } => {
+                    let addr = base + page as u64 * PAGE_SIZE as u64;
+                    space.decommit(PageRange::spanning(addr, PAGE_SIZE as u64)).unwrap();
+                    // All words on the page now read as zero.
+                    let lo = addr.raw();
+                    model.retain(|&a, _| !(lo..lo + PAGE_SIZE as u64).contains(&a));
+                }
+                Op::Commit { page } => {
+                    let addr = base + page as u64 * PAGE_SIZE as u64;
+                    space.commit(PageRange::spanning(addr, PAGE_SIZE as u64)).unwrap();
+                }
+                Op::ProtectNone { page } => {
+                    let addr = base + page as u64 * PAGE_SIZE as u64;
+                    space.protect(PageRange::spanning(addr, PAGE_SIZE as u64), Protection::None).unwrap();
+                    protected[page as usize] = true;
+                }
+                Op::ProtectRw { page } => {
+                    let addr = base + page as u64 * PAGE_SIZE as u64;
+                    space.protect(PageRange::spanning(addr, PAGE_SIZE as u64), Protection::ReadWrite).unwrap();
+                    protected[page as usize] = false;
+                }
+                Op::ClearSoftDirty => {
+                    space.clear_soft_dirty();
+                    dirtied = [false; 8];
+                }
+            }
+
+            // Global invariants after every step.
+            prop_assert!(space.rss_bytes() <= space.mapped_bytes());
+            prop_assert_eq!(space.rss_bytes() % PAGE_SIZE as u64, 0);
+            prop_assert!(space.stats().peak_rss_bytes() >= space.rss_bytes());
+
+            // Every page we wrote since the last clear is soft-dirty
+            // (the space may report more, e.g. zero-fills, never fewer).
+            for (i, &was_written) in dirtied.iter().enumerate() {
+                if was_written && space.is_committed(base + i as u64 * PAGE_SIZE as u64) {
+                    prop_assert!(
+                        space.is_soft_dirty(base + i as u64 * PAGE_SIZE as u64),
+                        "page {i} written but not soft-dirty"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peek_never_changes_state(
+        words in proptest::collection::vec((0u64..8 * 512, any::<u64>()), 1..50)
+    ) {
+        let mut space = AddrSpace::new();
+        let base = space.reserve_heap(8);
+        space.map(base, 8).unwrap();
+        for &(w, v) in words.iter().take(words.len() / 2) {
+            space.write_word(base + w * WORD_SIZE as u64, v).unwrap();
+        }
+        let rss = space.rss_bytes();
+        let dirty = space.soft_dirty_pages();
+        for &(w, _) in &words {
+            let _ = space.peek_word(base + w * WORD_SIZE as u64);
+        }
+        prop_assert_eq!(space.rss_bytes(), rss);
+        prop_assert_eq!(space.soft_dirty_pages(), dirty);
+    }
+
+    #[test]
+    fn fill_zero_matches_word_writes(
+        start_word in 0u64..500,
+        len_words in 0u64..300,
+        seed in any::<u64>(),
+    ) {
+        let mut a = AddrSpace::new();
+        let mut b = AddrSpace::new();
+        let base_a = a.reserve_heap(2);
+        let base_b = b.reserve_heap(2);
+        a.map(base_a, 2).unwrap();
+        b.map(base_b, 2).unwrap();
+        // Fill both spaces identically.
+        let mut x = seed | 1;
+        for w in 0..1024u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            a.write_word(base_a + w * 8, x).unwrap();
+            b.write_word(base_b + w * 8, x).unwrap();
+        }
+        let len_words = len_words.min(1024 - start_word);
+        a.fill_zero(base_a + start_word * 8, len_words * 8).unwrap();
+        for w in start_word..start_word + len_words {
+            b.write_word(base_b + w * 8, 0).unwrap();
+        }
+        for w in 0..1024u64 {
+            prop_assert_eq!(
+                a.read_word(base_a + w * 8).unwrap(),
+                b.read_word(base_b + w * 8).unwrap(),
+                "word {} differs", w
+            );
+        }
+    }
+}

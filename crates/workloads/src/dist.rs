@@ -1,0 +1,168 @@
+//! Size and lifetime distributions for allocation traces.
+
+use crate::rng::Rng;
+
+/// Allocation-size distribution.
+#[derive(Clone, Debug)]
+pub enum SizeDist {
+    /// Every allocation is exactly this many bytes.
+    Fixed(u64),
+    /// Uniform in `[lo, hi)`.
+    Uniform(u64, u64),
+    /// Log-normal-ish around a median with multiplicative spread
+    /// (`sigma ≥ 1`), clamped to `[8, cap]`. Matches the heavy right tail
+    /// of real malloc size histograms.
+    LogNormal {
+        /// Median size in bytes.
+        median: u64,
+        /// Multiplicative spread (≥ 1).
+        sigma: f64,
+        /// Upper clamp in bytes.
+        cap: u64,
+    },
+    /// Weighted mixture of sub-distributions.
+    Mixture(Vec<(f64, SizeDist)>),
+}
+
+impl SizeDist {
+    /// Draws a size in bytes.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        match self {
+            SizeDist::Fixed(n) => *n,
+            SizeDist::Uniform(lo, hi) => rng.range(*lo, *hi),
+            SizeDist::LogNormal { median, sigma, cap } => {
+                (rng.lognormal(*median as f64, *sigma) as u64).clamp(8, *cap)
+            }
+            SizeDist::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| w).sum();
+                let mut x = rng.f64() * total;
+                for (w, d) in parts {
+                    if x < *w {
+                        return d.sample(rng);
+                    }
+                    x -= w;
+                }
+                parts.last().expect("non-empty mixture").1.sample(rng)
+            }
+        }
+    }
+
+    /// Approximate mean of the distribution (Monte-Carlo with a fixed
+    /// seed; used for Little's-law live-set calibration in tests).
+    pub fn approx_mean(&self) -> f64 {
+        let mut rng = Rng::new(0xd157);
+        let n = 4096;
+        (0..n).map(|_| self.sample(&mut rng) as f64).sum::<f64>() / n as f64
+    }
+}
+
+/// Allocation-lifetime distribution, in units of *allocation events* (an
+/// object with lifetime `k` is freed after `k` further allocations — the
+/// natural clock for heap churn).
+#[derive(Clone, Debug)]
+pub enum LifetimeDist {
+    /// Exponential with the given mean.
+    Exp(f64),
+    /// Exactly this many events.
+    Fixed(u64),
+    /// Never freed during the run (freed in the teardown phase).
+    Permanent,
+    /// Weighted mixture (e.g. mostly short-lived + a long-lived minority —
+    /// the blend that defeats one-time allocators).
+    Mixture(Vec<(f64, LifetimeDist)>),
+}
+
+impl LifetimeDist {
+    /// Draws a lifetime; `None` means permanent.
+    pub fn sample(&self, rng: &mut Rng) -> Option<u64> {
+        match self {
+            LifetimeDist::Exp(mean) => Some(rng.exp(*mean) as u64),
+            LifetimeDist::Fixed(n) => Some(*n),
+            LifetimeDist::Permanent => None,
+            LifetimeDist::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| w).sum();
+                let mut x = rng.f64() * total;
+                for (w, d) in parts {
+                    if x < *w {
+                        return d.sample(rng);
+                    }
+                    x -= w;
+                }
+                parts.last().expect("non-empty mixture").1.sample(rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_uniform() {
+        let mut rng = Rng::new(1);
+        assert_eq!(SizeDist::Fixed(64).sample(&mut rng), 64);
+        for _ in 0..100 {
+            let v = SizeDist::Uniform(10, 20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lognormal_respects_clamps() {
+        let mut rng = Rng::new(2);
+        let d = SizeDist::LogNormal { median: 64, sigma: 4.0, cap: 1000 };
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((8..=1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mixture_hits_all_branches() {
+        let mut rng = Rng::new(3);
+        let d = SizeDist::Mixture(vec![
+            (0.5, SizeDist::Fixed(16)),
+            (0.5, SizeDist::Fixed(1024)),
+        ]);
+        let (mut small, mut big) = (0, 0);
+        for _ in 0..1000 {
+            match d.sample(&mut rng) {
+                16 => small += 1,
+                1024 => big += 1,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(small > 300 && big > 300, "small={small} big={big}");
+    }
+
+    #[test]
+    fn permanent_lifetimes_are_none() {
+        let mut rng = Rng::new(4);
+        assert_eq!(LifetimeDist::Permanent.sample(&mut rng), None);
+        assert_eq!(LifetimeDist::Fixed(7).sample(&mut rng), Some(7));
+    }
+
+    #[test]
+    fn lifetime_mixture_produces_both_kinds() {
+        let mut rng = Rng::new(5);
+        let d = LifetimeDist::Mixture(vec![
+            (0.9, LifetimeDist::Exp(10.0)),
+            (0.1, LifetimeDist::Permanent),
+        ]);
+        let (mut finite, mut permanent) = (0, 0);
+        for _ in 0..1000 {
+            match d.sample(&mut rng) {
+                Some(_) => finite += 1,
+                None => permanent += 1,
+            }
+        }
+        assert!(finite > 800 && permanent > 30, "finite={finite} perm={permanent}");
+    }
+
+    #[test]
+    fn approx_mean_tracks_fixed() {
+        let m = SizeDist::Fixed(100).approx_mean();
+        assert!((99.0..101.0).contains(&m));
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Benchmark workload models for the MineSweeper reproduction.
+//!
+//! The paper evaluates on SPEC CPU2006, SPECspeed2017 and the
+//! mimalloc-bench stress suite. Those binaries are proprietary or
+//! hardware-bound, but everything the evaluation measures is a function of
+//! their *allocation behaviour*: allocation rate, size distribution,
+//! lifetime distribution, live-set size, pointer density. This crate
+//! captures each benchmark as a [`Profile`] of those parameters
+//! (calibrated so the paper's qualitative shapes hold — who is
+//! allocation-heavy, who holds large objects, who mixes lifetimes) and a
+//! deterministic [`TraceGen`] that expands a profile into a stream of
+//! allocator events.
+//!
+//! Scaling: live sets and allocation counts are scaled down ~50–100× from
+//! the real benchmarks so a full figure regeneration runs in minutes;
+//! sweep *counts* scale down accordingly while preserving the
+//! per-benchmark ordering (omnetpp > xalancbmk > gcc > …). See
+//! `EXPERIMENTS.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{spec2006, TraceGen, Op};
+//!
+//! let profile = spec2006::all().into_iter()
+//!     .find(|p| p.name == "xalancbmk").unwrap();
+//! let mut allocs = 0u64;
+//! for op in TraceGen::new(&profile, 42) {
+//!     if let Op::Alloc { .. } = op { allocs += 1; }
+//! }
+//! assert_eq!(allocs, profile.total_allocs);
+//! ```
+
+mod dist;
+pub mod exploit;
+pub mod mimalloc_bench;
+mod profile;
+pub mod recorded;
+mod rng;
+pub mod spec2006;
+pub mod spec2017;
+mod trace;
+
+pub use dist::{LifetimeDist, SizeDist};
+pub use profile::{PaperNumbers, Profile};
+pub use rng::Rng;
+pub use trace::{Op, TraceGen};

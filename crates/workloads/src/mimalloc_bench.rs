@@ -1,0 +1,235 @@
+//! mimalloc-bench stress-test profiles, §5.7 (Figure 19).
+//!
+//! "These tests have extremely high allocation and deallocation rates; most
+//! of them do not do any work, other than allocating and freeing memory."
+//! Accordingly the profiles here have tiny `cycles_per_alloc` (the
+//! allocator *is* the workload), near-zero lifetimes for the alloc/free
+//! ping-pong tests, and FIFO-ish lifetimes for the sh*bench style tests
+//! ("many tests deallocate things entirely in allocation order", which is
+//! why FFmalloc's fragmentation does not manifest here).
+
+use crate::dist::{LifetimeDist, SizeDist};
+use crate::profile::{PaperNumbers, Profile};
+
+fn stress(name: &'static str) -> Profile {
+    Profile {
+        name,
+        suite: "mimalloc",
+        total_allocs: 150_000,
+        cycles_per_alloc: 60,
+        size_dist: SizeDist::LogNormal { median: 64, sigma: 2.0, cap: 8 * 1024 },
+        lifetime: LifetimeDist::Exp(8.0),
+        ptr_density: 0.05,
+        false_ptr_rate: 0.0001,
+        dangling_rate: 0.0,
+        root_slots: 16,
+        threads: 1,
+        cache_sensitivity: 0.8,
+        paper: PaperNumbers {
+            ms_slowdown: Some(2.7),
+            ms_memory: Some(4.0),
+            markus_slowdown: Some(6.7),
+            markus_memory: Some(1.7),
+            ff_slowdown: Some(2.16),
+            ff_memory: Some(7.2),
+            sweeps: None,
+        },
+        ..Profile::demo()
+    }
+}
+
+/// All 16 stress tests, figure order.
+pub fn all() -> Vec<Profile> {
+    vec![
+        Profile {
+            // alloc-test: tight loop of malloc/free of varied small sizes.
+            lifetime: LifetimeDist::Exp(4.0),
+            ..stress("alloc-test1")
+        },
+        Profile { threads: 4, lifetime: LifetimeDist::Exp(4.0), ..stress("alloc-testN") },
+        Profile {
+            // barnes: N-body tree build/teardown; some real work.
+            total_allocs: 40_000,
+            cycles_per_alloc: 900,
+            size_dist: SizeDist::LogNormal { median: 128, sigma: 2.0, cap: 4 * 1024 },
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.7, LifetimeDist::Exp(5_000.0)),
+                (0.3, LifetimeDist::Permanent),
+            ]),
+            ptr_density: 0.4,
+            ..stress("barnes")
+        },
+        Profile {
+            // cache-scratch: false-sharing probe; few allocations.
+            total_allocs: 5_000,
+            cycles_per_alloc: 500,
+            size_dist: SizeDist::Fixed(64),
+            lifetime: LifetimeDist::Exp(2.0),
+            ..stress("cache-scratch1")
+        },
+        Profile {
+            total_allocs: 5_000,
+            cycles_per_alloc: 500,
+            size_dist: SizeDist::Fixed(64),
+            lifetime: LifetimeDist::Exp(2.0),
+            threads: 4,
+            ..stress("cache-scratchN")
+        },
+        Profile {
+            // cfrac: continued-fraction factoring; tiny bignum limbs.
+            total_allocs: 200_000,
+            cycles_per_alloc: 150,
+            size_dist: SizeDist::LogNormal { median: 32, sigma: 1.6, cap: 512 },
+            lifetime: LifetimeDist::Exp(30.0),
+            ..stress("cfrac")
+        },
+        Profile {
+            // espresso: PLA minimiser; moderate sizes, bursty frees.
+            total_allocs: 120_000,
+            cycles_per_alloc: 300,
+            size_dist: SizeDist::LogNormal { median: 96, sigma: 2.5, cap: 16 * 1024 },
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.9, LifetimeDist::Exp(50.0)),
+                (0.1, LifetimeDist::Exp(2_000.0)),
+            ]),
+            ..stress("espresso")
+        },
+        Profile {
+            // glibc-simple: the glibc micro-loop.
+            total_allocs: 250_000,
+            cycles_per_alloc: 40,
+            size_dist: SizeDist::Uniform(16, 1024),
+            lifetime: LifetimeDist::Exp(3.0),
+            ..stress("glibc-simple")
+        },
+        Profile {
+            // glibc-thread: per-thread loops over a 4 MiB baseline — the
+            // paper's 27x relative-memory outlier (footnote 6).
+            total_allocs: 250_000,
+            cycles_per_alloc: 40,
+            size_dist: SizeDist::Uniform(16, 1024),
+            lifetime: LifetimeDist::Exp(3.0),
+            threads: 8,
+            paper: PaperNumbers { ms_memory: Some(27.0), ..stress("x").paper },
+            ..stress("glibc-thread")
+        },
+        Profile {
+            // larson: server-style random replacement across threads.
+            total_allocs: 180_000,
+            cycles_per_alloc: 80,
+            size_dist: SizeDist::Uniform(16, 2048),
+            lifetime: LifetimeDist::Exp(1_000.0),
+            threads: 4,
+            ..stress("larsonN")
+        },
+        Profile {
+            total_allocs: 180_000,
+            cycles_per_alloc: 80,
+            size_dist: SizeDist::Uniform(16, 2048),
+            lifetime: LifetimeDist::Exp(1_000.0),
+            threads: 4,
+            ..stress("larsonN-sized")
+        },
+        Profile {
+            // mstress: bulk build/teardown in allocation order (FIFO) —
+            // FFmalloc's best case.
+            total_allocs: 150_000,
+            cycles_per_alloc: 70,
+            size_dist: SizeDist::LogNormal { median: 128, sigma: 2.0, cap: 32 * 1024 },
+            lifetime: LifetimeDist::Fixed(6_000),
+            threads: 4,
+            ..stress("mstressN")
+        },
+        Profile {
+            // rptest: random pattern test.
+            total_allocs: 160_000,
+            cycles_per_alloc: 90,
+            size_dist: SizeDist::LogNormal { median: 256, sigma: 3.0, cap: 64 * 1024 },
+            lifetime: LifetimeDist::Exp(400.0),
+            threads: 4,
+            ..stress("rptestN")
+        },
+        Profile {
+            // sh6bench: batch alloc, partial free, repeat; FIFO-ish.
+            total_allocs: 170_000,
+            cycles_per_alloc: 60,
+            size_dist: SizeDist::Uniform(8, 400),
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.5, LifetimeDist::Fixed(64)),
+                (0.5, LifetimeDist::Fixed(4_000)),
+            ]),
+            threads: 4,
+            ..stress("sh6benchN")
+        },
+        Profile {
+            total_allocs: 170_000,
+            cycles_per_alloc: 60,
+            size_dist: SizeDist::Uniform(8, 400),
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.5, LifetimeDist::Fixed(64)),
+                (0.5, LifetimeDist::Fixed(4_000)),
+            ]),
+            threads: 8,
+            ..stress("sh8benchN")
+        },
+        Profile {
+            // xmalloc-test: cross-thread free ping-pong, FIFO order.
+            total_allocs: 200_000,
+            cycles_per_alloc: 50,
+            size_dist: SizeDist::Uniform(16, 512),
+            lifetime: LifetimeDist::Fixed(512),
+            threads: 4,
+            ..stress("xmalloc-testN")
+        },
+    ]
+}
+
+/// Looks up a profile by name.
+pub fn by_name(name: &str) -> Option<Profile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_tests() {
+        assert_eq!(all().len(), 16);
+    }
+
+    #[test]
+    fn stress_tests_are_allocation_dominated() {
+        // "most of them do not do any work, other than allocating and
+        // freeing memory": compute between allocations must be tiny
+        // compared to SPEC.
+        for p in all() {
+            assert!(
+                p.cycles_per_alloc <= 1_000,
+                "{} has cycles_per_alloc {}",
+                p.name,
+                p.cycles_per_alloc
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_benchmarks_use_fixed_lifetimes() {
+        for name in ["mstressN", "xmalloc-testN"] {
+            let p = by_name(name).unwrap();
+            assert!(
+                matches!(p.lifetime, LifetimeDist::Fixed(_)),
+                "{name} must free in allocation order"
+            );
+        }
+    }
+
+    #[test]
+    fn names_unique_and_glibc_thread_is_memory_outlier() {
+        let mut names: Vec<&str> = all().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+        assert_eq!(by_name("glibc-thread").unwrap().paper.ms_memory, Some(27.0));
+    }
+}

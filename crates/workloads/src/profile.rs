@@ -1,0 +1,139 @@
+//! Benchmark profiles: the parameter set that characterises one
+//! benchmark's allocation behaviour, plus the paper-reported numbers the
+//! figure regenerators print alongside measurements.
+
+use crate::dist::{LifetimeDist, SizeDist};
+
+/// Paper-reported overheads for one benchmark (factors; 1.0 = no
+/// overhead). `None` where the paper does not report a per-benchmark
+/// value. Used by the benches to print "paper vs measured" rows.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PaperNumbers {
+    /// MineSweeper (fully concurrent) slowdown.
+    pub ms_slowdown: Option<f64>,
+    /// MineSweeper average memory overhead.
+    pub ms_memory: Option<f64>,
+    /// MarkUs slowdown.
+    pub markus_slowdown: Option<f64>,
+    /// MarkUs average memory overhead.
+    pub markus_memory: Option<f64>,
+    /// FFmalloc slowdown.
+    pub ff_slowdown: Option<f64>,
+    /// FFmalloc average memory overhead.
+    pub ff_memory: Option<f64>,
+    /// Sweep count (Figure 14).
+    pub sweeps: Option<u64>,
+}
+
+/// One benchmark's allocation-behaviour model.
+///
+/// The trace generator ([`crate::TraceGen`]) expands a profile into a
+/// deterministic stream of `Work`/`Alloc`/`Free` events; the engine adds
+/// the pointer graph per the `ptr_density` / `false_ptr_rate` /
+/// `dangling_rate` knobs.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Which suite it belongs to ("spec2006", "spec2017", "mimalloc").
+    pub suite: &'static str,
+    /// Allocation events in the (scaled-down) run.
+    pub total_allocs: u64,
+    /// Mean mutator compute cycles between allocation events. Low values =
+    /// allocation-intensive benchmark.
+    pub cycles_per_alloc: u64,
+    /// Allocation sizes.
+    pub size_dist: SizeDist,
+    /// Allocation lifetimes, in allocation events.
+    pub lifetime: LifetimeDist,
+    /// Pointer slots written per 64 bytes of object (object connectivity).
+    pub ptr_density: f64,
+    /// Probability that a data write stores an integer aliasing a live
+    /// allocation (Figure 4's "false pointer").
+    pub false_ptr_rate: f64,
+    /// Probability that a pointer to an object is left dangling when the
+    /// object is freed (instead of being erased by the program first).
+    pub dangling_rate: f64,
+    /// Root pointer slots the mutator keeps on the stack.
+    pub root_slots: u32,
+    /// Mutator threads (SPECspeed2017 starred benchmarks).
+    pub threads: u32,
+    /// Number of program phases. Objects flagged phase-lived (see
+    /// `phase_frac`) are freed in bulk at each phase boundary — gcc-style
+    /// build-then-collapse behaviour, which floods the quarantine and
+    /// drives the paper's worst-case memory overheads (§5.2: gcc 62.7%).
+    pub phases: u32,
+    /// Fraction of allocations that live exactly to the end of the
+    /// current phase.
+    pub phase_frac: f64,
+    /// Fraction of *small* (≤512 B) allocations that become permanent
+    /// "stragglers" — long-lived crumbs sprinkled through the churn
+    /// (interned strings, symbol-table nodes). These are what pin a
+    /// one-time allocator's pages: each costs FFmalloc a whole page
+    /// forever while adding almost nothing to live bytes. Calibrated to
+    /// reproduce FFmalloc's fragmentation at scaled-down allocation
+    /// counts.
+    pub straggler_rate: f64,
+    /// How strongly the benchmark's performance depends on hot allocator
+    /// reuse (its LIFO cache locality). Multiplies the cost model's cold
+    /// first-touch penalty: ~1.5 for tight small-object loops (xalancbmk),
+    /// ~0.3 for workloads whose objects go cold anyway.
+    pub cache_sensitivity: f64,
+    /// Paper-reported numbers for comparison output.
+    pub paper: PaperNumbers,
+}
+
+impl Profile {
+    /// A small, fast default profile for tests and examples.
+    pub fn demo() -> Self {
+        Profile {
+            name: "demo",
+            suite: "demo",
+            total_allocs: 20_000,
+            cycles_per_alloc: 400,
+            size_dist: SizeDist::LogNormal { median: 64, sigma: 3.0, cap: 128 * 1024 },
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.9, LifetimeDist::Exp(200.0)),
+                (0.09, LifetimeDist::Exp(4_000.0)),
+                (0.01, LifetimeDist::Permanent),
+            ]),
+            ptr_density: 0.3,
+            false_ptr_rate: 0.0005,
+            dangling_rate: 0.002,
+            root_slots: 64,
+            threads: 1,
+            phases: 1,
+            phase_frac: 0.0,
+            straggler_rate: 0.0,
+            cache_sensitivity: 0.4,
+            paper: PaperNumbers::default(),
+        }
+    }
+
+    /// Expected live-set size in bytes by Little's law
+    /// (`mean_size × mean_lifetime`), ignoring permanents. Used by tests to
+    /// sanity-check calibrations.
+    pub fn expected_live_bytes(&self) -> f64 {
+        let mean_size = self.size_dist.approx_mean();
+        let mut rng = crate::rng::Rng::new(0x11f3);
+        let n = 4096;
+        let mean_life: f64 = (0..n)
+            .map(|_| self.lifetime.sample(&mut rng).unwrap_or(self.total_allocs) as f64)
+            .sum::<f64>()
+            / n as f64;
+        mean_size * mean_life.min(self.total_allocs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_profile_is_small_and_connected() {
+        let p = Profile::demo();
+        assert!(p.total_allocs <= 50_000);
+        assert!(p.ptr_density > 0.0);
+        assert!(p.expected_live_bytes() > 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic pseudo-random numbers (xoshiro256** seeded by SplitMix64).
+//!
+//! The whole evaluation pipeline must be bit-reproducible: the same seed
+//! produces the same trace, the same pointer graph, the same sweep
+//! decisions, on every machine. We therefore ship a tiny, well-known PRNG
+//! instead of depending on an ecosystem RNG whose stream could change
+//! between releases.
+
+/// A xoshiro256** generator.
+///
+/// # Example
+///
+/// ```
+/// use workloads::Rng;
+/// let mut a = Rng::new(7);
+/// let mut b = Rng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed (SplitMix64-expanded).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Rng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift; bias is negligible for our n << 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (clamped to
+    /// ≥ 1.0 before truncation so it can be used for positive counts).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.f64(); // (0, 1]
+        (-u.ln() * mean).max(1.0)
+    }
+
+    /// Log-normal-ish value: `median * sigma^N(0,1)` approximated with a
+    /// sum of uniforms (Irwin–Hall, 3 terms), cheap and deterministic.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        let n01 = (self.f64() + self.f64() + self.f64() - 1.5) * 2.0; // ~N(0,1)
+        median * sigma.powf(n01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::new(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = Rng::new(2);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exp_has_roughly_the_right_mean() {
+        let mut r = Rng::new(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exp(50.0)).sum();
+        let mean = sum / n as f64;
+        assert!((40.0..60.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_right() {
+        let mut r = Rng::new(4);
+        let mut vals: Vec<f64> = (0..10_001).map(|_| r.lognormal(100.0, 2.0)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[5000];
+        assert!((70.0..140.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(5);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -1,0 +1,515 @@
+//! SPEC CPU2006 (C/C++) benchmark profiles, §5.2.
+//!
+//! Parameters are calibrated per benchmark archetype from the paper's
+//! observations and the literature on SPEC malloc behaviour:
+//!
+//! * **Allocation-intensive** — xalancbmk, omnetpp, perlbench, gcc (and to
+//!   a lesser degree dealII, sphinx3): many small objects, short lifetimes;
+//!   these are where every mitigation shows overheads (Figure 9).
+//! * **Mixed-lifetime churn** — sphinx3, perlbench, omnetpp, xalancbmk mix
+//!   a long-lived minority into the churn, the pattern that makes
+//!   FFmalloc's one-time allocation fragment without bound (Figure 8).
+//! * **Allocation-light** — bzip2, gobmk, h264ref, hmmer, lbm, libquantum,
+//!   mcf, milc, namd, sjeng: a handful of large, long-lived buffers; all
+//!   schemes are near-free here.
+//!
+//! Paper numbers in [`PaperNumbers`] are read off Figures 9–14 (±0.01–0.05
+//! figure-reading precision); `EXPERIMENTS.md` compares them against the
+//! simulation.
+
+use crate::dist::{LifetimeDist, SizeDist};
+use crate::profile::{PaperNumbers, Profile};
+
+fn base(name: &'static str) -> Profile {
+    Profile { name, suite: "spec2006", ..Profile::demo() }
+}
+
+/// Short-lived bulk + long-lived minority + permanent core.
+fn churn_lifetimes(short: f64, long: f64, perm_frac: f64) -> LifetimeDist {
+    LifetimeDist::Mixture(vec![
+        (0.92 - perm_frac, LifetimeDist::Exp(short)),
+        (0.08, LifetimeDist::Exp(long)),
+        (perm_frac, LifetimeDist::Permanent),
+    ])
+}
+
+/// All 19 C/C++ benchmarks, figure order.
+pub fn all() -> Vec<Profile> {
+    vec![
+        Profile {
+            total_allocs: 24_000,
+            cycles_per_alloc: 9_000,
+            size_dist: SizeDist::LogNormal { median: 96, sigma: 4.0, cap: 64 * 1024 },
+            lifetime: churn_lifetimes(1_500.0, 9_000.0, 0.002),
+            ptr_density: 0.35,
+            straggler_rate: 0.003,
+            cache_sensitivity: 0.3,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.02),
+                ms_memory: Some(1.08),
+                markus_slowdown: Some(1.07),
+                markus_memory: Some(1.10),
+                ff_slowdown: Some(1.02),
+                ff_memory: Some(1.45),
+                sweeps: Some(50),
+            },
+            ..base("astar")
+        },
+        Profile {
+            total_allocs: 600,
+            cycles_per_alloc: 300_000,
+            size_dist: SizeDist::Mixture(vec![
+                (0.7, SizeDist::LogNormal { median: 2048, sigma: 3.0, cap: 128 * 1024 }),
+                (0.3, SizeDist::Uniform(128 * 1024, 384 * 1024)),
+            ]),
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.5, LifetimeDist::Exp(100.0)),
+                (0.5, LifetimeDist::Permanent),
+            ]),
+            ptr_density: 0.02,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.01),
+                markus_slowdown: Some(1.01),
+                markus_memory: Some(1.02),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.03),
+                sweeps: Some(1),
+            },
+            ..base("bzip2")
+        },
+        Profile {
+            total_allocs: 60_000,
+            cycles_per_alloc: 4_500,
+            size_dist: SizeDist::LogNormal { median: 120, sigma: 3.5, cap: 256 * 1024 },
+            lifetime: churn_lifetimes(1_500.0, 12_000.0, 0.002),
+            ptr_density: 0.4,
+            straggler_rate: 0.0005,
+            cache_sensitivity: 0.25,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.03),
+                ms_memory: Some(1.10),
+                markus_slowdown: Some(1.12),
+                markus_memory: Some(1.12),
+                ff_slowdown: Some(1.02),
+                ff_memory: Some(1.60),
+                sweeps: Some(120),
+            },
+            ..base("dealII")
+        },
+        Profile {
+            total_allocs: 45_000,
+            cycles_per_alloc: 5_000,
+            // gcc: object churn plus sizeable IR arrays; phases that grow
+            // and collapse, giving MineSweeper its worst memory overhead.
+            size_dist: SizeDist::Mixture(vec![
+                (0.98, SizeDist::LogNormal { median: 160, sigma: 4.0, cap: 64 * 1024 }),
+                (0.02, SizeDist::Uniform(16 * 1024, 128 * 1024)),
+            ]),
+            lifetime: churn_lifetimes(600.0, 8_000.0, 0.002),
+            ptr_density: 0.45,
+            dangling_rate: 0.02,
+            phases: 10,
+            phase_frac: 0.12,
+            straggler_rate: 0.025,
+            cache_sensitivity: 0.5,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.17),
+                ms_memory: Some(1.627),
+                markus_slowdown: Some(1.30),
+                markus_memory: Some(1.35),
+                ff_slowdown: Some(1.05),
+                ff_memory: Some(2.20),
+                sweeps: Some(240),
+            },
+            ..base("gcc")
+        },
+        Profile {
+            total_allocs: 1_500,
+            cycles_per_alloc: 150_000,
+            size_dist: SizeDist::LogNormal { median: 1024, sigma: 3.0, cap: 128 * 1024 },
+            lifetime: churn_lifetimes(300.0, 1_000.0, 0.3),
+            ptr_density: 0.1,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.02),
+                markus_slowdown: Some(1.02),
+                markus_memory: Some(1.03),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.05),
+                sweeps: Some(2),
+            },
+            ..base("gobmk")
+        },
+        Profile {
+            total_allocs: 2_000,
+            cycles_per_alloc: 140_000,
+            size_dist: SizeDist::Mixture(vec![
+                (0.6, SizeDist::LogNormal { median: 4096, sigma: 2.0, cap: 64 * 1024 }),
+                (0.4, SizeDist::Uniform(32 * 1024, 192 * 1024)),
+            ]),
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.6, LifetimeDist::Exp(150.0)),
+                (0.4, LifetimeDist::Permanent),
+            ]),
+            ptr_density: 0.05,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.01),
+                ms_memory: Some(1.02),
+                markus_slowdown: Some(1.03),
+                markus_memory: Some(1.04),
+                ff_slowdown: Some(1.01),
+                ff_memory: Some(1.08),
+                sweeps: Some(3),
+            },
+            ..base("h264ref")
+        },
+        Profile {
+            total_allocs: 1_200,
+            cycles_per_alloc: 200_000,
+            size_dist: SizeDist::LogNormal { median: 8192, sigma: 2.0, cap: 256 * 1024 },
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.7, LifetimeDist::Exp(80.0)),
+                (0.3, LifetimeDist::Permanent),
+            ]),
+            ptr_density: 0.02,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.01),
+                markus_slowdown: Some(1.01),
+                markus_memory: Some(1.02),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.04),
+                sweeps: Some(1),
+            },
+            ..base("hmmer")
+        },
+        Profile {
+            total_allocs: 24,
+            cycles_per_alloc: 4_000_000,
+            // lbm: one huge grid, held for the whole run.
+            size_dist: SizeDist::Uniform(1024 * 1024, 2 * 1024 * 1024),
+            lifetime: LifetimeDist::Permanent,
+            ptr_density: 0.0,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.00),
+                markus_slowdown: Some(1.00),
+                markus_memory: Some(1.01),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.01),
+                sweeps: Some(0),
+            },
+            ..base("lbm")
+        },
+        Profile {
+            total_allocs: 150,
+            cycles_per_alloc: 1_500_000,
+            size_dist: SizeDist::Uniform(128 * 1024, 384 * 1024),
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.3, LifetimeDist::Exp(30.0)),
+                (0.7, LifetimeDist::Permanent),
+            ]),
+            ptr_density: 0.0,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.01),
+                markus_slowdown: Some(1.01),
+                markus_memory: Some(1.01),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.02),
+                sweeps: Some(0),
+            },
+            ..base("libquantum")
+        },
+        Profile {
+            total_allocs: 40,
+            cycles_per_alloc: 5_000_000,
+            // mcf: a few giant arrays; memory-bound, allocation-free.
+            size_dist: SizeDist::Uniform(512 * 1024, 1024 * 1024),
+            lifetime: LifetimeDist::Permanent,
+            ptr_density: 0.05,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.00),
+                markus_slowdown: Some(1.02),
+                markus_memory: Some(1.01),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.01),
+                sweeps: Some(0),
+            },
+            ..base("mcf")
+        },
+        Profile {
+            total_allocs: 800,
+            cycles_per_alloc: 350_000,
+            size_dist: SizeDist::Mixture(vec![
+                (0.5, SizeDist::LogNormal { median: 1024, sigma: 2.5, cap: 64 * 1024 }),
+                (0.5, SizeDist::Uniform(64 * 1024, 256 * 1024)),
+            ]),
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.6, LifetimeDist::Exp(60.0)),
+                (0.4, LifetimeDist::Permanent),
+            ]),
+            ptr_density: 0.01,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.02),
+                markus_slowdown: Some(1.02),
+                markus_memory: Some(1.03),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.06),
+                sweeps: Some(2),
+            },
+            ..base("milc")
+        },
+        Profile {
+            total_allocs: 300,
+            cycles_per_alloc: 900_000,
+            size_dist: SizeDist::LogNormal { median: 16 * 1024, sigma: 2.0, cap: 512 * 1024 },
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.3, LifetimeDist::Exp(40.0)),
+                (0.7, LifetimeDist::Permanent),
+            ]),
+            ptr_density: 0.01,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.01),
+                markus_slowdown: Some(1.01),
+                markus_memory: Some(1.01),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.02),
+                sweeps: Some(0),
+            },
+            ..base("namd")
+        },
+        Profile {
+            total_allocs: 320_000,
+            cycles_per_alloc: 650,
+            // omnetpp: discrete-event simulator, constant small-object
+            // churn — the sweep-count champion (1,075 in the paper).
+            size_dist: SizeDist::LogNormal { median: 72, sigma: 2.5, cap: 16 * 1024 },
+            lifetime: churn_lifetimes(4_000.0, 30_000.0, 0.002),
+            ptr_density: 0.5,
+            dangling_rate: 0.0005,
+            straggler_rate: 0.005,
+            cache_sensitivity: 0.15,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.056),
+                ms_memory: Some(1.14),
+                markus_slowdown: Some(1.42),
+                markus_memory: Some(1.18),
+                ff_slowdown: Some(1.05),
+                ff_memory: Some(5.60),
+                sweeps: Some(1_075),
+            },
+            ..base("omnetpp")
+        },
+        Profile {
+            total_allocs: 220_000,
+            cycles_per_alloc: 1_000,
+            // perlbench: interpreter churn; strings and SVs of mixed size,
+            // plus arena-like long-lived structures.
+            size_dist: SizeDist::Mixture(vec![
+                (0.95, SizeDist::LogNormal { median: 56, sigma: 3.0, cap: 8 * 1024 }),
+                (0.05, SizeDist::Uniform(4 * 1024, 32 * 1024)),
+            ]),
+            lifetime: churn_lifetimes(1_800.0, 20_000.0, 0.002),
+            ptr_density: 0.45,
+            straggler_rate: 0.04,
+            cache_sensitivity: 0.35,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.097),
+                ms_memory: Some(1.12),
+                markus_slowdown: Some(1.35),
+                markus_memory: Some(1.20),
+                ff_slowdown: Some(1.04),
+                ff_memory: Some(10.70),
+                sweeps: Some(400),
+            },
+            ..base("perlbench")
+        },
+        Profile {
+            total_allocs: 14_000,
+            cycles_per_alloc: 16_000,
+            size_dist: SizeDist::LogNormal { median: 144, sigma: 3.0, cap: 32 * 1024 },
+            lifetime: churn_lifetimes(600.0, 6_000.0, 0.002),
+            ptr_density: 0.3,
+            straggler_rate: 0.002,
+            cache_sensitivity: 0.3,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.01),
+                ms_memory: Some(1.05),
+                markus_slowdown: Some(1.06),
+                markus_memory: Some(1.07),
+                ff_slowdown: Some(1.01),
+                ff_memory: Some(1.25),
+                sweeps: Some(25),
+            },
+            ..base("povray")
+        },
+        Profile {
+            total_allocs: 120,
+            cycles_per_alloc: 2_000_000,
+            size_dist: SizeDist::Uniform(64 * 1024, 512 * 1024),
+            lifetime: LifetimeDist::Permanent,
+            ptr_density: 0.0,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.00),
+                markus_slowdown: Some(1.00),
+                markus_memory: Some(1.01),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.01),
+                sweeps: Some(0),
+            },
+            ..base("sjeng")
+        },
+        Profile {
+            total_allocs: 90_000,
+            cycles_per_alloc: 2_800,
+            // sphinx3: acoustic-model churn with a long-lived dictionary —
+            // the Figure 8 trace where FFmalloc's RSS climbs monotonically.
+            size_dist: SizeDist::Mixture(vec![
+                (0.95, SizeDist::LogNormal { median: 96, sigma: 2.5, cap: 16 * 1024 }),
+                (0.05, SizeDist::Uniform(2 * 1024, 32 * 1024)),
+            ]),
+            lifetime: churn_lifetimes(1_200.0, 30_000.0, 0.002),
+            ptr_density: 0.2,
+            straggler_rate: 0.04,
+            cache_sensitivity: 0.25,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.052),
+                ms_memory: Some(1.10),
+                markus_slowdown: Some(1.15),
+                markus_memory: Some(1.15),
+                ff_slowdown: Some(1.03),
+                ff_memory: Some(5.00),
+                sweeps: Some(180),
+            },
+            ..base("sphinx3")
+        },
+        Profile {
+            total_allocs: 8_000,
+            cycles_per_alloc: 26_000,
+            size_dist: SizeDist::Mixture(vec![
+                (0.75, SizeDist::LogNormal { median: 512, sigma: 3.0, cap: 64 * 1024 }),
+                (0.25, SizeDist::Uniform(32 * 1024, 256 * 1024)),
+            ]),
+            lifetime: churn_lifetimes(400.0, 4_000.0, 0.002),
+            ptr_density: 0.1,
+            straggler_rate: 0.003,
+            cache_sensitivity: 0.3,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.02),
+                ms_memory: Some(1.06),
+                markus_slowdown: Some(1.05),
+                markus_memory: Some(1.08),
+                ff_slowdown: Some(1.01),
+                ff_memory: Some(1.40),
+                sweeps: Some(20),
+            },
+            ..base("soplex")
+        },
+        Profile {
+            total_allocs: 260_000,
+            cycles_per_alloc: 500,
+            // xalancbmk: XSLT processor; torrents of tiny DOM nodes, the
+            // paper's worst case (73% slowdown, mostly delay-of-reuse cache
+            // misses; 654 sweeps bunched at the end of the run).
+            size_dist: SizeDist::LogNormal { median: 48, sigma: 2.0, cap: 4 * 1024 },
+            lifetime: churn_lifetimes(9_000.0, 30_000.0, 0.001),
+            ptr_density: 0.55,
+            dangling_rate: 0.0005,
+            straggler_rate: 0.001,
+            cache_sensitivity: 1.5,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.727),
+                ms_memory: Some(1.25),
+                markus_slowdown: Some(2.97),
+                markus_memory: Some(1.30),
+                ff_slowdown: Some(1.20),
+                ff_memory: Some(2.50),
+                sweeps: Some(654),
+            },
+            ..base("xalancbmk")
+        },
+    ]
+}
+
+/// Looks up a profile by name.
+pub fn by_name(name: &str) -> Option<Profile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines_order_check::*;
+
+    /// The figure order from `baselines::literature::SPEC2006` must match;
+    /// duplicated here to avoid a cyclic dev-dependency.
+    mod baselines_order_check {
+        pub const FIGURE_ORDER: [&str; 19] = [
+            "astar", "bzip2", "dealII", "gcc", "gobmk", "h264ref", "hmmer",
+            "lbm", "libquantum", "mcf", "milc", "namd", "omnetpp",
+            "perlbench", "povray", "sjeng", "sphinx3", "soplex", "xalancbmk",
+        ];
+    }
+
+    #[test]
+    fn nineteen_benchmarks_in_figure_order() {
+        let names: Vec<&str> = all().iter().map(|p| p.name).collect();
+        assert_eq!(names, FIGURE_ORDER);
+    }
+
+    #[test]
+    fn allocation_intensity_ordering_matches_paper() {
+        // Figure 14: omnetpp and xalancbmk trigger the most sweeps; their
+        // allocation volumes must dominate.
+        let count = |name: &str| by_name(name).unwrap().total_allocs;
+        for light in ["lbm", "sjeng", "namd", "hmmer"] {
+            assert!(
+                count("omnetpp") > 50 * count(light),
+                "omnetpp must out-churn {light}"
+            );
+        }
+        let rate = |name: &str| 1.0 / by_name(name).unwrap().cycles_per_alloc as f64;
+        assert!(rate("xalancbmk") > rate("gcc"));
+        assert!(rate("omnetpp") > rate("dealII"));
+    }
+
+    #[test]
+    fn mixed_lifetime_benchmarks_have_longlived_minority() {
+        // The FFmalloc-pathology benchmarks need a long-lived component.
+        for name in ["sphinx3", "perlbench", "omnetpp", "xalancbmk"] {
+            let p = by_name(name).unwrap();
+            assert!(
+                matches!(p.lifetime, LifetimeDist::Mixture(_)),
+                "{name} must mix lifetimes"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_numbers_present_for_headline_benchmarks() {
+        for p in all() {
+            assert!(p.paper.ms_slowdown.is_some(), "{} missing ms_slowdown", p.name);
+            assert!(p.paper.sweeps.is_some(), "{} missing sweeps", p.name);
+        }
+        assert_eq!(by_name("xalancbmk").unwrap().paper.ms_slowdown, Some(1.727));
+        assert_eq!(by_name("omnetpp").unwrap().paper.sweeps, Some(1_075));
+    }
+
+    #[test]
+    fn live_sets_are_laptop_scale() {
+        for p in all() {
+            let live = p.expected_live_bytes();
+            assert!(
+                live < 64.0 * 1024.0 * 1024.0,
+                "{}: live set {live} too big for fast simulation",
+                p.name
+            );
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! SPECspeed2017 benchmark profiles, §5.6 (Figure 18).
+//!
+//! Starred benchmarks in the figure (xz, bwaves, cactuBSSN, lbm, wrf, pop2,
+//! imagick, nab, fotonik3d, roms) are OpenMP-parallel; their profiles carry
+//! `threads > 1`, which the engine uses for CPU accounting and
+//! sweeper-contention modelling. The C/C++ front four (perlbench, gcc, mcf,
+//! xalancbmk) are the 2017 editions of the 2006 allocation-heavy set, with
+//! larger footprints; the Fortran/OpenMP codes are allocation-light grid
+//! solvers.
+
+use crate::dist::{LifetimeDist, SizeDist};
+use crate::profile::{PaperNumbers, Profile};
+
+fn base(name: &'static str) -> Profile {
+    Profile { name, suite: "spec2017", ..Profile::demo() }
+}
+
+fn churn(short: f64, long: f64, perm: f64) -> LifetimeDist {
+    LifetimeDist::Mixture(vec![
+        (0.92 - perm, LifetimeDist::Exp(short)),
+        (0.08, LifetimeDist::Exp(long)),
+        (perm, LifetimeDist::Permanent),
+    ])
+}
+
+/// Allocation-light parallel grid solver.
+fn omp_solver(name: &'static str, threads: u32, pages_mb: u64) -> Profile {
+    Profile {
+        total_allocs: 120,
+        cycles_per_alloc: 2_000_000,
+        size_dist: SizeDist::Uniform(pages_mb * 24 * 1024, pages_mb * 48 * 1024),
+        lifetime: LifetimeDist::Mixture(vec![
+            (0.2, LifetimeDist::Exp(30.0)),
+            (0.8, LifetimeDist::Permanent),
+        ]),
+        ptr_density: 0.0,
+        threads,
+        paper: PaperNumbers {
+            ms_slowdown: Some(1.02),
+            ms_memory: Some(1.02),
+            markus_slowdown: Some(1.04),
+            markus_memory: Some(1.03),
+            ff_slowdown: Some(1.01),
+            ff_memory: Some(1.05),
+            sweeps: Some(0),
+        },
+        ..base(name)
+    }
+}
+
+/// All 18 benchmarks, figure order.
+pub fn all() -> Vec<Profile> {
+    let mut v = vec![
+        Profile {
+            total_allocs: 240_000,
+            cycles_per_alloc: 950,
+            size_dist: SizeDist::Mixture(vec![
+                (0.9, SizeDist::LogNormal { median: 64, sigma: 3.0, cap: 8 * 1024 }),
+                (0.1, SizeDist::Uniform(4 * 1024, 64 * 1024)),
+            ]),
+            lifetime: churn(1_800.0, 25_000.0, 0.002),
+            ptr_density: 0.45,
+            straggler_rate: 0.03,
+            cache_sensitivity: 0.4,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.14),
+                ms_memory: Some(1.12),
+                markus_slowdown: Some(1.40),
+                markus_memory: Some(1.22),
+                ff_slowdown: Some(1.05),
+                ff_memory: Some(2.10),
+                sweeps: Some(420),
+            },
+            ..base("perlbench")
+        },
+        Profile {
+            total_allocs: 100_000,
+            cycles_per_alloc: 3_000,
+            size_dist: SizeDist::Mixture(vec![
+                (0.85, SizeDist::LogNormal { median: 176, sigma: 4.0, cap: 64 * 1024 }),
+                (0.15, SizeDist::Uniform(16 * 1024, 512 * 1024)),
+            ]),
+            lifetime: churn(800.0, 16_000.0, 0.002),
+            ptr_density: 0.45,
+            straggler_rate: 0.02,
+            cache_sensitivity: 0.5,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.15),
+                ms_memory: Some(1.35),
+                markus_slowdown: Some(1.25),
+                markus_memory: Some(1.30),
+                ff_slowdown: Some(1.05),
+                ff_memory: Some(1.80),
+                sweeps: Some(260),
+            },
+            ..base("gcc")
+        },
+        Profile {
+            total_allocs: 80,
+            cycles_per_alloc: 4_000_000,
+            size_dist: SizeDist::Uniform(512 * 1024, 1024 * 1024),
+            lifetime: LifetimeDist::Permanent,
+            ptr_density: 0.05,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.01),
+                ms_memory: Some(1.00),
+                markus_slowdown: Some(1.02),
+                markus_memory: Some(1.01),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.01),
+                sweeps: Some(0),
+            },
+            ..base("mcf")
+        },
+        Profile {
+            total_allocs: 280_000,
+            cycles_per_alloc: 520,
+            size_dist: SizeDist::LogNormal { median: 48, sigma: 2.0, cap: 4 * 1024 },
+            lifetime: churn(6_000.0, 70_000.0, 0.001),
+            ptr_density: 0.55,
+            straggler_rate: 0.0015,
+            cache_sensitivity: 1.6,
+            paper: PaperNumbers {
+                ms_slowdown: Some(2.00),
+                ms_memory: Some(1.28),
+                markus_slowdown: Some(2.40),
+                markus_memory: Some(1.35),
+                ff_slowdown: Some(1.25),
+                ff_memory: Some(1.90),
+                sweeps: Some(700),
+            },
+            ..base("xalancbmk")
+        },
+        Profile {
+            total_allocs: 6_000,
+            cycles_per_alloc: 40_000,
+            size_dist: SizeDist::Mixture(vec![
+                (0.5, SizeDist::LogNormal { median: 2048, sigma: 2.5, cap: 64 * 1024 }),
+                (0.5, SizeDist::Uniform(128 * 1024, 2 * 1024 * 1024)),
+            ]),
+            lifetime: churn(250.0, 2_500.0, 0.05),
+            ptr_density: 0.05,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.02),
+                ms_memory: Some(1.04),
+                markus_slowdown: Some(1.04),
+                markus_memory: Some(1.05),
+                ff_slowdown: Some(1.01),
+                ff_memory: Some(1.15),
+                sweeps: Some(12),
+            },
+            ..base("x264")
+        },
+        Profile {
+            total_allocs: 900,
+            cycles_per_alloc: 250_000,
+            size_dist: SizeDist::LogNormal { median: 4096, sigma: 2.0, cap: 128 * 1024 },
+            lifetime: churn(100.0, 800.0, 0.2),
+            ptr_density: 0.1,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.01),
+                markus_slowdown: Some(1.01),
+                markus_memory: Some(1.02),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.03),
+                sweeps: Some(1),
+            },
+            ..base("deepsjeng")
+        },
+        Profile {
+            total_allocs: 30_000,
+            cycles_per_alloc: 7_000,
+            size_dist: SizeDist::LogNormal { median: 96, sigma: 2.5, cap: 16 * 1024 },
+            lifetime: churn(800.0, 8_000.0, 0.01),
+            ptr_density: 0.4,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.03),
+                ms_memory: Some(1.07),
+                markus_slowdown: Some(1.08),
+                markus_memory: Some(1.09),
+                ff_slowdown: Some(1.02),
+                ff_memory: Some(1.30),
+                sweeps: Some(60),
+            },
+            ..base("leela")
+        },
+        Profile {
+            total_allocs: 80,
+            cycles_per_alloc: 3_000_000,
+            size_dist: SizeDist::Uniform(16 * 1024, 256 * 1024),
+            lifetime: LifetimeDist::Permanent,
+            ptr_density: 0.0,
+            paper: PaperNumbers {
+                ms_slowdown: Some(1.00),
+                ms_memory: Some(1.00),
+                markus_slowdown: Some(1.00),
+                markus_memory: Some(1.01),
+                ff_slowdown: Some(1.00),
+                ff_memory: Some(1.01),
+                sweeps: Some(0),
+            },
+            ..base("exchange2")
+        },
+    ];
+
+    // Starred OpenMP benchmarks.
+    let mut xz = omp_solver("xz", 4, 8);
+    xz.total_allocs = 2_000;
+    xz.cycles_per_alloc = 120_000;
+    xz.size_dist = SizeDist::Mixture(vec![
+        (0.7, SizeDist::LogNormal { median: 8192, sigma: 2.0, cap: 256 * 1024 }),
+        (0.3, SizeDist::Uniform(512 * 1024, 4 * 1024 * 1024)),
+    ]);
+    xz.lifetime = churn(150.0, 1_000.0, 0.1);
+    xz.paper.sweeps = Some(4);
+    v.push(xz);
+
+    v.push(omp_solver("bwaves", 8, 12));
+    v.push(omp_solver("cactuBSSN", 8, 10));
+    v.push(omp_solver("lbm", 8, 16));
+
+    let mut wrf = omp_solver("wrf", 8, 6);
+    // wrf: the slowest parallel benchmark for MineSweeper (66%): frequent
+    // mid-size Fortran workspace allocations contended with sweepers.
+    wrf.total_allocs = 40_000;
+    wrf.cycles_per_alloc = 5_000;
+    wrf.size_dist = SizeDist::LogNormal { median: 2048, sigma: 3.0, cap: 512 * 1024 };
+    wrf.lifetime = churn(300.0, 5_000.0, 0.02);
+    wrf.ptr_density = 0.05;
+    wrf.paper = PaperNumbers {
+        ms_slowdown: Some(1.66),
+        ms_memory: Some(1.08),
+        markus_slowdown: Some(1.30),
+        markus_memory: Some(1.10),
+        ff_slowdown: Some(1.10),
+        ff_memory: Some(1.20),
+        sweeps: Some(90),
+    };
+    v.push(wrf);
+
+    let mut pop2 = omp_solver("pop2", 8, 8);
+    pop2.total_allocs = 8_000;
+    pop2.cycles_per_alloc = 25_000;
+    pop2.size_dist = SizeDist::LogNormal { median: 1024, sigma: 2.5, cap: 256 * 1024 };
+    pop2.lifetime = churn(200.0, 3_000.0, 0.05);
+    pop2.paper.ms_slowdown = Some(1.08);
+    pop2.paper.sweeps = Some(15);
+    v.push(pop2);
+
+    v.push(omp_solver("imagick", 8, 6));
+    v.push(omp_solver("nab", 8, 4));
+    v.push(omp_solver("fotonik3d", 8, 14));
+    v.push(omp_solver("roms", 8, 12));
+    v
+}
+
+/// Looks up a profile by name.
+pub fn by_name(name: &str) -> Option<Profile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_benchmarks() {
+        assert_eq!(all().len(), 18);
+    }
+
+    #[test]
+    fn starred_benchmarks_are_threaded() {
+        for name in
+            ["xz", "bwaves", "cactuBSSN", "lbm", "wrf", "pop2", "imagick", "nab", "fotonik3d", "roms"]
+        {
+            assert!(by_name(name).unwrap().threads > 1, "{name} must be parallel");
+        }
+        for name in ["perlbench", "gcc", "mcf", "xalancbmk"] {
+            assert_eq!(by_name(name).unwrap().threads, 1);
+        }
+    }
+
+    #[test]
+    fn xalancbmk_remains_the_worst_case() {
+        let x = by_name("xalancbmk").unwrap();
+        for p in all() {
+            assert!(
+                x.paper.ms_slowdown.unwrap() >= p.paper.ms_slowdown.unwrap_or(1.0),
+                "{} exceeds xalancbmk",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+}

@@ -1,0 +1,294 @@
+//! Expansion of a [`Profile`] into a deterministic event stream.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::profile::Profile;
+use crate::rng::Rng;
+
+/// One allocator-relevant event of a workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Pure mutator compute for this many cycles.
+    Work(u64),
+    /// Allocate object `id` (ids are dense, starting at 0) of `size` bytes.
+    Alloc {
+        /// Dense object identifier.
+        id: u64,
+        /// Requested size in bytes.
+        size: u64,
+    },
+    /// Free object `id`.
+    Free {
+        /// Identifier from the corresponding [`Op::Alloc`].
+        id: u64,
+    },
+    /// The program is exiting: everything after this is teardown (bulk
+    /// frees on the way out of `main`). Mitigations stop triggering
+    /// sweeps/collections — a real process would simply exit.
+    Teardown,
+}
+
+/// Streaming trace generator: expands a [`Profile`] into `Work`/`Alloc`/
+/// `Free` events, freeing objects per the lifetime distribution (measured
+/// in allocation events) and draining everything at teardown — like a
+/// process exiting cleanly.
+///
+/// The stream is a pure function of `(profile, seed)`.
+#[derive(Clone, Debug)]
+pub struct TraceGen {
+    rng: Rng,
+    total_allocs: u64,
+    cycles_per_alloc: u64,
+    size_dist: crate::dist::SizeDist,
+    lifetime: crate::dist::LifetimeDist,
+    straggler_rate: f64,
+    /// Allocation events per phase (`u64::MAX` when phases are disabled).
+    phase_len: u64,
+    phase_frac: f64,
+    /// Objects that die at the current phase boundary.
+    phase_objects: Vec<u64>,
+    next_id: u64,
+    /// Min-heap of (due allocation-event index, id).
+    due: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Ids that never got a finite lifetime (freed at teardown).
+    permanents: Vec<u64>,
+    /// Queued ops not yet yielded.
+    pending: std::collections::VecDeque<Op>,
+    teardown: bool,
+}
+
+impl TraceGen {
+    /// Creates a generator for `profile` with the given seed.
+    pub fn new(profile: &Profile, seed: u64) -> Self {
+        TraceGen {
+            rng: Rng::new(seed ^ 0x5eed_0000),
+            total_allocs: profile.total_allocs,
+            cycles_per_alloc: profile.cycles_per_alloc,
+            size_dist: profile.size_dist.clone(),
+            lifetime: profile.lifetime.clone(),
+            straggler_rate: profile.straggler_rate,
+            phase_len: if profile.phases > 1 {
+                (profile.total_allocs / profile.phases as u64).max(1)
+            } else {
+                u64::MAX
+            },
+            phase_frac: profile.phase_frac,
+            phase_objects: Vec::new(),
+            next_id: 0,
+            due: BinaryHeap::new(),
+            permanents: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            teardown: false,
+        }
+    }
+
+    fn schedule_step(&mut self) {
+        // Phase boundary: the phase's working set collapses in bulk
+        // (gcc-style), before anything else happens at this event index.
+        if self.phase_len != u64::MAX
+            && self.next_id > 0
+            && self.next_id.is_multiple_of(self.phase_len)
+            && !self.phase_objects.is_empty()
+        {
+            // Teardown is fast but not instantaneous: destructor work
+            // interleaves with the frees, so the quarantine build-up is
+            // visible to RSS sampling and overlaps real sweep time.
+            for (i, id) in std::mem::take(&mut self.phase_objects).into_iter().enumerate()
+            {
+                if i % 8 == 0 {
+                    self.pending.push_back(Op::Work(self.cycles_per_alloc / 4 + 1));
+                }
+                self.pending.push_back(Op::Free { id });
+            }
+        }
+        // Frees that are due strictly before the next allocation event.
+        while let Some(&Reverse((when, id))) = self.due.peek() {
+            if when <= self.next_id {
+                self.due.pop();
+                self.pending.push_back(Op::Free { id });
+            } else {
+                break;
+            }
+        }
+        if self.next_id >= self.total_allocs {
+            if !self.teardown {
+                self.teardown = true;
+                self.pending.push_back(Op::Teardown);
+                // Drain scheduled frees in due order, then permanents.
+                let mut rest: Vec<(u64, u64)> =
+                    self.due.drain().map(|Reverse(x)| x).collect();
+                rest.sort_unstable();
+                for (_, id) in rest {
+                    self.pending.push_back(Op::Free { id });
+                }
+                for id in std::mem::take(&mut self.phase_objects) {
+                    self.pending.push_back(Op::Free { id });
+                }
+                for id in std::mem::take(&mut self.permanents) {
+                    self.pending.push_back(Op::Free { id });
+                }
+            }
+            return;
+        }
+        // Mutator work, then the allocation itself.
+        let mean = self.cycles_per_alloc.max(1);
+        let work = self.rng.range(mean / 2 + 1, mean * 3 / 2 + 2);
+        self.pending.push_back(Op::Work(work));
+        let id = self.next_id;
+        let size = self.size_dist.sample(&mut self.rng);
+        self.pending.push_back(Op::Alloc { id, size });
+        // Small stragglers become permanent regardless of the lifetime
+        // distribution (see Profile::straggler_rate).
+        let straggler = size <= 512 && self.rng.chance(self.straggler_rate);
+        if !straggler && self.rng.chance(self.phase_frac) {
+            self.phase_objects.push(id);
+        } else {
+            match if straggler { None } else { self.lifetime.sample(&mut self.rng) } {
+                Some(life) => {
+                    self.due.push(Reverse((self.next_id + 1 + life, id)));
+                }
+                None => self.permanents.push(id),
+            }
+        }
+        self.next_id += 1;
+    }
+}
+
+impl Iterator for TraceGen {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.pending.is_empty() {
+            self.schedule_step();
+        }
+        self.pending.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{LifetimeDist, SizeDist};
+    use std::collections::HashSet;
+
+    fn tiny_profile() -> Profile {
+        Profile {
+            total_allocs: 500,
+            size_dist: SizeDist::Uniform(16, 256),
+            lifetime: LifetimeDist::Mixture(vec![
+                (0.8, LifetimeDist::Exp(20.0)),
+                (0.2, LifetimeDist::Permanent),
+            ]),
+            ..Profile::demo()
+        }
+    }
+
+    #[test]
+    fn every_alloc_is_freed_exactly_once() {
+        let mut allocated = HashSet::new();
+        let mut freed = HashSet::new();
+        for op in TraceGen::new(&tiny_profile(), 9) {
+            match op {
+                Op::Alloc { id, .. } => assert!(allocated.insert(id), "dup alloc {id}"),
+                Op::Free { id } => {
+                    assert!(allocated.contains(&id), "free before alloc");
+                    assert!(freed.insert(id), "double free in trace");
+                }
+                Op::Work(_) | Op::Teardown => {}
+            }
+        }
+        assert_eq!(allocated.len(), 500);
+        assert_eq!(freed, allocated, "teardown drains everything");
+    }
+
+    #[test]
+    fn frees_never_precede_allocations() {
+        let mut live = HashSet::new();
+        for op in TraceGen::new(&tiny_profile(), 10) {
+            match op {
+                Op::Alloc { id, .. } => {
+                    live.insert(id);
+                }
+                Op::Free { id } => {
+                    assert!(live.remove(&id));
+                }
+                Op::Work(_) | Op::Teardown => {}
+            }
+        }
+        assert!(live.is_empty());
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<Op> = TraceGen::new(&tiny_profile(), 7).collect();
+        let b: Vec<Op> = TraceGen::new(&tiny_profile(), 7).collect();
+        assert_eq!(a, b);
+        let c: Vec<Op> = TraceGen::new(&tiny_profile(), 8).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn work_precedes_each_alloc() {
+        let ops: Vec<Op> = TraceGen::new(&tiny_profile(), 11).collect();
+        for w in ops.windows(2) {
+            if let Op::Alloc { .. } = w[1] {
+                assert!(matches!(w[0], Op::Work(_)), "alloc without preceding work");
+            }
+        }
+    }
+
+    #[test]
+    fn phase_boundaries_free_in_bulk() {
+        let p = Profile {
+            total_allocs: 1_000,
+            phases: 4,
+            phase_frac: 0.5,
+            lifetime: LifetimeDist::Exp(10.0),
+            ..Profile::demo()
+        };
+        // Count the largest burst of consecutive frees (no intervening
+        // alloc): phase collapses must dwarf ordinary churn.
+        let mut burst = 0u32;
+        let mut max_burst = 0u32;
+        let mut frees = 0u32;
+        for op in TraceGen::new(&p, 3) {
+            match op {
+                Op::Free { .. } => {
+                    burst += 1;
+                    frees += 1;
+                    max_burst = max_burst.max(burst);
+                }
+                Op::Alloc { .. } => burst = 0,
+                _ => {}
+            }
+        }
+        assert_eq!(frees, 1_000, "everything still freed exactly once");
+        assert!(max_burst >= 80, "phase collapse burst was only {max_burst}");
+    }
+
+    #[test]
+    fn live_set_tracks_littles_law_roughly() {
+        // 500 allocs, mean life 20 events, ~80% short-lived: mid-run live
+        // count should hover near 0.8*20 + permanents-so-far.
+        let mut live: i64 = 0;
+        let mut max_live: i64 = 0;
+        let mut allocs = 0;
+        for op in TraceGen::new(&tiny_profile(), 12) {
+            match op {
+                Op::Alloc { .. } => {
+                    live += 1;
+                    allocs += 1;
+                    max_live = max_live.max(live);
+                }
+                Op::Free { .. } => live -= 1,
+                Op::Work(_) | Op::Teardown => {}
+            }
+            if allocs == 250 {
+                // ~20% of 250 permanents + ~16 short-lived in flight.
+                assert!((30..150).contains(&live), "mid-run live {live}");
+            }
+        }
+        assert!(max_live >= 50);
+    }
+}

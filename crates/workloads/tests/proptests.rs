@@ -1,0 +1,120 @@
+//! Property tests for trace generation and the recorded-trace format.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use workloads::{recorded, LifetimeDist, Op, Profile, SizeDist, TraceGen};
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        50u64..2_000,          // total_allocs
+        1u64..5_000,           // cycles_per_alloc
+        0u32..6,               // phases selector
+        0.0f64..0.6,           // phase_frac
+        0.0f64..0.2,           // straggler_rate
+        prop_oneof![
+            (8u64..512, 1u64..65_536).prop_map(|(lo, hi)| SizeDist::Uniform(lo, lo + hi)),
+            (8u64..4_096).prop_map(|m| SizeDist::LogNormal { median: m, sigma: 3.0, cap: 1 << 20 }),
+        ],
+        prop_oneof![
+            (1.0f64..5_000.0).prop_map(LifetimeDist::Exp),
+            (1u64..2_000).prop_map(LifetimeDist::Fixed),
+            Just(LifetimeDist::Mixture(vec![
+                (0.7, LifetimeDist::Exp(50.0)),
+                (0.2, LifetimeDist::Exp(2_000.0)),
+                (0.1, LifetimeDist::Permanent),
+            ])),
+        ],
+    )
+        .prop_map(|(total_allocs, cycles_per_alloc, phases, phase_frac, straggler_rate, size_dist, lifetime)| {
+            Profile {
+                total_allocs,
+                cycles_per_alloc,
+                phases: if phases < 2 { 1 } else { phases },
+                phase_frac,
+                straggler_rate,
+                size_dist,
+                lifetime,
+                ..Profile::demo()
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For ANY profile shape: every allocation appears once, is freed
+    /// exactly once, never freed before allocation, and the stream is a
+    /// pure function of the seed.
+    #[test]
+    fn trace_invariants_hold_for_arbitrary_profiles(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+    ) {
+        let ops: Vec<Op> = TraceGen::new(&profile, seed).collect();
+        let mut live = HashSet::new();
+        let mut allocated = HashSet::new();
+        let mut freed = 0u64;
+        for op in &ops {
+            match op {
+                Op::Alloc { id, size } => {
+                    prop_assert!(*size > 0);
+                    prop_assert!(allocated.insert(*id), "duplicate id");
+                    prop_assert!(live.insert(*id));
+                }
+                Op::Free { id } => {
+                    prop_assert!(live.remove(id), "free of non-live id");
+                    freed += 1;
+                }
+                Op::Work(_) | Op::Teardown => {}
+            }
+        }
+        prop_assert_eq!(allocated.len() as u64, profile.total_allocs);
+        prop_assert_eq!(freed, profile.total_allocs, "teardown drains all");
+        prop_assert!(live.is_empty());
+
+        let again: Vec<Op> = TraceGen::new(&profile, seed).collect();
+        prop_assert_eq!(ops, again, "stream must be deterministic");
+    }
+
+    /// write_trace / read_trace is an exact round trip for any generated
+    /// trace, and close_trace is the identity on balanced traces.
+    #[test]
+    fn recorded_format_roundtrips(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+    ) {
+        let ops: Vec<Op> = TraceGen::new(&profile, seed).collect();
+        let text = recorded::write_trace(ops.clone());
+        let parsed = recorded::read_trace(&text).unwrap();
+        prop_assert_eq!(&parsed, &ops);
+        prop_assert_eq!(recorded::close_trace(parsed), ops, "balanced => identity");
+    }
+
+    /// Truncated traces (as a crashed recorder would leave them) still
+    /// parse and are healed by close_trace into balanced streams.
+    #[test]
+    fn truncated_traces_heal(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        cut in 0.1f64..0.9,
+    ) {
+        let ops: Vec<Op> = TraceGen::new(&profile, seed).collect();
+        let cut_at = ((ops.len() as f64) * cut) as usize;
+        let text = recorded::write_trace(ops[..cut_at].to_vec());
+        let healed = recorded::close_trace(recorded::read_trace(&text).unwrap());
+        let mut live = HashSet::new();
+        for op in &healed {
+            match op {
+                Op::Alloc { id, .. } => {
+                    live.insert(*id);
+                }
+                Op::Free { id } => {
+                    prop_assert!(live.remove(id));
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(live.is_empty(), "healed trace must balance");
+    }
+}

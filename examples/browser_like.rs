@@ -1,0 +1,90 @@
+//! A browser-tab-like workload: DOM-node churn with a long-lived cache —
+//! the allocation pattern the paper's intro motivates (a script in a
+//! sandbox driving allocations while the host process must stay safe).
+//!
+//! Runs the same workload under the baseline, MineSweeper, MarkUs and
+//! FFmalloc and prints the overhead comparison, i.e. a miniature Figure
+//! 9/10 for one custom profile you can tweak.
+//!
+//! ```sh
+//! cargo run --release --example browser_like
+//! ```
+
+use sim::report::{bytes, fx, table};
+use sim::{run, System};
+use workloads::{LifetimeDist, Profile, SizeDist};
+
+fn main() {
+    // "DOM nodes": many small objects, mostly short-lived, with a
+    // persistent cache minority and heavy pointer connectivity.
+    let profile = Profile {
+        name: "browser-tab",
+        suite: "custom",
+        total_allocs: 60_000,
+        cycles_per_alloc: 900,
+        size_dist: SizeDist::Mixture(vec![
+            (0.85, SizeDist::LogNormal { median: 96, sigma: 2.0, cap: 4096 }),
+            (0.12, SizeDist::Uniform(4 * 1024, 64 * 1024)),   // style/layout buffers
+            (0.03, SizeDist::Uniform(256 * 1024, 1024 * 1024)), // images
+        ]),
+        lifetime: LifetimeDist::Mixture(vec![
+            (0.80, LifetimeDist::Exp(800.0)),     // per-frame churn
+            (0.17, LifetimeDist::Exp(15_000.0)),  // per-page structures
+            (0.03, LifetimeDist::Permanent),      // caches
+        ]),
+        ptr_density: 0.5, // DOM trees are pointer-rich
+        false_ptr_rate: 0.0005,
+        dangling_rate: 0.004,
+        root_slots: 128,
+        threads: 1,
+        phases: 6,       // page navigations: per-page structures collapse
+        phase_frac: 0.15,
+        straggler_rate: 0.01, // session caches that never die
+        cache_sensitivity: 0.8,
+        paper: Default::default(),
+    };
+
+    let seed = 2024;
+    println!("running baseline...");
+    let base = run(&profile, System::Baseline, seed);
+    let systems = [
+        System::minesweeper_default(),
+        System::minesweeper_mostly(),
+        System::markus_default(),
+        System::FfMalloc,
+    ];
+    let mut rows = vec![vec![
+        "system".to_string(),
+        "slowdown".into(),
+        "avg memory".into(),
+        "peak memory".into(),
+        "cpu util".into(),
+        "sweeps".into(),
+        "failed frees".into(),
+    ]];
+    rows.push(vec![
+        "baseline".into(),
+        fx(1.0),
+        bytes(base.avg_rss() as u64),
+        bytes(base.peak_rss),
+        fx(1.0),
+        "0".into(),
+        "0".into(),
+    ]);
+    for sys in systems {
+        println!("running {}...", sys.label());
+        let m = run(&profile, sys, seed);
+        rows.push(vec![
+            sys.label().to_string(),
+            fx(m.slowdown_vs(&base)),
+            fx(m.memory_overhead_vs(&base)),
+            fx(m.peak_overhead_vs(&base)),
+            fx(m.cpu_utilisation()),
+            m.sweeps.to_string(),
+            m.failed_frees.to_string(),
+        ]);
+    }
+    println!("\n{}", table(&rows));
+    println!("Expected shape: MineSweeper adds a few percent; MarkUs costs more time;");
+    println!("FFmalloc is fast but its memory balloons on the cache minority.");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: protect a heap with MineSweeper in ~30 lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use minesweeper::{FreeOutcome, MineSweeper, MsConfig};
+use vmem::AddrSpace;
+
+fn main() {
+    // The simulated process: an address space and a protected heap.
+    let mut space = AddrSpace::new();
+    let mut ms = MineSweeper::new(MsConfig::fully_concurrent());
+
+    // Allocate an object and a second one holding a pointer to it.
+    let obj = ms.malloc(&mut space, 64);
+    space.write_word(obj, 0xfeed_face).unwrap();
+    let holder = ms.malloc(&mut space, 64);
+    space.write_word(holder, obj.raw()).unwrap();
+    println!("allocated obj at {obj}, pointer to it stored in {holder}");
+
+    // The program frees obj... while the pointer still exists. Bug!
+    assert_eq!(ms.free(&mut space, obj), FreeOutcome::Quarantined);
+    println!("freed obj -> quarantined (contents zeroed, not recycled)");
+
+    // A sweep scans memory, finds the dangling pointer, and refuses to
+    // recycle the allocation.
+    let report = ms.sweep_now(&mut space);
+    println!(
+        "sweep #1: released={}, failed={} (dangling pointer found)",
+        report.released, report.failed
+    );
+    assert_eq!(report.failed, 1);
+
+    // Attacker-style reallocation attempts cannot obtain obj's memory.
+    for _ in 0..100 {
+        assert_ne!(ms.malloc(&mut space, 64), obj);
+    }
+    println!("100 reallocations of the same size: none reused obj's address");
+
+    // The program finally overwrites the stale pointer...
+    space.write_word(holder, 0).unwrap();
+    let report = ms.sweep_now(&mut space);
+    println!("sweep #2 after erasing the pointer: released={}", report.released);
+    assert_eq!(report.released, 1);
+
+    // ...and now the memory can be recycled safely.
+    let recycled = ms.malloc(&mut space, 64);
+    println!("new allocation at {recycled} (reuse is safe now)");
+    println!("\nstats: {:?}", ms.stats());
+}

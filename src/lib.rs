@@ -1,0 +1,14 @@
+//! Workspace umbrella crate for the MineSweeper reproduction.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs:
+//! [`vmem`], [`jalloc`], [`minesweeper`], [`baselines`], [`workloads`],
+//! [`sim`].
+
+pub use baselines;
+pub use jalloc;
+pub use minesweeper;
+pub use scudo;
+pub use sim;
+pub use vmem;
+pub use workloads;
