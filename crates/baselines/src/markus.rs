@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 
 use jalloc::{JAlloc, JallocConfig};
+use minesweeper::ShadowMap;
 use vmem::{Addr, AddrSpace, PageIdx, PageRange, Segment, WORD_SIZE};
 
 /// MarkUs configuration.
@@ -217,7 +218,11 @@ impl MarkUs {
     pub fn collect(&mut self, space: &mut AddrSpace) -> GcReport {
         let mut report = GcReport::default();
         let layout = *space.layout();
-        let mut marked: HashSet<u64> = HashSet::new();
+        // The marked-object set is a shadow map over allocation bases: the
+        // minimum size class is one 16-byte granule, so distinct bases
+        // always occupy distinct granule bits, and `mark`'s newly-set
+        // return drives worklist insertion exactly like `HashSet::insert`.
+        let marked = ShadowMap::new();
         let mut worklist: Vec<(Addr, u64)> = Vec::new();
 
         // Root scan: committed pages of globals and stack (page slices).
@@ -229,7 +234,7 @@ impl MarkUs {
                 let Ok(Some(words)) = space.scan_page(page) else { continue };
                 report.scanned_words += words.len() as u64;
                 for &value in words.iter() {
-                    self.visit(value, &layout, &mut marked, &mut worklist);
+                    self.visit(value, &layout, &marked, &mut worklist);
                 }
             }
         }
@@ -250,19 +255,19 @@ impl MarkUs {
                     // `visit` needs `&self` only; the worklist and marked
                     // set are locals, so the page borrow is undisturbed.
                     for &value in &words[w0..w1] {
-                        self.visit(value, &layout, &mut marked, &mut worklist);
+                        self.visit(value, &layout, &marked, &mut worklist);
                     }
                 }
                 off = page_end;
             }
         }
-        report.marked_objects = marked.len() as u64;
+        report.marked_objects = marked.marked_count();
 
         // Quarantine walk: release unmarked entries.
         let entries = std::mem::take(&mut self.quarantine);
         self.retained_bytes = 0;
         for entry in entries {
-            if marked.contains(&entry.base.raw()) {
+            if marked.is_marked(entry.base) {
                 report.retained += 1;
                 self.retained_bytes += entry.usable;
                 self.quarantine.push(entry);
@@ -293,7 +298,7 @@ impl MarkUs {
         &self,
         value: u64,
         layout: &vmem::Layout,
-        marked: &mut HashSet<u64>,
+        marked: &ShadowMap,
         worklist: &mut Vec<(Addr, u64)>,
     ) {
         if !layout.heap_contains(Addr::new(value)) {
@@ -302,7 +307,7 @@ impl MarkUs {
         let Some((base, usable)) = self.heap.allocation_range(Addr::new(value)) else {
             return;
         };
-        if marked.insert(base.raw()) {
+        if marked.mark(base) {
             worklist.push((base, usable));
         }
     }

@@ -35,9 +35,9 @@ fn bench_sweep(c: &mut Criterion) {
     group.bench_function("serial_marker", |b| {
         let layout = *space.layout();
         b.iter(|| {
-            let mut shadow = ShadowMap::new();
+            let shadow = ShadowMap::new();
             let mut marker = Marker::new(plan.clone());
-            marker.run_to_end(&mut space, &layout, &mut shadow);
+            marker.run_to_end(&mut space, &layout, &shadow);
             black_box(shadow.marked_count())
         })
     });
@@ -58,15 +58,17 @@ fn bench_shadow(c: &mut Criterion) {
     let mut group = c.benchmark_group("shadow_map");
     group.bench_function("mark_1k_scattered", |b| {
         b.iter(|| {
-            let mut s = ShadowMap::new();
+            let s = ShadowMap::new();
+            let mut w = s.writer();
             for i in 0..1000u64 {
-                s.mark(Addr::new(0x1_0000_0000 + i * 4096));
+                w.mark(Addr::new(0x1_0000_0000 + i * 4096));
             }
+            drop(w); // publish buffered marks
             black_box(s.marked_count())
         })
     });
     group.bench_function("range_check_64B", |b| {
-        let mut s = ShadowMap::new();
+        let s = ShadowMap::new();
         s.mark(Addr::new(0x1_0000_0040));
         b.iter(|| black_box(s.range_marked(Addr::new(0x1_0000_0000), 64)))
     });

@@ -1,0 +1,245 @@
+//! Raw sweep-bandwidth measurement: serial and parallel marking, naive
+//! (seed) shadow map vs the atomic radix shadow map, in words/second.
+//!
+//! Four configurations over the same pointer-dense fixture:
+//!
+//! * `naive_serial` — the seed's `HashMap`-of-chunks map
+//!   ([`NaiveShadowMap`]), one thread;
+//! * `naive_parallel_hN` — the seed's §4.4 scheme: N+1 threads each
+//!   marking into a **private** naive map, then a serial union merge;
+//! * `atomic_serial` — the radix [`ShadowMap`] through [`Marker`] (the
+//!   production sweep path, single `scan_page` probe per page slice);
+//! * `atomic_parallel_hN` — [`parallel_mark`]: N+1 threads sharing **one**
+//!   atomic map, no per-thread maps, no union barrier.
+//!
+//! Timing is `std::time::Instant` only (no harness dependency); the best
+//! of `--reps` runs is reported, which is the right statistic for a
+//! bandwidth measurement on a shared machine. Results are printed as a
+//! table and written as JSON (default `BENCH_sweep.json`, `--out PATH`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use minesweeper::{parallel_mark, Marker, NaiveShadowMap, ShadowMap, SweepPlan};
+use vmem::{Addr, AddrSpace, Layout, PAGE_SIZE, WORD_SIZE};
+
+/// A committed heap region littered with pointers (1 word in 7 points
+/// into the heap — pointer-dense, like the paper's allocation-heavy
+/// benchmarks), plus a plan over it.
+fn sweep_fixture(pages: u64) -> (AddrSpace, SweepPlan) {
+    let mut space = AddrSpace::new();
+    let base = space.reserve_heap(pages);
+    space.map(base, pages).unwrap();
+    for i in 0..pages * 512 {
+        let v = if i % 7 == 0 { base.raw() + (i * 64) % (pages * 4096) } else { i };
+        space.write_word(base + i * 8, v).unwrap();
+    }
+    (space, SweepPlan::from_ranges(vec![(base, pages * PAGE_SIZE as u64)]))
+}
+
+/// Splits the plan into `threads` contiguous word-aligned byte shares.
+fn split_shares(plan: &SweepPlan, threads: usize) -> Vec<Vec<(Addr, u64)>> {
+    let share = plan
+        .total_bytes()
+        .div_ceil(threads as u64)
+        .next_multiple_of(WORD_SIZE as u64)
+        .max(WORD_SIZE as u64);
+    let mut shares: Vec<Vec<(Addr, u64)>> = vec![Vec::new(); threads];
+    let mut t = 0;
+    let mut filled = 0u64;
+    for &(base, len) in plan.ranges() {
+        let (mut base, mut len) = (base, len);
+        while len > 0 {
+            let room = share.saturating_sub(filled);
+            if room == 0 {
+                t = (t + 1).min(threads - 1);
+                filled = 0;
+                continue;
+            }
+            let take = len.min(room);
+            shares[t].push((base, take));
+            base = base.add_bytes(take);
+            len -= take;
+            filled += take;
+        }
+    }
+    shares
+}
+
+/// The seed's marking loop over one share into a naive map.
+fn naive_mark_share(
+    space: &AddrSpace,
+    layout: &Layout,
+    share: &[(Addr, u64)],
+    shadow: &mut NaiveShadowMap,
+) {
+    for &(base, len) in share {
+        let mut off = 0;
+        while off < len {
+            let addr = base.add_bytes(off);
+            let page_end = addr.page().next().base().offset_from(base).min(len);
+            if let Ok(Some(page)) = space.scan_page(addr.page()) {
+                let w0 = addr.word_in_page();
+                let w1 = w0 + ((page_end - off) / WORD_SIZE as u64) as usize;
+                for &value in &page[w0..w1] {
+                    if layout.heap_contains(Addr::new(value)) {
+                        shadow.mark(Addr::new(value));
+                    }
+                }
+            }
+            off = page_end;
+        }
+    }
+}
+
+/// One measured configuration.
+struct Sample {
+    name: String,
+    helpers: usize,
+    best_secs: f64,
+    words_per_sec: f64,
+    marked: u64,
+}
+
+fn measure(
+    name: &str,
+    helpers: usize,
+    total_words: u64,
+    reps: u32,
+    mut run: impl FnMut() -> u64,
+) -> Sample {
+    let mut best = f64::INFINITY;
+    let mut marked = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        marked = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Sample {
+        name: name.to_string(),
+        helpers,
+        best_secs: best,
+        words_per_sec: total_words as f64 / best,
+        marked,
+    }
+}
+
+fn main() {
+    let mut pages = 2048u64; // 8 MiB, matching the micro benches
+    let mut reps = 5u32;
+    let mut out_path = "BENCH_sweep.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pages" => pages = args.next().expect("--pages N").parse().expect("number"),
+            "--reps" => reps = args.next().expect("--reps N").parse().expect("number"),
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--quick" => {
+                pages = 256;
+                reps = 2;
+            }
+            other => {
+                eprintln!("usage: sweep_bandwidth [--pages N] [--reps N] [--out PATH] [--quick]");
+                panic!("unknown argument {other:?}");
+            }
+        }
+    }
+
+    let (mut space, plan) = sweep_fixture(pages);
+    let layout = *space.layout();
+    let total_words = pages * (PAGE_SIZE / WORD_SIZE) as u64;
+    let helper_counts = [1usize, 3, 6];
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // Seed scheme, serial: naive map, direct scan loop.
+    samples.push(measure("naive_serial", 0, total_words, reps, || {
+        let mut shadow = NaiveShadowMap::new();
+        naive_mark_share(&space, &layout, plan.ranges(), &mut shadow);
+        shadow.marked_count()
+    }));
+
+    // Seed scheme, parallel: per-thread naive maps + union merge.
+    for &h in &helper_counts {
+        let shares = split_shares(&plan, h + 1);
+        let space_ref = &space;
+        let layout_ref = &layout;
+        samples.push(measure(&format!("naive_parallel_h{h}"), h, total_words, reps, || {
+            let maps: Vec<NaiveShadowMap> = std::thread::scope(|scope| {
+                shares
+                    .iter()
+                    .map(|share| {
+                        scope.spawn(move || {
+                            let mut shadow = NaiveShadowMap::new();
+                            naive_mark_share(space_ref, layout_ref, share, &mut shadow);
+                            shadow
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|hnd| hnd.join().expect("marker thread"))
+                    .collect()
+            });
+            let mut merged = NaiveShadowMap::new();
+            for m in &maps {
+                merged.union(m);
+            }
+            merged.marked_count()
+        }));
+    }
+
+    // Atomic radix map, serial, through the production Marker path.
+    samples.push(measure("atomic_serial", 0, total_words, reps, || {
+        let shadow = ShadowMap::new();
+        Marker::new(plan.clone()).run_to_end(&mut space, &layout, &shadow);
+        shadow.marked_count()
+    }));
+
+    // Atomic radix map, parallel: one shared map, no union barrier.
+    for &h in &helper_counts {
+        samples.push(measure(&format!("atomic_parallel_h{h}"), h, total_words, reps, || {
+            parallel_mark(&space, &plan, &layout, h).marked_count()
+        }));
+    }
+
+    // Every configuration must find the same mark set.
+    let expect = samples[0].marked;
+    for s in &samples {
+        assert_eq!(s.marked, expect, "{} disagrees on the mark set", s.name);
+    }
+
+    println!(
+        "== sweep bandwidth: {} MiB fixture, {} marked granules, best of {} ==\n",
+        (pages * PAGE_SIZE as u64) >> 20,
+        expect,
+        reps
+    );
+    println!("{:<22} {:>8} {:>12} {:>14}", "config", "helpers", "ms", "Mwords/s");
+    let baseline = samples[0].words_per_sec;
+    for s in &samples {
+        println!(
+            "{:<22} {:>8} {:>12.3} {:>14.1}   ({:.2}x naive serial)",
+            s.name,
+            s.helpers,
+            s.best_secs * 1e3,
+            s.words_per_sec / 1e6,
+            s.words_per_sec / baseline
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let _ = writeln!(json, "  \"fixture\": {{ \"pages\": {pages}, \"total_words\": {total_words}, \"marked_granules\": {expect}, \"reps\": {reps}, \"cpus\": {cpus} }},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"helpers\": {}, \"best_ms\": {:.3}, \"words_per_sec\": {:.0}, \"vs_naive_serial\": {:.3} }}{comma}",
+            s.name, s.helpers, s.best_secs * 1e3, s.words_per_sec, s.words_per_sec / baseline
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write JSON results");
+    println!("\nwrote {out_path}");
+}

@@ -74,13 +74,17 @@ pub struct MineSweeper<B: HeapBackend = JAlloc> {
     heap: B,
     quarantine: Quarantine,
     active: Option<ActiveSweep>,
+    /// The shadow map lives across sweeps: [`MineSweeper::start_sweep`]
+    /// clears the mark bits in place, so steady-state sweeping reuses the
+    /// resident bitmap chunks instead of re-faulting a fresh radix every
+    /// epoch (the paper's map is likewise one long-lived reservation).
+    shadow: ShadowMap,
     stats: MsStats,
 }
 
 #[derive(Debug)]
 struct ActiveSweep {
     marker: Marker,
-    shadow: ShadowMap,
     locked: Vec<QEntry>,
 }
 
@@ -114,6 +118,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             cfg,
             heap: backend,
             active: None,
+            shadow: ShadowMap::new(),
             stats: MsStats::default(),
         }
     }
@@ -320,8 +325,9 @@ impl<B: HeapBackend> MineSweeper<B> {
         if self.cfg.mode == SweepMode::MostlyConcurrent {
             space.clear_soft_dirty();
         }
-        self.active =
-            Some(ActiveSweep { marker: Marker::new(plan), shadow: ShadowMap::new(), locked });
+        // New epoch: wipe last sweep's marks, keeping the chunks resident.
+        self.shadow.clear();
+        self.active = Some(ActiveSweep { marker: Marker::new(plan), locked });
     }
 
     /// Advances the in-flight sweep's marking phase by up to `word_budget`
@@ -333,7 +339,7 @@ impl<B: HeapBackend> MineSweeper<B> {
     pub fn sweep_step(&mut self, space: &mut AddrSpace, word_budget: u64) -> StepResult {
         let active = self.active.as_mut().expect("no sweep in flight");
         let layout = *space.layout();
-        let r = active.marker.step(space, &layout, &mut active.shadow, word_budget);
+        let r = active.marker.step(space, &layout, &self.shadow, word_budget);
         self.stats.swept_bytes += r.bytes;
         r
     }
@@ -352,13 +358,12 @@ impl<B: HeapBackend> MineSweeper<B> {
         let mut report = SweepReport::default();
 
         // Drain any marking the caller did not step through.
-        report.marked_words +=
-            active.marker.run_to_end(space, &layout, &mut active.shadow);
+        report.marked_words += active.marker.run_to_end(space, &layout, &self.shadow);
 
         // Phase 2 (optional): stop the world, re-check modified pages.
         if self.cfg.mode == SweepMode::MostlyConcurrent && self.cfg.marking {
             for page in space.soft_dirty_pages() {
-                report.marked_words += mark_page(space, &layout, &mut active.shadow, page);
+                report.marked_words += mark_page(space, &layout, &self.shadow, page);
                 report.stw_pages += 1;
             }
             self.stats.stw_pages += report.stw_pages;
@@ -368,7 +373,7 @@ impl<B: HeapBackend> MineSweeper<B> {
         // Phase 3: release unmarked entries, retain the rest.
         for entry in active.locked {
             let dangling = self.cfg.marking
-                && active.shadow.range_marked(entry.base, entry.usable);
+                && self.shadow.range_marked(entry.base, entry.usable);
             if dangling && self.cfg.honor_failed_frees {
                 self.quarantine.on_failed(entry);
                 self.stats.failed_frees += 1;
@@ -379,7 +384,7 @@ impl<B: HeapBackend> MineSweeper<B> {
                 report.released_bytes += entry.usable;
             }
         }
-        report.marked_granules = active.shadow.marked_count();
+        report.marked_granules = self.shadow.marked_count();
 
         // §4.5: synchronise allocator cleanup with the end of the sweep.
         if self.cfg.purge_after_sweep {

@@ -70,6 +70,6 @@ pub use config::{MsConfig, MsConfigBuilder, SweepMode};
 pub use layer::{FreeOutcome, MineSweeper, SweepReport};
 pub use mte::{tag_ptr, untag_ptr, MteError, MteHeap, TagTable, QUARANTINE_TAG, TAG_GRANULE};
 pub use quarantine::{QEntry, Quarantine};
-pub use shadow::ShadowMap;
+pub use shadow::{NaiveShadowMap, ShadowMap, ShadowWriter, MAX_SHADOWED};
 pub use stats::MsStats;
 pub use sweep::{parallel_mark, Marker, StepResult, SweepPlan};

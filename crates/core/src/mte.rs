@@ -254,7 +254,8 @@ impl<B: HeapBackend> MteHeap<B> {
         // filter by tag match.
         let layout = *space.layout();
         let plan = SweepPlan::build(space, &self.ms.heap().active_ranges());
-        let mut shadow = ShadowMap::new();
+        let shadow = ShadowMap::new();
+        let mut writer = shadow.writer();
         for &(range_base, len) in plan.ranges() {
             let mut off = 0;
             while off < len {
@@ -268,13 +269,16 @@ impl<B: HeapBackend> MteHeap<B> {
                         if layout.heap_contains(target)
                             && self.tags.tag_of(target) == ptr_tag
                         {
-                            shadow.mark(target);
+                            writer.mark(target);
                         }
                     }
                 }
                 off = page_end;
             }
         }
+        // Publish the writer's buffered marks before the release phase
+        // reads the map.
+        drop(writer);
         // Release phase: run the layer's sweep with marking disabled and
         // filter by our tag-aware shadow instead. Simplest faithful
         // composition: temporarily consult the shadow per-entry via the

@@ -4,20 +4,127 @@
 //! quarantined allocation, to see if pointers have been discovered to it"
 //! (§3.2). One bit per 128 bits of memory is the smallest allocation
 //! granule, so every allocation maps to a distinct bit range. The paper
-//! implements it as a flat reservation; the simulation uses a sparse,
-//! chunked bitmap with identical indexing semantics (the flat space would
-//! be 2⁶⁰ bits here), keeping the <1 % space overhead property.
+//! implements it as a flat reservation; the simulation uses a sparse
+//! two-level radix bitmap with identical indexing semantics (the flat
+//! space would be 2⁶⁰ bits here), keeping the <1 % space overhead
+//! property.
+//!
+//! # Layout
+//!
+//! A granule index (`addr >> 4`) is decomposed into three digits:
+//!
+//! ```text
+//!  granule = [ l1 : 12 bits ][ l2 : 15 bits ][ bit-in-chunk : 15 bits ]
+//! ```
+//!
+//! * the low 15 bits select one of 32 Ki bits inside a **chunk** — 512
+//!   `AtomicU64` words, a 4 KiB bitmap page shadowing 512 KiB of address
+//!   space (the same 1/128 ratio as the paper's flat map);
+//! * the middle 15 bits index a **level-2 table** of 32 Ki chunk
+//!   pointers;
+//! * the high 12 bits index the root **level-1 directory** of 4 Ki
+//!   level-2 pointers.
+//!
+//! Together they cover 2⁴² granules = 64 TiB of virtual address space
+//! ([`MAX_SHADOWED`]), comfortably above the [`vmem::Layout`] reservation.
+//!
+//! # Concurrency
+//!
+//! All mutation goes through `&self` with atomics, so one `ShadowMap` can
+//! be shared by every marking thread (§4.4: parallel markers write into a
+//! single map — mark bits are only ever *set* during a sweep, so there is
+//! no lost-update hazard and no per-thread maps or merge barrier):
+//!
+//! * tables and chunks are lazily allocated and **published by
+//!   compare-and-swap** (`AcqRel`/`Acquire`, so a reader that observes a
+//!   pointer also observes the zeroed contents); a loser of the race
+//!   frees its allocation and adopts the winner's;
+//! * bits are set with a *load-first* `Relaxed` `fetch_or` — during
+//!   marking most pointer-dense pages repeat targets, so the common case
+//!   is a plain load that finds the bit already set and skips the RMW;
+//! * the global mark counter is a `Relaxed` `AtomicU64` bumped only by
+//!   the thread whose `fetch_or` actually flipped the bit, which keeps
+//!   [`ShadowMap::marked_count`] exact under contention.
+//!
+//! Reads during a sweep are `Relaxed`: the release walk only begins after
+//! the marking threads have been joined, which is already a stronger
+//! synchronisation point than any fence the map could provide.
+//!
+//! [`ShadowWriter`] caches the last-touched chunk so the hot marking loop
+//! (consecutive pointers overwhelmingly land in the same 512 KiB window)
+//! skips the radix walk entirely.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use vmem::{Addr, GRANULE_SIZE};
 
-/// Granules covered by one chunk: 512 words × 64 bits = 32 Ki granules,
-/// i.e. one 4 KiB bitmap chunk shadows 512 KiB of address space — the same
-/// 1/128 ratio as the paper's flat map.
-const CHUNK_GRANULES: u64 = 512 * 64;
+/// `u64` words per chunk.
+const CHUNK_WORDS: usize = 512;
 
-/// A sparse bitmap over granule indices.
+/// Granules covered by one chunk: 512 words × 64 bits = 32 Ki granules,
+/// i.e. one 4 KiB bitmap chunk shadows 512 KiB of address space.
+const CHUNK_GRANULES: u64 = (CHUNK_WORDS * 64) as u64;
+
+/// log2 of [`CHUNK_GRANULES`].
+const CHUNK_SHIFT: u32 = CHUNK_GRANULES.trailing_zeros();
+
+/// Chunk pointers per level-2 table.
+const L2_ENTRIES: usize = 1 << 15;
+
+/// log2 of [`L2_ENTRIES`].
+const L2_SHIFT: u32 = L2_ENTRIES.trailing_zeros();
+
+/// Level-2 pointers in the root directory.
+const L1_ENTRIES: usize = 1 << 12;
+
+/// One past the highest address the radix covers (64 TiB).
+pub const MAX_SHADOWED: u64 =
+    (L1_ENTRIES as u64) << (L2_SHIFT + CHUNK_SHIFT) << GRANULE_SIZE.trailing_zeros();
+
+/// One 4 KiB bitmap leaf.
+struct Chunk {
+    words: [AtomicU64; CHUNK_WORDS],
+}
+
+impl Chunk {
+    fn new_boxed() -> Box<Chunk> {
+        Box::new(Chunk { words: std::array::from_fn(|_| AtomicU64::new(0)) })
+    }
+}
+
+/// A level-2 table: 32 Ki lazily-published chunk pointers (256 KiB).
+struct Level2 {
+    chunks: Box<[AtomicPtr<Chunk>]>,
+}
+
+impl Level2 {
+    fn new_boxed() -> Box<Level2> {
+        // Built through a Vec: a 256 KiB array temporary must not cross
+        // the stack.
+        let chunks: Vec<AtomicPtr<Chunk>> =
+            (0..L2_ENTRIES).map(|_| AtomicPtr::new(ptr::null_mut())).collect();
+        Box::new(Level2 { chunks: chunks.into_boxed_slice() })
+    }
+}
+
+impl Drop for Level2 {
+    fn drop(&mut self) {
+        for slot in self.chunks.iter_mut() {
+            let p = *slot.get_mut();
+            if !p.is_null() {
+                // Published by a CAS from a Box we own; dropped exactly
+                // once because `&mut self` is exclusive.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+/// A sparse two-level radix bitmap over granule indices, markable through
+/// `&self` and [`Sync`] so parallel sweep threads share one map.
 ///
 /// # Example
 ///
@@ -25,34 +132,460 @@ const CHUNK_GRANULES: u64 = 512 * 64;
 /// use minesweeper::ShadowMap;
 /// use vmem::Addr;
 ///
-/// let mut shadow = ShadowMap::new();
+/// let shadow = ShadowMap::new();
 /// shadow.mark(Addr::new(0x1_0000_0040)); // a pointer into some allocation
 /// assert!(shadow.range_marked(Addr::new(0x1_0000_0040), 16));
 /// assert!(!shadow.range_marked(Addr::new(0x1_0000_0100), 64));
 /// ```
-#[derive(Clone, Debug, Default)]
 pub struct ShadowMap {
-    chunks: HashMap<u64, Box<[u64; 512]>>,
-    marked: u64,
+    l1: Box<[AtomicPtr<Level2>]>,
+    marked: AtomicU64,
+    /// Resident chunks, for O(1) [`ShadowMap::resident_bytes`].
+    chunk_count: AtomicU64,
+    /// Resident level-2 tables, for O(1) [`ShadowMap::directory_bytes`].
+    l2_count: AtomicU64,
+}
+
+impl Default for ShadowMap {
+    fn default() -> Self {
+        ShadowMap::new()
+    }
 }
 
 impl ShadowMap {
-    /// Creates an empty shadow map.
+    /// Creates an empty shadow map (one 32 KiB root directory; tables and
+    /// chunks are allocated on first mark).
     pub fn new() -> Self {
-        ShadowMap::default()
+        let l1: Vec<AtomicPtr<Level2>> =
+            (0..L1_ENTRIES).map(|_| AtomicPtr::new(ptr::null_mut())).collect();
+        ShadowMap {
+            l1: l1.into_boxed_slice(),
+            marked: AtomicU64::new(0),
+            chunk_count: AtomicU64::new(0),
+            l2_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Splits a chunk index into (level-1, level-2) digits.
+    #[inline]
+    fn split(chunk_idx: u64) -> (usize, usize) {
+        ((chunk_idx >> L2_SHIFT) as usize, (chunk_idx & (L2_ENTRIES as u64 - 1)) as usize)
+    }
+
+    /// The chunk for `chunk_idx`, if it has ever been touched.
+    #[inline]
+    fn chunk(&self, chunk_idx: u64) -> Option<&Chunk> {
+        let (i1, i2) = Self::split(chunk_idx);
+        let l2 = self.l1.get(i1)?.load(Ordering::Acquire);
+        if l2.is_null() {
+            return None;
+        }
+        let c = unsafe { &*l2 }.chunks[i2].load(Ordering::Acquire);
+        if c.is_null() {
+            None
+        } else {
+            Some(unsafe { &*c })
+        }
+    }
+
+    /// The chunk for `chunk_idx`, allocating and CAS-publishing the
+    /// level-2 table and the chunk as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk lies beyond [`MAX_SHADOWED`].
+    fn chunk_or_insert(&self, chunk_idx: u64) -> &Chunk {
+        let (i1, i2) = Self::split(chunk_idx);
+        assert!(
+            i1 < L1_ENTRIES,
+            "address beyond the {} TiB shadowed span",
+            MAX_SHADOWED >> 40
+        );
+        let slot = &self.l1[i1];
+        let mut l2 = slot.load(Ordering::Acquire);
+        if l2.is_null() {
+            let fresh = Box::into_raw(Level2::new_boxed());
+            match slot.compare_exchange(
+                ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.l2_count.fetch_add(1, Ordering::Relaxed);
+                    l2 = fresh;
+                }
+                Err(winner) => {
+                    // Another thread published first; adopt its table.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    l2 = winner;
+                }
+            }
+        }
+        let slot = &unsafe { &*l2 }.chunks[i2];
+        let mut c = slot.load(Ordering::Acquire);
+        if c.is_null() {
+            let fresh = Box::into_raw(Chunk::new_boxed());
+            match slot.compare_exchange(
+                ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.chunk_count.fetch_add(1, Ordering::Relaxed);
+                    c = fresh;
+                }
+                Err(winner) => {
+                    drop(unsafe { Box::from_raw(fresh) });
+                    c = winner;
+                }
+            }
+        }
+        unsafe { &*c }
+    }
+
+    /// Sets bit `bit` of `word`, bumping `counter` iff this call flipped
+    /// it. The load-first fast path skips the RMW when the bit is already
+    /// set — the common case on pointer-dense pages.
+    #[inline]
+    fn set_bit(counter: &AtomicU64, word: &AtomicU64, bit: u64) -> bool {
+        let mask = 1u64 << bit;
+        if word.load(Ordering::Relaxed) & mask != 0 {
+            return false;
+        }
+        if word.fetch_or(mask, Ordering::Relaxed) & mask == 0 {
+            counter.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
     }
 
     /// Marks the granule containing `target` — the operation the marking
     /// phase performs for every word of memory that looks like a pointer.
+    /// Returns whether this call newly set the bit (exact even when racing
+    /// other markers; baselines use it to drive their worklists).
     #[inline]
-    pub fn mark(&mut self, target: Addr) {
+    pub fn mark(&self, target: Addr) -> bool {
+        let g = target.granule();
+        let chunk = self.chunk_or_insert(g >> CHUNK_SHIFT);
+        let bit = g & (CHUNK_GRANULES - 1);
+        Self::set_bit(&self.marked, &chunk.words[(bit >> 6) as usize], bit & 63)
+    }
+
+    /// A cursor that caches the last-touched chunk and write-combines
+    /// same-word marks for tight mark loops. Pending marks publish when
+    /// the cursor changes words or the writer drops.
+    pub fn writer(&self) -> ShadowWriter<'_> {
+        ShadowWriter {
+            map: self,
+            cached_idx: u64::MAX,
+            cached: None,
+            word_idx: usize::MAX,
+            snapshot: 0,
+            pending: 0,
+        }
+    }
+
+    /// Whether the granule containing `addr` is marked.
+    #[inline]
+    pub fn is_marked(&self, addr: Addr) -> bool {
+        let g = addr.granule();
+        self.chunk(g >> CHUNK_SHIFT).is_some_and(|chunk| {
+            let bit = g & (CHUNK_GRANULES - 1);
+            chunk.words[(bit >> 6) as usize].load(Ordering::Relaxed) & (1 << (bit & 63)) != 0
+        })
+    }
+
+    /// Whether *any* granule overlapping `[base, base + len)` is marked —
+    /// the release-phase test: a marked granule means a possible dangling
+    /// pointer into the allocation, so it must stay quarantined. The paper
+    /// checks "the full shadow-map range corresponding to the allocation"
+    /// (§3.3 footnote), which includes interior pointers.
+    ///
+    /// Scans whole `u64` words with end masks rather than probing per
+    /// granule, and skips absent chunks (512 KiB of address space) in one
+    /// step.
+    pub fn range_marked(&self, base: Addr, len: u64) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let first = base.granule();
+        let last = base.add_bytes(len - 1).granule();
+        let mut g = first;
+        while g <= last {
+            let chunk_idx = g >> CHUNK_SHIFT;
+            // Last granule this chunk covers (saturating: chunk_idx is
+            // bounded by the 2⁶⁰ granule space, so no overflow).
+            let chunk_last = ((chunk_idx + 1) << CHUNK_SHIFT) - 1;
+            let hi = last.min(chunk_last);
+            if let Some(chunk) = self.chunk(chunk_idx) {
+                let lo_bit = g & (CHUNK_GRANULES - 1);
+                let hi_bit = hi & (CHUNK_GRANULES - 1);
+                let (w0, b0) = ((lo_bit >> 6) as usize, lo_bit & 63);
+                let (w1, b1) = ((hi_bit >> 6) as usize, hi_bit & 63);
+                let head = !0u64 << b0;
+                let tail = !0u64 >> (63 - b1);
+                if w0 == w1 {
+                    if chunk.words[w0].load(Ordering::Relaxed) & head & tail != 0 {
+                        return true;
+                    }
+                } else {
+                    if chunk.words[w0].load(Ordering::Relaxed) & head != 0 {
+                        return true;
+                    }
+                    if chunk.words[w0 + 1..w1]
+                        .iter()
+                        .any(|w| w.load(Ordering::Relaxed) != 0)
+                    {
+                        return true;
+                    }
+                    if chunk.words[w1].load(Ordering::Relaxed) & tail != 0 {
+                        return true;
+                    }
+                }
+            }
+            g = chunk_last + 1;
+        }
+        false
+    }
+
+    /// Total granules marked (exact, even when marks raced).
+    pub fn marked_count(&self) -> u64 {
+        self.marked.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.marked_count() == 0
+    }
+
+    /// Clears every mark bit **in place**, keeping chunks and tables
+    /// resident so the next sweep reuses them instead of re-faulting the
+    /// radix (the layer's per-epoch reset; `&mut self` guarantees no
+    /// marker is concurrently writing).
+    pub fn clear(&mut self) {
+        self.for_each_chunk(|chunk| {
+            for w in &chunk.words {
+                w.store(0, Ordering::Relaxed);
+            }
+        });
+        *self.marked.get_mut() = 0;
+    }
+
+    /// Unions another shadow map into this one (kept for merging maps
+    /// built independently, e.g. per-phase maps; the parallel marking
+    /// phase itself no longer needs it — §4.4 threads share one map).
+    pub fn union(&self, other: &ShadowMap) {
+        other.for_each_resident(|chunk_idx, other_chunk| {
+            let chunk = self.chunk_or_insert(chunk_idx);
+            for (w, ow) in chunk.words.iter().zip(&other_chunk.words) {
+                let bits = ow.load(Ordering::Relaxed);
+                if bits != 0 {
+                    let newly = bits & !w.fetch_or(bits, Ordering::Relaxed);
+                    if newly != 0 {
+                        self.marked.fetch_add(newly.count_ones() as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Resident size of the bitmap chunks in bytes (the paper's <1 %
+    /// overhead figure; directory overhead is reported separately by
+    /// [`ShadowMap::directory_bytes`]).
+    pub fn resident_bytes(&self) -> u64 {
+        self.chunk_count.load(Ordering::Relaxed) * (CHUNK_WORDS * 8) as u64
+    }
+
+    /// Resident size of the radix directory (root + level-2 tables).
+    pub fn directory_bytes(&self) -> u64 {
+        (L1_ENTRIES * 8) as u64
+            + self.l2_count.load(Ordering::Relaxed) * (L2_ENTRIES * 8) as u64
+    }
+
+    /// Visits every resident chunk with its chunk index.
+    fn for_each_resident(&self, mut f: impl FnMut(u64, &Chunk)) {
+        for (i1, slot) in self.l1.iter().enumerate() {
+            let l2 = slot.load(Ordering::Acquire);
+            if l2.is_null() {
+                continue;
+            }
+            for (i2, cslot) in unsafe { &*l2 }.chunks.iter().enumerate() {
+                let c = cslot.load(Ordering::Acquire);
+                if !c.is_null() {
+                    f(((i1 << L2_SHIFT) | i2) as u64, unsafe { &*c });
+                }
+            }
+        }
+    }
+
+    /// Visits every resident chunk (no index needed).
+    fn for_each_chunk(&self, mut f: impl FnMut(&Chunk)) {
+        self.for_each_resident(|_, chunk| f(chunk));
+    }
+}
+
+impl Drop for ShadowMap {
+    fn drop(&mut self) {
+        for slot in self.l1.iter_mut() {
+            let l2 = *slot.get_mut();
+            if !l2.is_null() {
+                drop(unsafe { Box::from_raw(l2) });
+            }
+        }
+    }
+}
+
+impl Clone for ShadowMap {
+    /// Deep copy. With `&self` shared, the clone is a best-effort snapshot
+    /// of racing marks (each bit is read once, so it is internally
+    /// consistent per word).
+    fn clone(&self) -> Self {
+        let copy = ShadowMap::new();
+        copy.union(self);
+        copy
+    }
+}
+
+impl fmt::Debug for ShadowMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShadowMap")
+            .field("marked", &self.marked_count())
+            .field("resident_bytes", &self.resident_bytes())
+            .field("directory_bytes", &self.directory_bytes())
+            .finish()
+    }
+}
+
+/// A marking cursor over a [`ShadowMap`] tuned for the sweep's hot loop.
+/// Each marking thread holds its own writer; all writers feed one map.
+///
+/// Two layers of locality exploitation:
+///
+/// * the last-touched **chunk** is cached, so consecutive pointer targets
+///   (overwhelmingly in the same 512 KiB window) skip the radix walk;
+/// * marks into the current bitmap **word** (64 granules = 1 KiB of
+///   address space) are write-combined into a local pending mask and
+///   flushed with a single `fetch_or` when the cursor moves on — turning
+///   up to 64 RMWs into one. The flush's returned previous value gives
+///   the exact count of bits this writer newly set (`pending & !prev`),
+///   so [`ShadowMap::marked_count`] stays exact even when writers race
+///   on the same words.
+///
+/// Buffered bits become visible to *other* threads at flush (next word,
+/// or drop). Marking is the only concurrent phase and readers join the
+/// markers first, so nothing observes the window. [`ShadowWriter::mark`]'s
+/// newly-set return is exact from this writer's perspective (its own
+/// earlier marks included); a racing writer may transiently see the same
+/// bit as new, but the global counter is reconciled at flush.
+pub struct ShadowWriter<'a> {
+    map: &'a ShadowMap,
+    cached_idx: u64,
+    cached: Option<&'a Chunk>,
+    /// Word within the cached chunk the pending bits belong to.
+    word_idx: usize,
+    /// The word's value as last loaded, plus every pending bit.
+    snapshot: u64,
+    /// Bits set through this writer but not yet flushed.
+    pending: u64,
+}
+
+impl<'a> ShadowWriter<'a> {
+    /// Marks the granule containing `target`; returns whether the bit was
+    /// newly set (exact with respect to this writer's own history; see
+    /// the type docs for cross-writer races).
+    #[inline]
+    pub fn mark(&mut self, target: Addr) -> bool {
+        let g = target.granule();
+        let chunk_idx = g >> CHUNK_SHIFT;
+        let bit = g & (CHUNK_GRANULES - 1);
+        let (w, mask) = ((bit >> 6) as usize, 1u64 << (bit & 63));
+        if chunk_idx == self.cached_idx && w == self.word_idx {
+            // Hot path: same 1 KiB window — pure local arithmetic.
+            if self.snapshot & mask != 0 {
+                return false;
+            }
+            self.snapshot |= mask;
+            self.pending |= mask;
+            return true;
+        }
+        self.flush();
+        let chunk = match self.cached {
+            Some(c) if self.cached_idx == chunk_idx => c,
+            _ => {
+                let c = self.map.chunk_or_insert(chunk_idx);
+                self.cached_idx = chunk_idx;
+                self.cached = Some(c);
+                c
+            }
+        };
+        self.word_idx = w;
+        let current = chunk.words[w].load(Ordering::Relaxed);
+        if current & mask != 0 {
+            self.snapshot = current;
+            self.pending = 0;
+            return false;
+        }
+        self.snapshot = current | mask;
+        self.pending = mask;
+        true
+    }
+
+    /// Publishes any pending bits with one `fetch_or`, reconciling the
+    /// global mark counter exactly.
+    #[inline]
+    fn flush(&mut self) {
+        if self.pending != 0 {
+            let chunk = self.cached.expect("pending bits imply a cached chunk");
+            let prev = chunk.words[self.word_idx].fetch_or(self.pending, Ordering::Relaxed);
+            let newly = self.pending & !prev;
+            if newly != 0 {
+                self.map.marked.fetch_add(newly.count_ones() as u64, Ordering::Relaxed);
+            }
+            self.pending = 0;
+        }
+    }
+}
+
+impl Drop for ShadowWriter<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// The seed's `HashMap`-of-chunks shadow map, kept as the reference
+/// implementation: differential tests check the radix map against it, and
+/// the sweep-bandwidth bench measures the atomic map's speedup over it
+/// (including the per-thread-map + union merge the parallel phase used to
+/// pay).
+#[derive(Clone, Debug, Default)]
+pub struct NaiveShadowMap {
+    chunks: HashMap<u64, Box<[u64; CHUNK_WORDS]>>,
+    marked: u64,
+}
+
+impl NaiveShadowMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        NaiveShadowMap::default()
+    }
+
+    /// Marks the granule containing `target`; returns whether the bit was
+    /// newly set.
+    #[inline]
+    pub fn mark(&mut self, target: Addr) -> bool {
         let g = target.granule();
         let (chunk, bit) = (g / CHUNK_GRANULES, g % CHUNK_GRANULES);
-        let words = self.chunks.entry(chunk).or_insert_with(|| Box::new([0; 512]));
+        let words = self.chunks.entry(chunk).or_insert_with(|| Box::new([0; CHUNK_WORDS]));
         let (w, b) = ((bit / 64) as usize, bit % 64);
         if words[w] & (1 << b) == 0 {
             words[w] |= 1 << b;
             self.marked += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -66,11 +599,9 @@ impl ShadowMap {
             .is_some_and(|words| words[(bit / 64) as usize] & (1 << (bit % 64)) != 0)
     }
 
-    /// Whether *any* granule overlapping `[base, base + len)` is marked —
-    /// the release-phase test: a marked granule means a possible dangling
-    /// pointer into the allocation, so it must stay quarantined. The paper
-    /// checks "the full shadow-map range corresponding to the allocation"
-    /// (§3.3 footnote), which includes interior pointers.
+    /// Whether any granule overlapping `[base, base + len)` is marked —
+    /// deliberately the simplest possible per-granule probe, used as the
+    /// oracle for [`ShadowMap::range_marked`]'s word-masked scan.
     pub fn range_marked(&self, base: Addr, len: u64) -> bool {
         if len == 0 {
             return false;
@@ -90,11 +621,12 @@ impl ShadowMap {
         self.marked == 0
     }
 
-    /// Unions another shadow map into this one (used to merge the
-    /// per-thread maps of the parallel marking phase, §4.4).
-    pub fn union(&mut self, other: &ShadowMap) {
+    /// Unions another map into this one (the per-thread-map merge the
+    /// seed's parallel marking phase performed, kept for the bench's
+    /// before/after comparison).
+    pub fn union(&mut self, other: &NaiveShadowMap) {
         for (&chunk, other_words) in &other.chunks {
-            let words = self.chunks.entry(chunk).or_insert_with(|| Box::new([0; 512]));
+            let words = self.chunks.entry(chunk).or_insert_with(|| Box::new([0; CHUNK_WORDS]));
             for (w, &ow) in other_words.iter().enumerate() {
                 let newly = ow & !words[w];
                 self.marked += newly.count_ones() as u64;
@@ -103,9 +635,9 @@ impl ShadowMap {
         }
     }
 
-    /// Approximate resident size of the shadow map in bytes.
+    /// Approximate resident size in bytes.
     pub fn resident_bytes(&self) -> u64 {
-        self.chunks.len() as u64 * 4096
+        self.chunks.len() as u64 * (CHUNK_WORDS * 8) as u64
     }
 }
 
@@ -115,10 +647,10 @@ mod tests {
 
     #[test]
     fn mark_and_check_single_granule() {
-        let mut s = ShadowMap::new();
+        let s = ShadowMap::new();
         let a = Addr::new(0x1_0000_0000);
         assert!(!s.is_marked(a));
-        s.mark(a);
+        assert!(s.mark(a), "first mark newly sets");
         assert!(s.is_marked(a));
         assert!(s.is_marked(a + 15), "same granule");
         assert!(!s.is_marked(a + 16), "next granule");
@@ -127,18 +659,49 @@ mod tests {
 
     #[test]
     fn mark_is_idempotent() {
-        let mut s = ShadowMap::new();
-        s.mark(Addr::new(64));
-        s.mark(Addr::new(64));
-        s.mark(Addr::new(70)); // same granule
+        let s = ShadowMap::new();
+        assert!(s.mark(Addr::new(64)));
+        assert!(!s.mark(Addr::new(64)), "repeat mark is not new");
+        assert!(!s.mark(Addr::new(70)), "same granule");
         assert_eq!(s.marked_count(), 1);
+    }
+
+    #[test]
+    fn writer_matches_direct_marks() {
+        let s = ShadowMap::new();
+        let boundary = CHUNK_GRANULES * GRANULE_SIZE as u64;
+        let mut w = s.writer();
+        assert!(w.mark(Addr::new(boundary - 16)));
+        assert!(w.mark(Addr::new(boundary)), "cache refreshes across chunks");
+        assert!(!w.mark(Addr::new(boundary + 8)), "same granule via cache");
+        drop(w); // publish buffered marks
+        assert!(!s.mark(Addr::new(boundary)), "direct marks see writer's bits");
+        assert_eq!(s.marked_count(), 2);
+    }
+
+    #[test]
+    fn writer_buffers_until_flush_then_counts_exactly() {
+        let s = ShadowMap::new();
+        let mut w = s.writer();
+        // 64 granules of one bitmap word: a single fetch_or at flush.
+        for i in 0..64u64 {
+            assert!(w.mark(Addr::new(0x1_0000_0000 + i * GRANULE_SIZE as u64)));
+        }
+        // Racing direct mark on a buffered bit: the flush reconciliation
+        // must not double-count it.
+        assert!(s.mark(Addr::new(0x1_0000_0000)), "not yet published");
+        drop(w);
+        assert_eq!(s.marked_count(), 64, "63 from the writer + 1 raced");
+        for i in 0..64u64 {
+            assert!(s.is_marked(Addr::new(0x1_0000_0000 + i * GRANULE_SIZE as u64)));
+        }
     }
 
     #[test]
     fn interior_pointer_retains_whole_allocation() {
         // Figure 5: a pointer to any offset inside [a, a+size) must be
         // caught by checking the allocation's full granule range.
-        let mut s = ShadowMap::new();
+        let s = ShadowMap::new();
         let base = Addr::new(0x1_0000_0000);
         s.mark(base + 100); // interior pointer target
         assert!(s.range_marked(base, 128));
@@ -148,7 +711,7 @@ mod tests {
 
     #[test]
     fn range_marked_handles_granule_straddling() {
-        let mut s = ShadowMap::new();
+        let s = ShadowMap::new();
         let base = Addr::new(0x1_0000_0008); // misaligned to granule
         s.mark(base);
         // A range ending inside the marked granule must see the mark.
@@ -158,15 +721,15 @@ mod tests {
 
     #[test]
     fn zero_length_range_is_never_marked() {
-        let mut s = ShadowMap::new();
+        let s = ShadowMap::new();
         s.mark(Addr::new(0x1000));
         assert!(!s.range_marked(Addr::new(0x1000), 0));
     }
 
     #[test]
     fn union_merges_and_counts_exactly() {
-        let mut a = ShadowMap::new();
-        let mut b = ShadowMap::new();
+        let a = ShadowMap::new();
+        let b = ShadowMap::new();
         a.mark(Addr::new(16));
         a.mark(Addr::new(32));
         b.mark(Addr::new(32)); // overlap
@@ -180,22 +743,158 @@ mod tests {
 
     #[test]
     fn chunk_boundaries_are_seamless() {
-        let mut s = ShadowMap::new();
+        let s = ShadowMap::new();
         let boundary = CHUNK_GRANULES * GRANULE_SIZE as u64;
         s.mark(Addr::new(boundary - 16));
         s.mark(Addr::new(boundary));
         assert!(s.range_marked(Addr::new(boundary - 16), 32));
         assert_eq!(s.marked_count(), 2);
-        assert_eq!(s.chunks.len(), 2);
+        assert_eq!(s.resident_bytes(), 2 * 4096, "one chunk per side");
     }
 
     #[test]
     fn sparse_representation_stays_small() {
-        let mut s = ShadowMap::new();
+        let s = ShadowMap::new();
         // Marks across 1 GiB of address space land in few chunks.
         for i in 0..1000u64 {
             s.mark(Addr::new(0x1_0000_0000 + i * 1024));
         }
         assert!(s.resident_bytes() < 16 * 4096, "sparse map must stay small");
+    }
+
+    #[test]
+    fn clear_resets_marks_but_keeps_chunks_resident() {
+        let mut s = ShadowMap::new();
+        s.mark(Addr::new(0x1_0000_0000));
+        s.mark(Addr::new(1 << 33));
+        let resident = s.resident_bytes();
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.is_marked(Addr::new(0x1_0000_0000)));
+        assert!(!s.range_marked(Addr::new(1 << 33), 4096));
+        assert_eq!(s.resident_bytes(), resident, "chunks are reused, not freed");
+        // The next epoch marks into the recycled chunks.
+        assert!(s.mark(Addr::new(0x1_0000_0000)));
+        assert_eq!(s.marked_count(), 1);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let s = ShadowMap::new();
+        s.mark(Addr::new(0x1_0000_0000));
+        let c = s.clone();
+        s.mark(Addr::new(0x2_0000_0000));
+        assert_eq!(c.marked_count(), 1);
+        assert!(!c.is_marked(Addr::new(0x2_0000_0000)));
+        assert!(c.is_marked(Addr::new(0x1_0000_0000)));
+    }
+
+    #[test]
+    fn far_addresses_use_distinct_directory_slots() {
+        let s = ShadowMap::new();
+        // 1 TiB apart: different level-2 tables.
+        s.mark(Addr::new(1 << 40));
+        s.mark(Addr::new(1 << 41));
+        assert!(s.is_marked(Addr::new(1 << 40)));
+        assert!(s.is_marked(Addr::new(1 << 41)));
+        assert_eq!(s.marked_count(), 2);
+        assert!(s.directory_bytes() > (L1_ENTRIES * 8) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "shadowed span")]
+    fn marking_beyond_the_shadowed_span_panics() {
+        ShadowMap::new().mark(Addr::new(MAX_SHADOWED));
+    }
+
+    #[test]
+    fn concurrent_marks_count_exactly_across_chunk_boundary() {
+        // 8 threads × 4096 granules straddling a chunk boundary, every
+        // granule hit by every thread: the count must be exactly the
+        // number of distinct granules.
+        let s = ShadowMap::new();
+        let boundary = CHUNK_GRANULES * GRANULE_SIZE as u64; // chunk 0 → 1
+        let granules = 4096u64;
+        let base = boundary - (granules / 2) * GRANULE_SIZE as u64;
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut w = s.writer();
+                    for i in 0..granules {
+                        // Different starting phase per thread maximises
+                        // same-bit contention.
+                        let g = (i + t * 512) % granules;
+                        w.mark(Addr::new(base + g * GRANULE_SIZE as u64));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.marked_count(), granules, "exact count under contention");
+        for i in 0..granules {
+            assert!(s.is_marked(Addr::new(base + i * GRANULE_SIZE as u64)));
+        }
+        assert!(s.range_marked(Addr::new(base), granules * GRANULE_SIZE as u64));
+    }
+
+    #[test]
+    fn concurrent_publication_of_one_chunk_is_safe() {
+        // All threads race to create the same chunk: exactly one wins,
+        // losers adopt it, and every mark lands.
+        for _ in 0..16 {
+            let s = ShadowMap::new();
+            std::thread::scope(|scope| {
+                for t in 0..8u64 {
+                    let s = &s;
+                    scope.spawn(move || {
+                        s.mark(Addr::new(0x1_0000_0000 + t * GRANULE_SIZE as u64));
+                    });
+                }
+            });
+            assert_eq!(s.marked_count(), 8);
+            assert_eq!(s.resident_bytes(), 4096, "one chunk, no leak/dup");
+        }
+    }
+
+    #[test]
+    fn range_marked_agrees_with_naive_oracle() {
+        // Differential test: word-masked scan vs the per-granule probe,
+        // over a deliberately awkward bit population (word edges, chunk
+        // edges, isolated bits).
+        let fast = ShadowMap::new();
+        let mut slow = NaiveShadowMap::new();
+        let base = 0x1_0000_0000u64;
+        let offsets = [
+            0u64,
+            15,
+            16,
+            63 * 16,
+            64 * 16,
+            (CHUNK_GRANULES - 1) * 16,
+            CHUNK_GRANULES * 16,
+            (CHUNK_GRANULES + 64) * 16,
+            3 * CHUNK_GRANULES * 16 + 40,
+        ];
+        for &off in &offsets {
+            fast.mark(Addr::new(base + off));
+            slow.mark(Addr::new(base + off));
+        }
+        assert_eq!(fast.marked_count(), slow.marked_count());
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..4000 {
+            // SplitMix64 over query starts/lengths around the population.
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            let start = base.wrapping_sub(256) + z % (4 * CHUNK_GRANULES * 16);
+            let len = (z >> 40) % 3000;
+            assert_eq!(
+                fast.range_marked(Addr::new(start), len),
+                slow.range_marked(Addr::new(start), len),
+                "start={start:#x} len={len}"
+            );
+        }
     }
 }

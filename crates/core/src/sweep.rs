@@ -12,6 +12,10 @@
 //! mode's relaxed guarantee (a dangling pointer *moved ahead of the cursor
 //! and erased behind it* during the sweep is missed — §4.3 footnote 5) and
 //! the mostly-concurrent mode's soft-dirty stop-the-world fix.
+//!
+//! Marking writes through `&ShadowMap` (the map is atomic — see
+//! [`crate::shadow`]), so [`parallel_mark`] threads share **one** map with
+//! no per-thread maps and no union barrier (§4.4).
 
 use vmem::{Addr, AddrSpace, Layout, MemError, PageIdx, Segment, PAGE_SIZE, WORD_SIZE};
 
@@ -104,12 +108,23 @@ pub struct Marker {
     idx: usize,
     off: u64,
     done_bytes: u64,
+    /// Plan ranges sorted by base — `(base, len, plan index)` — so
+    /// [`Marker::has_passed`] is a binary search instead of a linear walk
+    /// over the plan (root-heavy plans have thousands of ranges).
+    by_base: Vec<(u64, u64, usize)>,
 }
 
 impl Marker {
     /// Creates a cursor at the start of `plan`.
     pub fn new(plan: SweepPlan) -> Self {
-        Marker { plan, idx: 0, off: 0, done_bytes: 0 }
+        let mut by_base: Vec<(u64, u64, usize)> = plan
+            .ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(base, len))| (base.raw(), len, i))
+            .collect();
+        by_base.sort_unstable();
+        Marker { plan, idx: 0, off: 0, done_bytes: 0, by_base }
     }
 
     /// Bytes of plan not yet advanced through.
@@ -118,31 +133,39 @@ impl Marker {
     }
 
     /// Whether the cursor has passed `addr` (used by tests to position
-    /// race scenarios relative to the sweep front).
+    /// race scenarios relative to the sweep front). Binary search over the
+    /// base-sorted range index; plan ranges never overlap.
     pub fn has_passed(&self, addr: Addr) -> bool {
-        for (i, &(base, len)) in self.plan.ranges.iter().enumerate() {
-            if addr >= base && addr < base.add_bytes(len) {
-                return i < self.idx || (i == self.idx && addr.offset_from(base) < self.off);
-            }
+        let i = self.by_base.partition_point(|&(base, _, _)| base <= addr.raw());
+        if i == 0 {
+            return false;
         }
-        false
+        let (base, len, plan_idx) = self.by_base[i - 1];
+        if addr.raw() - base >= len {
+            return false;
+        }
+        plan_idx < self.idx || (plan_idx == self.idx && addr.raw() - base < self.off)
     }
 
     /// Advances the cursor by up to `word_budget` words, marking pointer
     /// targets in `shadow`.
     ///
-    /// Pages are processed in slices (one lookup per page). Sweeping a
-    /// `madvise`-purged (mapped, unprotected, unbacked) page
-    /// **demand-commits it** via [`AddrSpace::touch_page`], faithfully
-    /// reproducing the §4.5 failure mode that the commit/decommit extent
-    /// hooks exist to prevent; protected pages are skipped.
+    /// Pages are processed in slices — one `scan_page` lookup per page,
+    /// with the marks issued while the page borrow is live and the
+    /// [`ShadowWriter`](crate::shadow::ShadowWriter) chunk cache carrying
+    /// across pages. Sweeping a `madvise`-purged (mapped, unprotected,
+    /// unbacked) page **demand-commits it** via [`AddrSpace::touch_page`],
+    /// faithfully reproducing the §4.5 failure mode that the
+    /// commit/decommit extent hooks exist to prevent; protected pages are
+    /// skipped.
     pub fn step(
         &mut self,
         space: &mut AddrSpace,
         layout: &Layout,
-        shadow: &mut ShadowMap,
+        shadow: &ShadowMap,
         word_budget: u64,
     ) -> StepResult {
+        let mut writer = shadow.writer();
         let mut words = 0;
         let start_bytes = self.done_bytes;
         while words < word_budget && self.idx < self.plan.ranges.len() {
@@ -158,23 +181,24 @@ impl Marker {
             let page_end = addr.page().next().base().offset_from(base).min(len);
             let chunk_words =
                 ((page_end - self.off) / WORD_SIZE as u64).min(word_budget - words);
-            // Probe without holding the page borrow across the arms.
+            // One probe: mark in the committed arm (the page borrow ends
+            // with the match), then advance state without it.
             let state = match space.scan_page(addr.page()) {
-                Ok(Some(_)) => PageState::Committed,
+                Ok(Some(page)) => {
+                    let start_word = addr.word_in_page();
+                    for &value in &page[start_word..start_word + chunk_words as usize] {
+                        if layout.heap_contains(Addr::new(value)) {
+                            writer.mark(Addr::new(value));
+                        }
+                    }
+                    PageState::Committed
+                }
                 Ok(None) => PageState::Unbacked,
                 Err(MemError::Protected(_)) | Err(MemError::Unmapped(_)) => PageState::Skip,
                 Err(e) => unreachable!("scan_page cannot fail with {e}"),
             };
             match state {
                 PageState::Committed => {
-                    let start_word = addr.word_in_page();
-                    let page =
-                        space.scan_page(addr.page()).expect("probed").expect("committed");
-                    for &value in &page[start_word..start_word + chunk_words as usize] {
-                        if layout.heap_contains(Addr::new(value)) {
-                            shadow.mark(Addr::new(value));
-                        }
-                    }
                     words += chunk_words;
                     self.off += chunk_words * WORD_SIZE as u64;
                     self.done_bytes += chunk_words * WORD_SIZE as u64;
@@ -207,7 +231,7 @@ impl Marker {
         &mut self,
         space: &mut AddrSpace,
         layout: &Layout,
-        shadow: &mut ShadowMap,
+        shadow: &ShadowMap,
     ) -> u64 {
         let mut total = 0;
         loop {
@@ -225,14 +249,15 @@ impl Marker {
 pub fn mark_page(
     space: &mut AddrSpace,
     layout: &Layout,
-    shadow: &mut ShadowMap,
+    shadow: &ShadowMap,
     page: PageIdx,
 ) -> u64 {
     match space.scan_page(page) {
         Ok(Some(words)) => {
+            let mut writer = shadow.writer();
             for &value in words.iter() {
                 if layout.heap_contains(Addr::new(value)) {
-                    shadow.mark(Addr::new(value));
+                    writer.mark(Addr::new(value));
                 }
             }
             (PAGE_SIZE / WORD_SIZE) as u64
@@ -245,9 +270,13 @@ pub fn mark_page(
 /// thread and some helpers ... divides up the memory to sweep equally").
 ///
 /// The plan's ranges are partitioned into `1 + helper_threads` contiguous
-/// byte shares; each thread marks its share into a private shadow map via
-/// side-effect-free reads ([`AddrSpace::peek_word`], which treats unbacked
-/// pages as zero — never a heap pointer), and the maps are unioned.
+/// byte shares; every thread marks its share **directly into one shared
+/// atomic shadow map** via side-effect-free reads
+/// ([`AddrSpace::scan_page`], with unbacked pages skipped — they read as
+/// zero, never a heap pointer). There are no per-thread maps to allocate
+/// and no union barrier to pay at the end; each thread's
+/// [`ShadowWriter`](crate::shadow::ShadowWriter) keeps the hot loop off
+/// the radix walk.
 ///
 /// This is the library-facing sweep used when no discrete-event engine is
 /// orchestrating virtual time (examples, tests, raw-bandwidth benches).
@@ -285,12 +314,14 @@ pub fn parallel_mark(
         }
     }
 
-    let maps: Vec<ShadowMap> = std::thread::scope(|scope| {
+    let shadow = ShadowMap::new();
+    std::thread::scope(|scope| {
         let handles: Vec<_> = shares
             .iter()
             .map(|share| {
+                let shadow = &shadow;
                 scope.spawn(move || {
-                    let mut shadow = ShadowMap::new();
+                    let mut writer = shadow.writer();
                     for &(base, len) in share {
                         let mut off = 0;
                         while off < len {
@@ -302,7 +333,7 @@ pub fn parallel_mark(
                                 let w0 = addr.word_in_page();
                                 for &value in &page[w0..w0 + chunk] {
                                     if layout.heap_contains(Addr::new(value)) {
-                                        shadow.mark(Addr::new(value));
+                                        writer.mark(Addr::new(value));
                                     }
                                 }
                             }
@@ -311,23 +342,20 @@ pub fn parallel_mark(
                             off = page_end;
                         }
                     }
-                    shadow
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("marker thread panicked")).collect()
+        for h in handles {
+            h.join().expect("marker thread panicked");
+        }
     });
-
-    let mut merged = ShadowMap::new();
-    for map in &maps {
-        merged.union(map);
-    }
-    merged
+    shadow
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shadow::NaiveShadowMap;
     use vmem::Protection;
 
     /// Maps `pages` heap pages and returns the base.
@@ -373,10 +401,10 @@ mod tests {
         let src = heap(&mut space, 1);
         space.write_word(src, target.raw()).unwrap(); // a real pointer
         space.write_word(src + 8, 42).unwrap(); // plain data
-        let mut shadow = ShadowMap::new();
+        let shadow = ShadowMap::new();
         let mut marker =
             Marker::new(SweepPlan::from_ranges(vec![(src, PAGE_SIZE as u64)]));
-        marker.run_to_end(&mut space, &layout, &mut shadow);
+        marker.run_to_end(&mut space, &layout, &shadow);
         assert!(shadow.is_marked(target));
         assert_eq!(shadow.marked_count(), 1, "42 is not a heap pointer");
     }
@@ -387,15 +415,49 @@ mod tests {
         let layout = *space.layout();
         let src = heap(&mut space, 1);
         space.commit(vmem::PageRange::spanning(src, PAGE_SIZE as u64)).unwrap();
-        let mut shadow = ShadowMap::new();
+        let shadow = ShadowMap::new();
         let mut marker =
             Marker::new(SweepPlan::from_ranges(vec![(src, PAGE_SIZE as u64)]));
-        let r = marker.step(&mut space, &layout, &mut shadow, 100);
+        let r = marker.step(&mut space, &layout, &shadow, 100);
         assert_eq!(r.words, 100);
         assert!(!r.finished);
         assert_eq!(marker.remaining_bytes(), PAGE_SIZE as u64 - 800);
         assert!(marker.has_passed(src + 792));
         assert!(!marker.has_passed(src + 800));
+    }
+
+    #[test]
+    fn has_passed_uses_plan_order_not_address_order() {
+        // Ranges deliberately out of address order: the cursor's notion of
+        // "passed" must follow plan position, which the base-sorted index
+        // has to map back to.
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let lo = heap(&mut space, 1);
+        let hi = heap(&mut space, 1);
+        space.commit(vmem::PageRange::spanning(lo, PAGE_SIZE as u64)).unwrap();
+        space.commit(vmem::PageRange::spanning(hi, PAGE_SIZE as u64)).unwrap();
+        // Plan visits `hi` first, then `lo`.
+        let plan = SweepPlan::from_ranges(vec![
+            (hi, PAGE_SIZE as u64),
+            (lo, PAGE_SIZE as u64),
+        ]);
+        let shadow = ShadowMap::new();
+        let mut marker = Marker::new(plan);
+        assert!(!marker.has_passed(hi));
+        assert!(!marker.has_passed(lo));
+        assert!(!marker.has_passed(Addr::new(lo.raw() - 8)), "below every range");
+        assert!(!marker.has_passed(hi + PAGE_SIZE as u64), "above every range");
+        // Step through `hi` plus 10 words of `lo`.
+        marker.step(&mut space, &layout, &shadow, 512 + 10);
+        assert!(marker.has_passed(hi));
+        assert!(marker.has_passed(hi + 8 * 511));
+        assert!(marker.has_passed(lo + 72));
+        assert!(!marker.has_passed(lo + 80));
+        // Finish: everything in-plan is passed, out-of-plan never is.
+        marker.step(&mut space, &layout, &shadow, u64::MAX);
+        assert!(marker.has_passed(lo + (PAGE_SIZE as u64 - 8)));
+        assert!(!marker.has_passed(hi + PAGE_SIZE as u64));
     }
 
     #[test]
@@ -408,10 +470,10 @@ mod tests {
             .protect(vmem::PageRange::spanning(a, PAGE_SIZE as u64), Protection::None)
             .unwrap();
         space.write_word(a + PAGE_SIZE as u64, 7).unwrap();
-        let mut shadow = ShadowMap::new();
+        let shadow = ShadowMap::new();
         let mut marker =
             Marker::new(SweepPlan::from_ranges(vec![(a, 2 * PAGE_SIZE as u64)]));
-        let words = marker.run_to_end(&mut space, &layout, &mut shadow);
+        let words = marker.run_to_end(&mut space, &layout, &shadow);
         assert_eq!(words, 512, "only the unprotected page is read");
     }
 
@@ -424,9 +486,9 @@ mod tests {
         space.write_word(a, 1).unwrap();
         space.decommit(vmem::PageRange::spanning(a, PAGE_SIZE as u64)).unwrap();
         assert_eq!(space.rss_bytes(), 0);
-        let mut shadow = ShadowMap::new();
+        let shadow = ShadowMap::new();
         let mut marker = Marker::new(SweepPlan::from_ranges(vec![(a, PAGE_SIZE as u64)]));
-        marker.run_to_end(&mut space, &layout, &mut shadow);
+        marker.run_to_end(&mut space, &layout, &shadow);
         assert_eq!(space.rss_bytes(), PAGE_SIZE as u64, "sweep faulted the page back");
     }
 
@@ -437,30 +499,50 @@ mod tests {
         let target = heap(&mut space, 1);
         let src = heap(&mut space, 1);
         space.write_word(src + 64, target.raw()).unwrap();
-        let mut shadow = ShadowMap::new();
-        let words = mark_page(&mut space, &layout, &mut shadow, src.page());
+        let shadow = ShadowMap::new();
+        let words = mark_page(&mut space, &layout, &shadow, src.page());
         assert_eq!(words, 512);
         assert!(shadow.is_marked(target));
     }
 
-    #[test]
-    fn parallel_mark_agrees_with_serial() {
-        let mut space = AddrSpace::new();
-        let layout = *space.layout();
-        let targets: Vec<Addr> = (0..8).map(|_| heap(&mut space, 1)).collect();
-        let src = heap(&mut space, 4);
-        // Scatter pointers and junk across the source pages.
+    /// Builds a pointer-dense multi-page fixture shared by the parallel
+    /// equivalence tests: scattered real pointers plus junk words.
+    fn scatter_fixture(space: &mut AddrSpace) -> (Vec<Addr>, SweepPlan) {
+        let targets: Vec<Addr> = (0..8).map(|_| heap(space, 1)).collect();
+        let src = heap(space, 4);
         for (i, t) in targets.iter().enumerate() {
             space.write_word(src + (i as u64 * 1000 + 8) * 8 % (4 * 4096), t.raw()).unwrap();
         }
         for i in 0..200u64 {
             space.write_word(src + (i * 37 % 2048) * 8, i).unwrap();
         }
-        let plan = SweepPlan::from_ranges(vec![(src, 4 * PAGE_SIZE as u64)]);
+        (targets, SweepPlan::from_ranges(vec![(src, 4 * PAGE_SIZE as u64)]))
+    }
 
-        let mut serial = ShadowMap::new();
+    #[test]
+    fn parallel_mark_agrees_with_serial() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (targets, plan) = scatter_fixture(&mut space);
+
+        let serial = ShadowMap::new();
         let mut marker = Marker::new(plan.clone());
-        marker.run_to_end(&mut space, &layout, &mut serial);
+        marker.run_to_end(&mut space, &layout, &serial);
+
+        // The seed's naive map, driven by the same plan via direct page
+        // reads, is the oracle both implementations must agree with.
+        let mut naive = NaiveShadowMap::new();
+        for &(base, len) in plan.ranges() {
+            for w in 0..len / 8 {
+                if let Ok(Some(page)) = space.scan_page(base.add_bytes(w * 8).page()) {
+                    let value = page[base.add_bytes(w * 8).word_in_page()];
+                    if layout.heap_contains(Addr::new(value)) {
+                        naive.mark(Addr::new(value));
+                    }
+                }
+            }
+        }
+        assert_eq!(serial.marked_count(), naive.marked_count());
 
         for threads in [0, 1, 3, 6] {
             let parallel = parallel_mark(&space, &plan, &layout, threads);
@@ -471,6 +553,43 @@ mod tests {
             );
             for t in &targets {
                 assert_eq!(parallel.is_marked(*t), serial.is_marked(*t));
+                assert_eq!(naive.is_marked(*t), serial.is_marked(*t));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mark_shared_map_matches_serial_mark_set_exactly() {
+        // Stronger than spot-checking targets: every word of the shared
+        // map's mark set must equal the serial set — union-freedom must
+        // not lose or invent marks under contention. Pointers repeat
+        // across thread shares so distinct threads race on the same bits.
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let targets: Vec<Addr> = (0..8).map(|_| heap(&mut space, 1)).collect();
+        let src = heap(&mut space, 8);
+        for w in 0..(8 * 512u64) {
+            // Every 3rd word points at a target cycled by word index, so
+            // each target recurs in every thread's share.
+            if w % 3 == 0 {
+                let t = targets[(w as usize / 3) % targets.len()];
+                space.write_word(src + w * 8, t.raw() + (w % 64)).unwrap();
+            }
+        }
+        let plan = SweepPlan::from_ranges(vec![(src, 8 * PAGE_SIZE as u64)]);
+        let serial = ShadowMap::new();
+        Marker::new(plan.clone()).run_to_end(&mut space, &layout, &serial);
+        for threads in [0, 1, 3, 6] {
+            let parallel = parallel_mark(&space, &plan, &layout, threads);
+            assert_eq!(parallel.marked_count(), serial.marked_count());
+            for t in &targets {
+                for off in (0..64).step_by(16) {
+                    assert_eq!(
+                        parallel.is_marked(*t + off),
+                        serial.is_marked(*t + off),
+                        "granule {t:?}+{off} helpers={threads}"
+                    );
+                }
             }
         }
     }
@@ -495,9 +614,9 @@ mod tests {
         let victim = heap(&mut space, 1);
         let src = heap(&mut space, 1);
         space.write_word(src, victim.raw()).unwrap(); // "just an integer"
-        let mut shadow = ShadowMap::new();
+        let shadow = ShadowMap::new();
         let mut marker = Marker::new(SweepPlan::from_ranges(vec![(src, PAGE_SIZE as u64)]));
-        marker.run_to_end(&mut space, &layout, &mut shadow);
+        marker.run_to_end(&mut space, &layout, &shadow);
         assert!(shadow.range_marked(victim, 64), "false pointers retain allocations");
     }
 }

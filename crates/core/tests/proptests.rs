@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
-use minesweeper::{FreeOutcome, MineSweeper, MsConfig};
+use minesweeper::{FreeOutcome, MineSweeper, MsConfig, NaiveShadowMap, ShadowMap};
 use vmem::{Addr, AddrSpace, Segment};
 
 #[derive(Clone, Debug)]
@@ -167,6 +167,42 @@ proptest! {
         let mut cfg = MsConfig::ablation_unoptimised();
         cfg.zeroing = true; // leak-freedom needs zeroing; keep safety focus
         run_scenario(cfg, ops)?;
+    }
+
+    #[test]
+    fn shadow_map_agrees_with_naive_reference(
+        // Addresses span two level-1 directory slots, so chunk, table and
+        // word boundaries are all crossed.
+        addrs in proptest::collection::vec(0u64..(1u64 << 35), 1..250),
+        use_writer in any::<bool>(),
+        queries in proptest::collection::vec((0u64..(1u64 << 35), 0u64..65_536), 1..120),
+    ) {
+        // Differential test: the atomic radix map (direct marks or the
+        // write-combining writer) against the seed's naive map — same
+        // newly-set verdicts, same count, same word-masked range queries.
+        let fast = ShadowMap::new();
+        let mut slow = NaiveShadowMap::new();
+        if use_writer {
+            let mut w = fast.writer();
+            for &a in &addrs {
+                prop_assert_eq!(w.mark(Addr::new(a)), slow.mark(Addr::new(a)));
+            }
+        } else {
+            for &a in &addrs {
+                prop_assert_eq!(fast.mark(Addr::new(a)), slow.mark(Addr::new(a)));
+            }
+        }
+        prop_assert_eq!(fast.marked_count(), slow.marked_count());
+        for &a in &addrs {
+            prop_assert!(fast.is_marked(Addr::new(a)));
+        }
+        for &(start, len) in &queries {
+            prop_assert_eq!(
+                fast.range_marked(Addr::new(start), len),
+                slow.range_marked(Addr::new(start), len),
+                "range [{:#x}, +{}) disagrees", start, len
+            );
+        }
     }
 
     #[test]

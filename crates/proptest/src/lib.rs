@@ -1,0 +1,238 @@
+#![warn(missing_docs)]
+
+//! A small, dependency-free property-testing harness exposing the subset
+//! of the [proptest](https://crates.io/crates/proptest) API this workspace
+//! uses, so the workspace builds and tests fully **offline**.
+//!
+//! Drop-in compatible surface:
+//!
+//! * [`proptest!`] with an optional `#![proptest_config(...)]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`prop_oneof!`] (weighted and unweighted),
+//! * [`Strategy`](strategy::Strategy) with `prop_map`, implemented for
+//!   numeric ranges, tuples and [`Just`](strategy::Just),
+//! * [`any`](arbitrary::any) for the primitive types the tests draw,
+//! * [`collection::vec`] for variable-length vectors.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (override with `PROPTEST_SEED`), and there
+//! is **no shrinking** — on failure the harness prints the generated
+//! inputs and the case number so the exact case can be replayed by seed.
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test, returning a
+/// [`TestCaseError`](test_runner::TestCaseError) instead of panicking so
+/// the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}\n {}",
+            stringify!($left), stringify!($right), l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`weight => strategy`). All arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+///
+/// The body may use `?` on `Result<_, TestCaseError>` and the
+/// `prop_assert*` macros. An optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header sets the
+/// case count.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_proptest(&config, stringify!($name), |rng_| {
+                    let mut inputs_ = ::std::string::String::new();
+                    $(
+                        let generated_ = $crate::strategy::Strategy::generate(&{ $strat }, rng_);
+                        {
+                            use ::std::fmt::Write as _;
+                            let _ = write!(inputs_, "{} = {:?}, ", stringify!($arg), &generated_);
+                        }
+                        let $arg = generated_;
+                    )+
+                    let run_ = move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    };
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run_)) {
+                        ::core::result::Result::Ok(verdict_) => (verdict_, inputs_),
+                        ::core::result::Result::Err(payload_) => {
+                            eprintln!("proptest inputs: {}", inputs_);
+                            ::std::panic::resume_unwind(payload_);
+                        }
+                    }
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Push(u64),
+        Pop,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (1u64..100).prop_map(Op::Push),
+            1 => Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Doc comments on test fns must parse.
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0u8..4, f in 0.5f64..1.5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((0.5..1.5).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(ops in crate::collection::vec(op_strategy(), 1..40)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 40);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u64..5, 0u64..5).prop_map(|(a, b)| (a * 2, b)),
+            n in any::<usize>(),
+        ) {
+            prop_assert_eq!(a % 2, 0);
+            prop_assert!(b < 5);
+            let _ = n; // any::<usize>() may produce anything
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let mut a = TestRng::for_case(42, 7);
+        let mut b = TestRng::for_case(42, 7);
+        let s = op_strategy();
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn helper_results_propagate() {
+        fn helper(ok: bool) -> Result<(), TestCaseError> {
+            prop_assert!(ok, "helper failed");
+            Ok(())
+        }
+        assert!(helper(true).is_ok());
+        assert!(matches!(helper(false), Err(TestCaseError::Fail(_))));
+    }
+}

@@ -1,0 +1,146 @@
+//! The case runner: deterministic RNG, configuration and failure type.
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property does not hold for these inputs.
+    Fail(String),
+    /// The inputs were rejected (not counted as a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Harness configuration (the subset the workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64: tiny, fast, full-period, and good enough to scatter test
+/// inputs. Each case gets an independent stream derived from
+/// `(seed, test name, case index)`.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one `(seed, case)` pair.
+    pub fn for_case(seed: u64, case: u64) -> Self {
+        // Mix so consecutive cases land far apart in the stream.
+        let mut rng = TestRng { state: seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) };
+        rng.next_u64(); // discard the correlated first output
+        rng
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (Lemire); bias is < 2^-64
+        // per draw — irrelevant for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a over the test name, for a stable per-test default seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` generated cases of one property test. `f` returns the
+/// case verdict plus a human-readable description of the generated
+/// inputs (printed on failure, since there is no shrinking).
+///
+/// Environment knobs: `PROPTEST_SEED` (u64) perturbs generation;
+/// `PROPTEST_CASES` (u32) overrides the case count.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map_or_else(|| name_seed(name), |s| s ^ name_seed(name));
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+
+    for case in 0..cases as u64 {
+        let mut rng = TestRng::for_case(seed, case);
+        // Let panics from plain asserts/unwraps inside the body escape with
+        // the inputs attached, so failures are reproducible without shrink.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        match result {
+            Ok((Ok(()), _)) => {}
+            Ok((Err(TestCaseError::Reject(_)), _)) => {}
+            Ok((Err(TestCaseError::Fail(msg)), inputs)) => {
+                panic!(
+                    "proptest {name}: case {case}/{cases} failed (seed {seed}):\n\
+                     {msg}\n  inputs: {inputs}"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest {name}: case {case}/{cases} panicked (seed {seed})\n  inputs were printed above by the panic; rerun with PROPTEST_SEED={seed}"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: tier-1 build+test, full workspace tests, and clippy with
+# warnings denied. No network access required — proptest/criterion resolve
+# to the in-tree shim crates (crates/proptest, crates/criterion).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: root-package tests =="
+cargo test -q
+
+echo "== full workspace tests =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"
