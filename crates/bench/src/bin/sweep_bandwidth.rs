@@ -20,8 +20,14 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use minesweeper::telemetry::{
+    EventKind, Histogram, NullSink, Registry, Tracer, SNAPSHOT_SCHEMA_VERSION,
+};
 use minesweeper::{parallel_mark, Marker, NaiveShadowMap, ShadowMap, SweepPlan};
 use vmem::{Addr, AddrSpace, Layout, PAGE_SIZE, WORD_SIZE};
+
+/// Subsystem label for the bench's own instruments.
+const BENCH_SUBSYSTEM: &str = "bench";
 
 /// A committed heap region littered with pointers (1 word in 7 points
 /// into the heap — pointer-dense, like the paper's allocation-heavy
@@ -106,14 +112,20 @@ fn measure(
     helpers: usize,
     total_words: u64,
     reps: u32,
+    registry: &Registry,
     mut run: impl FnMut() -> u64,
 ) -> Sample {
+    // Per-rep durations land in a log2 histogram, so the exported metrics
+    // carry the whole distribution, not just the best-of statistic.
+    let rep_us: Histogram = registry.histogram(BENCH_SUBSYSTEM, &format!("{name}_us"));
     let mut best = f64::INFINITY;
     let mut marked = 0;
     for _ in 0..reps {
         let t0 = Instant::now();
         marked = run();
-        best = best.min(t0.elapsed().as_secs_f64());
+        let secs = t0.elapsed().as_secs_f64();
+        rep_us.record((secs * 1e6) as u64);
+        best = best.min(secs);
     }
     Sample {
         name: name.to_string(),
@@ -128,22 +140,28 @@ fn main() {
     let mut pages = 2048u64; // 8 MiB, matching the micro benches
     let mut reps = 5u32;
     let mut out_path = "BENCH_sweep.json".to_string();
+    let mut metrics_path = "BENCH_sweep_metrics.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--pages" => pages = args.next().expect("--pages N").parse().expect("number"),
             "--reps" => reps = args.next().expect("--reps N").parse().expect("number"),
             "--out" => out_path = args.next().expect("--out PATH"),
+            "--metrics-out" => metrics_path = args.next().expect("--metrics-out PATH"),
             "--quick" => {
                 pages = 256;
                 reps = 2;
             }
             other => {
-                eprintln!("usage: sweep_bandwidth [--pages N] [--reps N] [--out PATH] [--quick]");
+                eprintln!(
+                    "usage: sweep_bandwidth [--pages N] [--reps N] [--out PATH] \
+                     [--metrics-out PATH] [--quick]"
+                );
                 panic!("unknown argument {other:?}");
             }
         }
     }
+    let registry = Registry::new();
 
     let (mut space, plan) = sweep_fixture(pages);
     let layout = *space.layout();
@@ -152,7 +170,7 @@ fn main() {
     let mut samples: Vec<Sample> = Vec::new();
 
     // Seed scheme, serial: naive map, direct scan loop.
-    samples.push(measure("naive_serial", 0, total_words, reps, || {
+    samples.push(measure("naive_serial", 0, total_words, reps, &registry, || {
         let mut shadow = NaiveShadowMap::new();
         naive_mark_share(&space, &layout, plan.ranges(), &mut shadow);
         shadow.marked_count()
@@ -163,7 +181,7 @@ fn main() {
         let shares = split_shares(&plan, h + 1);
         let space_ref = &space;
         let layout_ref = &layout;
-        samples.push(measure(&format!("naive_parallel_h{h}"), h, total_words, reps, || {
+        samples.push(measure(&format!("naive_parallel_h{h}"), h, total_words, reps, &registry, || {
             let maps: Vec<NaiveShadowMap> = std::thread::scope(|scope| {
                 shares
                     .iter()
@@ -188,15 +206,36 @@ fn main() {
     }
 
     // Atomic radix map, serial, through the production Marker path.
-    samples.push(measure("atomic_serial", 0, total_words, reps, || {
+    samples.push(measure("atomic_serial", 0, total_words, reps, &registry, || {
         let shadow = ShadowMap::new();
         Marker::new(plan.clone()).run_to_end(&mut space, &layout, &shadow);
         shadow.marked_count()
     }));
 
+    // Atomic serial again, but with the sweep tracer engaged on a null
+    // sink — the production layer's per-phase emission cost (a stopwatch
+    // and one event per mark phase, never per word). The acceptance bar:
+    // within 2% of the untraced run.
+    let mut tracer = Tracer::disabled();
+    tracer.set_sink(Box::new(NullSink));
+    samples.push(measure("atomic_serial_nullsink", 0, total_words, reps, &registry, || {
+        let shadow = ShadowMap::new();
+        let sw = tracer.stopwatch();
+        Marker::new(plan.clone()).run_to_end(&mut space, &layout, &shadow);
+        let marked = shadow.marked_count();
+        tracer.emit(|| EventKind::MarkPhase {
+            sweep: 0,
+            bytes: total_words * WORD_SIZE as u64,
+            words: total_words,
+            marked_granules: marked,
+            wall_ns: sw.elapsed_ns(),
+        });
+        marked
+    }));
+
     // Atomic radix map, parallel: one shared map, no union barrier.
     for &h in &helper_counts {
-        samples.push(measure(&format!("atomic_parallel_h{h}"), h, total_words, reps, || {
+        samples.push(measure(&format!("atomic_parallel_h{h}"), h, total_words, reps, &registry, || {
             parallel_mark(&space, &plan, &layout, h).marked_count()
         }));
     }
@@ -226,9 +265,18 @@ fn main() {
         );
     }
 
+    // Tracing-overhead ratio: traced (null sink) vs untraced atomic serial.
+    let untraced = samples.iter().find(|s| s.name == "atomic_serial").unwrap();
+    let traced = samples.iter().find(|s| s.name == "atomic_serial_nullsink").unwrap();
+    let null_sink_ratio = traced.words_per_sec / untraced.words_per_sec;
+
     let mut json = String::from("{\n");
     let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let _ = writeln!(json, "  \"fixture\": {{ \"pages\": {pages}, \"total_words\": {total_words}, \"marked_granules\": {expect}, \"reps\": {reps}, \"cpus\": {cpus} }},");
+    let _ = writeln!(
+        json,
+        "  \"telemetry\": {{ \"schema_version\": {SNAPSHOT_SCHEMA_VERSION}, \"null_sink_vs_untraced\": {null_sink_ratio:.3}, \"metrics_out\": \"{metrics_path}\" }},"
+    );
     let _ = writeln!(json, "  \"results\": [");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };
@@ -241,5 +289,7 @@ fn main() {
     let _ = writeln!(json, "  ]");
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write JSON results");
-    println!("\nwrote {out_path}");
+    std::fs::write(&metrics_path, registry.snapshot().to_json())
+        .expect("write metrics snapshot");
+    println!("\nwrote {out_path} and {metrics_path}");
 }

@@ -1,0 +1,71 @@
+//! `ms-report`: summarise a sweep-lifecycle trace (and optional metrics
+//! snapshot) produced by `minesweeper-sim run --trace-out/--metrics-out`.
+
+use std::process::ExitCode;
+
+use ms_cli::CliError;
+
+const USAGE: &str = "\
+ms-report — summarise MineSweeper sweep-lifecycle traces
+
+USAGE:
+    ms-report <run.jsonl> [--metrics <metrics.json>] [--check]
+
+Prints a per-sweep timeline plus failed-free and quarantine tables from
+the JSONL event stream; with --metrics also the engine's pause/STW/sweep
+histograms. --check reconciles the trace's aggregated totals against the
+snapshot's counters and fails on any mismatch.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match report(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report(args: &[String]) -> Result<String, CliError> {
+    let mut trace = None;
+    let mut metrics = None;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(USAGE.to_string()),
+            "--metrics" => {
+                metrics = Some(
+                    it.next()
+                        .ok_or_else(|| CliError("--metrics needs a value".into()))?
+                        .clone(),
+                );
+            }
+            "--check" => check = true,
+            flag if flag.starts_with('-') => {
+                return Err(CliError(format!("unknown flag: {flag}")));
+            }
+            name => {
+                if trace.replace(name.to_string()).is_some() {
+                    return Err(CliError(format!("unexpected argument: {name}")));
+                }
+            }
+        }
+    }
+    let trace = trace.ok_or_else(|| CliError("ms-report needs a trace file".into()))?;
+    let trace_text = std::fs::read_to_string(&trace)
+        .map_err(|e| CliError(format!("cannot read {trace}: {e}")))?;
+    let metrics_text = match &metrics {
+        Some(path) => Some(
+            std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?,
+        ),
+        None => None,
+    };
+    ms_cli::render_report(&trace_text, metrics_text.as_deref(), check)
+}

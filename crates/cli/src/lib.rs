@@ -11,8 +11,9 @@
 //! minesweeper-sim exploit --system baseline
 //! ```
 
-use sim::report::{bytes, fx, table};
-use sim::{run, run_exploit, run_trace, System};
+use sim::report::{bytes, fx, table, telemetry_tables};
+use sim::{run, run_exploit, run_trace, Engine, System, ENGINE_SUBSYSTEM};
+use telemetry::{pause_table, JsonlSink, RunReport, Snapshot};
 use workloads::exploit::figure2_attack;
 use workloads::{mimalloc_bench, recorded, spec2006, spec2017, Profile, TraceGen};
 
@@ -29,6 +30,10 @@ pub enum Command {
         system: String,
         /// Trace seed.
         seed: u64,
+        /// Write sweep-lifecycle events as JSONL here.
+        trace_out: Option<String>,
+        /// Write the end-of-run metrics snapshot as JSON here.
+        metrics_out: Option<String>,
     },
     /// Run one benchmark under every system and print the overhead table.
     Compare {
@@ -96,6 +101,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut seed = 42u64;
             let mut out = None;
             let mut knobs = "demo".to_string();
+            let mut trace_out = None;
+            let mut metrics_out = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--system" => {
@@ -125,6 +132,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             .ok_or_else(|| CliError("--knobs needs a value".into()))?
                             .clone();
                     }
+                    "--trace-out" => {
+                        trace_out = Some(
+                            it.next()
+                                .ok_or_else(|| {
+                                    CliError("--trace-out needs a value".into())
+                                })?
+                                .clone(),
+                        );
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(
+                            it.next()
+                                .ok_or_else(|| {
+                                    CliError("--metrics-out needs a value".into())
+                                })?
+                                .clone(),
+                        );
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(CliError(format!("unknown flag: {flag}")));
                     }
@@ -138,11 +163,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let positional = |what: &str| {
                 benchmark.clone().ok_or_else(|| CliError(format!("{what} needed")))
             };
+            if cmd != "run" && (trace_out.is_some() || metrics_out.is_some()) {
+                return Err(CliError(
+                    "--trace-out/--metrics-out are only valid with `run`".into(),
+                ));
+            }
             match cmd.as_str() {
                 "run" => Ok(Command::Run {
                     benchmark: positional("run needs a benchmark name")?,
                     system,
                     seed,
+                    trace_out,
+                    metrics_out,
                 }),
                 "compare" => Ok(Command::Compare {
                     benchmark: positional("compare needs a benchmark name")?,
@@ -232,10 +264,35 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             out.push_str("  demo           (synthetic quick-run profile)\n");
             Ok(out)
         }
-        Command::Run { benchmark, system, seed } => {
+        Command::Run { benchmark, system, seed, trace_out, metrics_out } => {
             let profile = profile_by_name(benchmark)?;
             let sys = system_by_label(system)?;
-            let m = run(&profile, sys, *seed);
+            let m = if trace_out.is_some() || metrics_out.is_some() {
+                let mut eng = Engine::new(&profile, sys, *seed);
+                if let Some(path) = trace_out {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+                    let sink = JsonlSink::new(std::io::BufWriter::new(file));
+                    if !eng.set_trace_sink(Box::new(sink), false) {
+                        return Err(CliError(format!(
+                            "--trace-out needs a minesweeper-layered system, not {system}"
+                        )));
+                    }
+                }
+                let m = eng.run();
+                if let Some(path) = metrics_out {
+                    let snap = m.telemetry.as_ref().ok_or_else(|| {
+                        CliError(format!(
+                            "--metrics-out needs a minesweeper-layered system, not {system}"
+                        ))
+                    })?;
+                    std::fs::write(path, snap.to_json())
+                        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                }
+                m
+            } else {
+                run(&profile, sys, *seed)
+            };
             let rows = vec![
                 vec!["metric".to_string(), "value".into()],
                 vec!["benchmark".into(), m.benchmark.clone()],
@@ -248,7 +305,12 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 vec!["failed frees".into(), m.failed_frees.to_string()],
                 vec!["cpu utilisation".into(), fx(m.cpu_utilisation())],
             ];
-            Ok(table(&rows))
+            let mut out = table(&rows);
+            if let Some(snap) = &m.telemetry {
+                out.push_str("\ntelemetry:\n");
+                out.push_str(&telemetry_tables(snap));
+            }
+            Ok(out)
         }
         Command::Compare { benchmark, seed } => {
             let profile = profile_by_name(benchmark)?;
@@ -318,6 +380,74 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
     }
 }
 
+/// Renders an `ms-report` summary: a per-sweep timeline plus failed-free
+/// and quarantine tables (the paper's Fig. 13/14 shapes) from a JSONL
+/// sweep trace, and — when a metrics snapshot is supplied — the engine's
+/// pause/STW/sweep duration histograms. With `check`, the trace's
+/// aggregated totals are reconciled against the snapshot's layer counters
+/// and any mismatch is an error.
+///
+/// # Errors
+///
+/// [`CliError`] on malformed inputs, `check` without metrics, or a
+/// reconciliation mismatch.
+pub fn render_report(
+    trace_text: &str,
+    metrics_text: Option<&str>,
+    check: bool,
+) -> Result<String, CliError> {
+    let report = RunReport::from_jsonl(trace_text)
+        .map_err(|e| CliError(format!("bad trace: {e}")))?;
+    let mut rows = vec![vec![
+        "sweep".to_string(),
+        "trigger".into(),
+        "quar bytes".into(),
+        "marked".into(),
+        "released".into(),
+        "failed".into(),
+        "ff rate".into(),
+        "cycles".into(),
+        "wall ns".into(),
+    ]];
+    for r in &report.sweeps {
+        rows.push(vec![
+            r.sweep.to_string(),
+            r.trigger.map_or("-", |t| t.as_str()).to_string(),
+            bytes(r.quarantine_bytes),
+            r.marked_granules.to_string(),
+            r.released.to_string(),
+            r.failed_frees.to_string(),
+            format!("{:.1}%", r.failed_free_rate() * 100.0),
+            r.virtual_duration().to_string(),
+            r.wall_ns.to_string(),
+        ]);
+    }
+    let mut out = table(&rows);
+    out.push('\n');
+    out.push_str(&report.failed_free_table());
+    out.push('\n');
+    out.push_str(&report.quarantine_table());
+    if let Some(text) = metrics_text {
+        let snap = Snapshot::from_json(text)
+            .map_err(|e| CliError(format!("bad metrics: {e}")))?;
+        for name in ["pause_cycles", "stw_cycles", "sweep_cycles"] {
+            if let Some(h) = snap.histogram(ENGINE_SUBSYSTEM, name) {
+                if h.count() > 0 {
+                    out.push('\n');
+                    out.push_str(&pause_table(h, "cycles"));
+                }
+            }
+        }
+        if check {
+            report.reconcile(&snap).map_err(CliError)?;
+            out.push_str("\nreconcile: trace totals match metrics counters\n");
+        }
+    } else if check {
+        return Err(CliError("--check needs --metrics <file>".into()));
+    }
+    Ok(out)
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 minesweeper-sim — MineSweeper (ASPLOS'22) reproduction driver
@@ -325,6 +455,7 @@ minesweeper-sim — MineSweeper (ASPLOS'22) reproduction driver
 USAGE:
     minesweeper-sim list
     minesweeper-sim run <benchmark> [--system <label>] [--seed <n>]
+                        [--trace-out <run.jsonl>] [--metrics-out <metrics.json>]
     minesweeper-sim compare <benchmark> [--seed <n>]
     minesweeper-sim exploit [--system <label>]
     minesweeper-sim record <benchmark> --out <file> [--seed <n>]
@@ -353,9 +484,30 @@ mod tests {
             Command::Run {
                 benchmark: "xalancbmk".into(),
                 system: "markus".into(),
-                seed: 9
+                seed: 9,
+                trace_out: None,
+                metrics_out: None
             }
         );
+    }
+
+    #[test]
+    fn parse_telemetry_flags() {
+        let cmd =
+            parse(&argv("run demo --trace-out /tmp/t.jsonl --metrics-out /tmp/m.json"))
+                .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                benchmark: "demo".into(),
+                system: "minesweeper".into(),
+                seed: 42,
+                trace_out: Some("/tmp/t.jsonl".into()),
+                metrics_out: Some("/tmp/m.json".into())
+            }
+        );
+        assert!(parse(&argv("compare demo --trace-out /tmp/t.jsonl")).is_err());
+        assert!(parse(&argv("run demo --trace-out")).is_err());
     }
 
     #[test]
@@ -363,7 +515,13 @@ mod tests {
         let cmd = parse(&argv("run demo")).unwrap();
         assert_eq!(
             cmd,
-            Command::Run { benchmark: "demo".into(), system: "minesweeper".into(), seed: 42 }
+            Command::Run {
+                benchmark: "demo".into(),
+                system: "minesweeper".into(),
+                seed: 42,
+                trace_out: None,
+                metrics_out: None
+            }
         );
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&argv("list")).unwrap(), Command::List);
@@ -458,9 +616,52 @@ mod tests {
             benchmark: "demo".into(),
             system: "ms".into(),
             seed: 1,
+            trace_out: None,
+            metrics_out: None,
         })
         .unwrap();
         assert!(out.contains("sweeps"));
         assert!(out.contains("avg RSS"));
+        assert!(out.contains("layer/released_bytes"), "telemetry table:\n{out}");
+    }
+
+    #[test]
+    fn trace_flags_need_a_layered_system() {
+        let dir = std::env::temp_dir().join("ms_cli_trace_reject.jsonl");
+        let err = execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "baseline".into(),
+            seed: 1,
+            trace_out: Some(dir.to_string_lossy().into_owned()),
+            metrics_out: None,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("layered"), "{err}");
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn run_trace_and_report_roundtrip() {
+        let trace = std::env::temp_dir().join("ms_cli_report_test.jsonl");
+        let metrics = std::env::temp_dir().join("ms_cli_report_test.json");
+        execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "ms".into(),
+            seed: 5,
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(trace_text.lines().any(|l| l.contains("\"sweep_start\"")));
+        // The reconciliation check is the acceptance gate: JSONL totals
+        // must match the exported counters exactly.
+        let report = render_report(&trace_text, Some(&metrics_text), true).unwrap();
+        assert!(report.contains("reconcile: trace totals match"), "{report}");
+        assert!(report.contains("proportional"), "{report}");
+        assert!(render_report(&trace_text, None, true).is_err());
+        std::fs::remove_file(trace).ok();
+        std::fs::remove_file(metrics).ok();
     }
 }

@@ -49,6 +49,13 @@ pub trait HeapBackend {
 
     /// Advances the allocator's virtual clock.
     fn advance_clock(&mut self, now: u64);
+
+    /// Cumulative pages this allocator has decommitted by purging, for
+    /// telemetry deltas around [`HeapBackend::purge_all`]. Backends
+    /// without purge accounting may keep the 0 default.
+    fn purged_pages(&self) -> u64 {
+        0
+    }
 }
 
 impl HeapBackend for jalloc::JAlloc {
@@ -82,6 +89,10 @@ impl HeapBackend for jalloc::JAlloc {
 
     fn advance_clock(&mut self, now: u64) {
         jalloc::JAlloc::advance_clock(self, now)
+    }
+
+    fn purged_pages(&self) -> u64 {
+        self.stats().purged_pages
     }
 }
 

@@ -2,6 +2,7 @@
 //! management, sweep orchestration (§3, Figure 3).
 
 use jalloc::{JAlloc, JallocConfig};
+use telemetry::{EventKind, Registry, Stopwatch, Tracer, Trigger};
 use vmem::{Addr, AddrSpace, PageRange, Protection, WORD_SIZE};
 
 use crate::backend::HeapBackend;
@@ -10,6 +11,7 @@ use crate::quarantine::{InsertResult, QEntry, Quarantine};
 use crate::shadow::ShadowMap;
 use crate::stats::MsStats;
 use crate::sweep::{mark_page, Marker, StepResult, SweepPlan};
+use crate::telem::MsCounters;
 
 /// Maximum double-free report entries retained in debug mode.
 const MAX_DOUBLE_FREE_REPORTS: usize = 64;
@@ -79,13 +81,29 @@ pub struct MineSweeper<B: HeapBackend = JAlloc> {
     /// resident bitmap chunks instead of re-faulting a fresh radix every
     /// epoch (the paper's map is likewise one long-lived reservation).
     shadow: ShadowMap,
-    stats: MsStats,
+    /// Single source of truth for the layer's statistics: every counter
+    /// [`MineSweeper::stats`] reports lives in this (shareable) registry,
+    /// so an embedding engine or benchmark can snapshot one coherent set.
+    registry: Registry,
+    counters: MsCounters,
+    tracer: Tracer,
+    double_free_reports: Vec<Addr>,
+    /// Sweeps started (numbers sweep-lifecycle trace events).
+    next_sweep: u64,
 }
 
 #[derive(Debug)]
 struct ActiveSweep {
     marker: Marker,
     locked: Vec<QEntry>,
+    /// 1-based sweep number (stamps this sweep's trace events).
+    id: u64,
+    /// Marking-phase accumulators across incremental steps.
+    mark_bytes: u64,
+    mark_words: u64,
+    mark_wall_ns: u64,
+    /// Wall clock for the whole sweep (inert when tracing is off).
+    stopwatch: Stopwatch,
 }
 
 impl MineSweeper<JAlloc> {
@@ -113,13 +131,19 @@ impl<B: HeapBackend> MineSweeper<B> {
     /// Creates a layer over any [`HeapBackend`] — the §7 portability
     /// story (e.g. `scudo::Scudo`).
     pub fn with_backend(cfg: MsConfig, backend: B) -> Self {
+        let registry = Registry::new();
+        let counters = MsCounters::register(&registry);
         MineSweeper {
             quarantine: Quarantine::new(cfg.tl_buffer_capacity),
             cfg,
             heap: backend,
             active: None,
             shadow: ShadowMap::new(),
-            stats: MsStats::default(),
+            registry,
+            counters,
+            tracer: Tracer::disabled(),
+            double_free_reports: Vec::new(),
+            next_sweep: 0,
         }
     }
 
@@ -138,9 +162,46 @@ impl<B: HeapBackend> MineSweeper<B> {
         &self.quarantine
     }
 
-    /// Statistics snapshot.
-    pub fn stats(&self) -> &MsStats {
-        &self.stats
+    /// Statistics snapshot, materialised from the registry counters.
+    pub fn stats(&self) -> MsStats {
+        let c = &self.counters;
+        MsStats {
+            sweeps: c.sweeps.get(),
+            stw_passes: c.stw_passes.get(),
+            quarantined: c.quarantined.get(),
+            quarantined_bytes: c.quarantined_bytes.get(),
+            released: c.released.get(),
+            released_bytes: c.released_bytes.get(),
+            failed_frees: c.failed_frees.get(),
+            double_frees: c.double_frees.get(),
+            zeroed_bytes: c.zeroed_bytes.get(),
+            unmapped_pages: c.unmapped_pages.get(),
+            swept_bytes: c.swept_bytes.get(),
+            stw_pages: c.stw_pages.get(),
+            tl_flushes: c.tl_flushes.get(),
+            tl_flushed_entries: c.tl_flushed_entries.get(),
+            invalid_frees: c.invalid_frees.get(),
+            double_free_reports: self.double_free_reports.clone(),
+        }
+    }
+
+    /// The metrics registry this layer registers into. Clone it to let
+    /// other subsystems (an engine, a benchmark harness) register their
+    /// own instruments alongside the layer's and export one snapshot.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The sweep-lifecycle tracer (read-only).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The sweep-lifecycle tracer. Attach a sink with
+    /// [`Tracer::set_sink`] to start receiving events; stamp the virtual
+    /// clock with [`Tracer::set_virtual_now`].
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Allocates `size` bytes (forwarded to the heap; the quarantine layer
@@ -173,7 +234,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             return self.absorb_double_free(addr);
         }
         let Some(usable) = self.heap.usable_size(addr) else {
-            self.stats.invalid_frees += 1;
+            self.counters.invalid_frees.inc();
             return FreeOutcome::Invalid;
         };
 
@@ -189,7 +250,7 @@ impl<B: HeapBackend> MineSweeper<B> {
                     // "unmap (and immediately remap)": discard backing but
                     // leave the range usable for the allocator.
                     space.decommit(interior).expect("live allocation is mapped");
-                    self.stats.unmapped_pages += interior.page_count();
+                    self.counters.unmapped_pages.add(interior.page_count());
                 }
             }
             self.heap.free(space, addr).expect("usable_size certified the base");
@@ -213,17 +274,20 @@ impl<B: HeapBackend> MineSweeper<B> {
             let interior = PageRange::interior(addr, usable);
             space.decommit(interior).expect("live allocation is mapped");
             space.protect(interior, Protection::None).expect("mapped");
-            self.stats.unmapped_pages += unmapped_pages;
+            self.counters.unmapped_pages.add(unmapped_pages);
         }
 
         let entry = QEntry { base: addr, usable, unmapped_pages, failed: false };
         match self.quarantine.insert(entry) {
             InsertResult::Inserted { flushed } => {
                 if flushed {
-                    self.stats.tl_flushes += 1;
+                    let entries = self.cfg.tl_buffer_capacity.max(1) as u64;
+                    self.counters.tl_flushes.inc();
+                    self.counters.tl_flushed_entries.add(entries);
+                    self.tracer.emit(|| EventKind::QuarantineFlush { entries });
                 }
-                self.stats.quarantined += 1;
-                self.stats.quarantined_bytes += usable;
+                self.counters.quarantined.inc();
+                self.counters.quarantined_bytes.add(usable);
                 FreeOutcome::Quarantined
             }
             InsertResult::DoubleFree => self.absorb_double_free(addr),
@@ -231,11 +295,11 @@ impl<B: HeapBackend> MineSweeper<B> {
     }
 
     fn absorb_double_free(&mut self, addr: Addr) -> FreeOutcome {
-        self.stats.double_frees += 1;
+        self.counters.double_frees.inc();
         if self.cfg.report_double_frees
-            && self.stats.double_free_reports.len() < MAX_DOUBLE_FREE_REPORTS
+            && self.double_free_reports.len() < MAX_DOUBLE_FREE_REPORTS
         {
-            self.stats.double_free_reports.push(addr);
+            self.double_free_reports.push(addr);
         }
         FreeOutcome::DoubleFree
     }
@@ -244,7 +308,7 @@ impl<B: HeapBackend> MineSweeper<B> {
         let zero_len = usable / WORD_SIZE as u64 * WORD_SIZE as u64;
         if unmapped_pages == 0 {
             space.fill_zero(base, zero_len).expect("live allocation is accessible");
-            self.stats.zeroed_bytes += zero_len;
+            self.counters.zeroed_bytes.add(zero_len);
             return;
         }
         let interior = PageRange::interior(base, usable);
@@ -253,7 +317,7 @@ impl<B: HeapBackend> MineSweeper<B> {
         let tail_base = interior.end().base();
         let tail = base.add_bytes(zero_len).offset_from(tail_base);
         space.fill_zero(tail_base, tail).expect("tail is accessible");
-        self.stats.zeroed_bytes += head + tail;
+        self.counters.zeroed_bytes.add(head + tail);
     }
 
     /// Whether the sweep trigger has fired (§3.2 "When to Sweep" plus the
@@ -263,6 +327,12 @@ impl<B: HeapBackend> MineSweeper<B> {
         if self.active.is_some() || !self.cfg.quarantine {
             return false;
         }
+        let (proportional, unmapped) = self.trigger_state(space);
+        proportional || unmapped
+    }
+
+    /// Evaluates the two sweep triggers: `(proportional, unmapped)`.
+    fn trigger_state(&self, space: &AddrSpace) -> (bool, bool) {
         let q = self.quarantine.tracked_bytes();
         let f = self.quarantine.failed_bytes();
         // Unmapped quarantined bytes "do not count towards standard memory
@@ -279,7 +349,16 @@ impl<B: HeapBackend> MineSweeper<B> {
         let unmapped = self.quarantine.unmapped_bytes() > 0
             && self.quarantine.unmapped_bytes() as f64
                 >= self.cfg.unmapped_trigger * space.rss_bytes() as f64;
-        proportional || unmapped
+        (proportional, unmapped)
+    }
+
+    /// Classifies what is firing the sweep that is about to start.
+    fn trigger_kind(&self, space: &AddrSpace) -> Trigger {
+        match self.trigger_state(space) {
+            (true, _) => Trigger::Proportional,
+            (false, true) => Trigger::Unmapped,
+            (false, false) => Trigger::Manual,
+        }
     }
 
     /// Whether the mutator should pause new allocations because the
@@ -316,6 +395,18 @@ impl<B: HeapBackend> MineSweeper<B> {
     /// Panics if a sweep is already in flight.
     pub fn start_sweep(&mut self, space: &mut AddrSpace) {
         assert!(self.active.is_none(), "sweep already in flight");
+        self.next_sweep += 1;
+        let id = self.next_sweep;
+        let trigger = self.trigger_kind(space);
+        let quarantine_bytes = self.quarantine.tracked_bytes();
+        let quarantine_entries = self.quarantine.len() as u64;
+        self.tracer.emit(|| EventKind::SweepStart {
+            sweep: id,
+            trigger,
+            quarantine_bytes,
+            quarantine_entries,
+        });
+        let stopwatch = self.tracer.stopwatch();
         let locked = self.quarantine.lock_generation();
         let plan = if self.cfg.marking {
             SweepPlan::build(space, &self.heap.active_ranges())
@@ -327,7 +418,15 @@ impl<B: HeapBackend> MineSweeper<B> {
         }
         // New epoch: wipe last sweep's marks, keeping the chunks resident.
         self.shadow.clear();
-        self.active = Some(ActiveSweep { marker: Marker::new(plan), locked });
+        self.active = Some(ActiveSweep {
+            marker: Marker::new(plan),
+            locked,
+            id,
+            mark_bytes: 0,
+            mark_words: 0,
+            mark_wall_ns: 0,
+            stopwatch,
+        });
     }
 
     /// Advances the in-flight sweep's marking phase by up to `word_budget`
@@ -337,10 +436,14 @@ impl<B: HeapBackend> MineSweeper<B> {
     ///
     /// Panics if no sweep is in flight.
     pub fn sweep_step(&mut self, space: &mut AddrSpace, word_budget: u64) -> StepResult {
+        let sw = self.tracer.stopwatch();
         let active = self.active.as_mut().expect("no sweep in flight");
         let layout = *space.layout();
         let r = active.marker.step(space, &layout, &self.shadow, word_budget);
-        self.stats.swept_bytes += r.bytes;
+        active.mark_bytes += r.bytes;
+        active.mark_words += r.words;
+        active.mark_wall_ns += sw.elapsed_ns();
+        self.counters.swept_bytes.add(r.bytes);
         r
     }
 
@@ -354,20 +457,40 @@ impl<B: HeapBackend> MineSweeper<B> {
     /// Panics if no sweep is in flight.
     pub fn finish_sweep(&mut self, space: &mut AddrSpace) -> SweepReport {
         let mut active = self.active.take().expect("no sweep in flight");
+        let id = active.id;
         let layout = *space.layout();
         let mut report = SweepReport::default();
 
         // Drain any marking the caller did not step through.
-        report.marked_words += active.marker.run_to_end(space, &layout, &self.shadow);
+        let sw = self.tracer.stopwatch();
+        let drained_bytes = active.marker.remaining_bytes();
+        let drained_words = active.marker.run_to_end(space, &layout, &self.shadow);
+        report.marked_words += drained_words;
+        active.mark_bytes += drained_bytes;
+        active.mark_words += drained_words;
+        active.mark_wall_ns += sw.elapsed_ns();
+        self.counters.swept_bytes.add(drained_bytes);
+        let marked_granules = self.shadow.marked_count();
+        self.tracer.emit(|| EventKind::MarkPhase {
+            sweep: id,
+            bytes: active.mark_bytes,
+            words: active.mark_words,
+            marked_granules,
+            wall_ns: active.mark_wall_ns,
+        });
 
         // Phase 2 (optional): stop the world, re-check modified pages.
         if self.cfg.mode == SweepMode::MostlyConcurrent && self.cfg.marking {
+            let mut stw_words = 0;
             for page in space.soft_dirty_pages() {
-                report.marked_words += mark_page(space, &layout, &self.shadow, page);
+                stw_words += mark_page(space, &layout, &self.shadow, page);
                 report.stw_pages += 1;
             }
-            self.stats.stw_pages += report.stw_pages;
-            self.stats.stw_passes += 1;
+            report.marked_words += stw_words;
+            self.counters.stw_pages.add(report.stw_pages);
+            self.counters.stw_passes.inc();
+            let pages = report.stw_pages;
+            self.tracer.emit(|| EventKind::StwPass { sweep: id, pages, words: stw_words });
         }
 
         // Phase 3: release unmarked entries, retain the rest.
@@ -376,7 +499,7 @@ impl<B: HeapBackend> MineSweeper<B> {
                 && self.shadow.range_marked(entry.base, entry.usable);
             if dangling && self.cfg.honor_failed_frees {
                 self.quarantine.on_failed(entry);
-                self.stats.failed_frees += 1;
+                self.counters.failed_frees.inc();
                 report.failed += 1;
             } else {
                 self.release_entry(space, &entry);
@@ -385,12 +508,23 @@ impl<B: HeapBackend> MineSweeper<B> {
             }
         }
         report.marked_granules = self.shadow.marked_count();
+        self.tracer.emit(|| EventKind::Release {
+            sweep: id,
+            released: report.released,
+            released_bytes: report.released_bytes,
+            failed_frees: report.failed,
+        });
 
         // §4.5: synchronise allocator cleanup with the end of the sweep.
         if self.cfg.purge_after_sweep {
+            let purged0 = self.heap.purged_pages();
             self.heap.purge_all(space);
+            let purged_pages = self.heap.purged_pages().saturating_sub(purged0);
+            self.tracer.emit(|| EventKind::Purge { sweep: id, purged_pages });
         }
-        self.stats.sweeps += 1;
+        self.counters.sweeps.inc();
+        let wall_ns = active.stopwatch.elapsed_ns();
+        self.tracer.emit(|| EventKind::SweepEnd { sweep: id, wall_ns });
         report
     }
 
@@ -403,8 +537,8 @@ impl<B: HeapBackend> MineSweeper<B> {
         }
         self.heap.free(space, entry.base).expect("quarantine owns this allocation");
         self.quarantine.on_released(entry);
-        self.stats.released += 1;
-        self.stats.released_bytes += entry.usable;
+        self.counters.released.inc();
+        self.counters.released_bytes.add(entry.usable);
     }
 
     /// Runs a complete sweep synchronously and returns its report.
@@ -431,13 +565,34 @@ impl<B: HeapBackend> MineSweeper<B> {
         shadow: &ShadowMap,
     ) -> SweepReport {
         assert!(self.active.is_none(), "sweep already in flight");
+        self.next_sweep += 1;
+        let id = self.next_sweep;
+        let quarantine_bytes = self.quarantine.tracked_bytes();
+        let quarantine_entries = self.quarantine.len() as u64;
+        self.tracer.emit(|| EventKind::SweepStart {
+            sweep: id,
+            trigger: Trigger::Manual,
+            quarantine_bytes,
+            quarantine_entries,
+        });
+        let stopwatch = self.tracer.stopwatch();
         let locked = self.quarantine.lock_generation();
         let mut report = SweepReport::default();
+        // The caller's shadow map replaced marking, so the mark phase has
+        // zero swept bytes/words here — only the granule count is real.
+        let marked_granules = shadow.marked_count();
+        self.tracer.emit(|| EventKind::MarkPhase {
+            sweep: id,
+            bytes: 0,
+            words: 0,
+            marked_granules,
+            wall_ns: 0,
+        });
         for entry in locked {
             let dangling = shadow.range_marked(entry.base, entry.usable);
             if dangling && self.cfg.honor_failed_frees {
                 self.quarantine.on_failed(entry);
-                self.stats.failed_frees += 1;
+                self.counters.failed_frees.inc();
                 report.failed += 1;
             } else {
                 self.release_entry(space, &entry);
@@ -446,10 +601,21 @@ impl<B: HeapBackend> MineSweeper<B> {
             }
         }
         report.marked_granules = shadow.marked_count();
+        self.tracer.emit(|| EventKind::Release {
+            sweep: id,
+            released: report.released,
+            released_bytes: report.released_bytes,
+            failed_frees: report.failed,
+        });
         if self.cfg.purge_after_sweep {
+            let purged0 = self.heap.purged_pages();
             self.heap.purge_all(space);
+            let purged_pages = self.heap.purged_pages().saturating_sub(purged0);
+            self.tracer.emit(|| EventKind::Purge { sweep: id, purged_pages });
         }
-        self.stats.sweeps += 1;
+        self.counters.sweeps.inc();
+        let wall_ns = stopwatch.elapsed_ns();
+        self.tracer.emit(|| EventKind::SweepEnd { sweep: id, wall_ns });
         report
     }
 }

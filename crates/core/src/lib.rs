@@ -64,6 +64,7 @@ mod quarantine;
 mod shadow;
 mod stats;
 mod sweep;
+mod telem;
 
 pub use backend::HeapBackend;
 pub use config::{MsConfig, MsConfigBuilder, SweepMode};
@@ -73,3 +74,8 @@ pub use quarantine::{QEntry, Quarantine};
 pub use shadow::{NaiveShadowMap, ShadowMap, ShadowWriter, MAX_SHADOWED};
 pub use stats::MsStats;
 pub use sweep::{parallel_mark, Marker, StepResult, SweepPlan};
+pub use telem::{MsCounters, LAYER_SUBSYSTEM};
+
+// The telemetry crate itself, re-exported so embedders can name sinks,
+// snapshots and events without a separate dependency.
+pub use ::telemetry;

@@ -33,6 +33,8 @@ pub struct MsStats {
     pub stw_pages: u64,
     /// Thread-local quarantine buffer flushes.
     pub tl_flushes: u64,
+    /// Entries those flushes spilled to the global quarantine.
+    pub tl_flushed_entries: u64,
     /// Frees of addresses that were not live allocation bases (reported,
     /// not forwarded — the allocator never sees them).
     pub invalid_frees: u64,
@@ -43,8 +45,11 @@ pub struct MsStats {
 
 impl MsStats {
     /// Allocations still in quarantine according to the counters.
+    /// Saturating: a snapshot taken between a sweep's release phase and
+    /// its counter updates (or a copied/defaulted stats value) must read
+    /// 0, not wrap to 2^64.
     pub fn in_quarantine(&self) -> u64 {
-        self.quarantined - self.released
+        self.quarantined.saturating_sub(self.released)
     }
 }
 
@@ -56,6 +61,12 @@ mod tests {
     fn in_quarantine_balance() {
         let s = MsStats { quarantined: 10, released: 7, ..Default::default() };
         assert_eq!(s.in_quarantine(), 3);
+    }
+
+    #[test]
+    fn in_quarantine_saturates_instead_of_wrapping() {
+        let s = MsStats { quarantined: 3, released: 7, ..Default::default() };
+        assert_eq!(s.in_quarantine(), 0);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Registry-backed layer counters.
+//!
+//! [`MsCounters`] holds one [`Counter`] handle per [`crate::MsStats`]
+//! field, registered under the `layer` subsystem of a shared
+//! [`Registry`]. The registry is the single source of truth: the layer
+//! increments these handles on its hot paths (relaxed atomic adds) and
+//! [`crate::MineSweeper::stats`] materialises an [`crate::MsStats`]
+//! snapshot from them on demand.
+
+use telemetry::{Counter, Registry};
+
+/// The subsystem label the allocator layer registers under.
+pub const LAYER_SUBSYSTEM: &str = "layer";
+
+/// Counter handles backing the layer's statistics.
+#[derive(Clone, Debug)]
+pub struct MsCounters {
+    /// Completed sweeps.
+    pub sweeps: Counter,
+    /// Sweeps that included a stop-the-world re-check.
+    pub stw_passes: Counter,
+    /// Allocations quarantined.
+    pub quarantined: Counter,
+    /// Bytes quarantined (usable sizes).
+    pub quarantined_bytes: Counter,
+    /// Allocations released from quarantine.
+    pub released: Counter,
+    /// Bytes released.
+    pub released_bytes: Counter,
+    /// Entries retained by sweeps (failed frees).
+    pub failed_frees: Counter,
+    /// Double frees absorbed.
+    pub double_frees: Counter,
+    /// Bytes zero-filled on free.
+    pub zeroed_bytes: Counter,
+    /// Pages decommitted by large-allocation unmapping.
+    pub unmapped_pages: Counter,
+    /// Bytes examined by marking phases.
+    pub swept_bytes: Counter,
+    /// Pages re-examined by stop-the-world passes.
+    pub stw_pages: Counter,
+    /// Thread-local quarantine buffer flushes.
+    pub tl_flushes: Counter,
+    /// Entries those flushes spilled to the global quarantine.
+    pub tl_flushed_entries: Counter,
+    /// Invalid frees rejected.
+    pub invalid_frees: Counter,
+}
+
+impl MsCounters {
+    /// Registers (or re-attaches to) the layer's counters in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        let c = |name: &str| registry.counter(LAYER_SUBSYSTEM, name);
+        MsCounters {
+            sweeps: c("sweeps"),
+            stw_passes: c("stw_passes"),
+            quarantined: c("quarantined"),
+            quarantined_bytes: c("quarantined_bytes"),
+            released: c("released"),
+            released_bytes: c("released_bytes"),
+            failed_frees: c("failed_frees"),
+            double_frees: c("double_frees"),
+            zeroed_bytes: c("zeroed_bytes"),
+            unmapped_pages: c("unmapped_pages"),
+            swept_bytes: c("swept_bytes"),
+            stw_pages: c("stw_pages"),
+            tl_flushes: c("tl_flushes"),
+            tl_flushed_entries: c("tl_flushed_entries"),
+            invalid_frees: c("invalid_frees"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_and_shared() {
+        let reg = Registry::new();
+        let a = MsCounters::register(&reg);
+        let b = MsCounters::register(&reg);
+        a.sweeps.inc();
+        b.sweeps.add(2);
+        assert_eq!(a.sweeps.get(), 3, "same cells behind both handles");
+        assert_eq!(reg.snapshot().counter(LAYER_SUBSYSTEM, "sweeps"), Some(3));
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden-file test for the JSONL trace format.
+//!
+//! A fixed scenario in deterministic mode must keep producing
+//! byte-identical JSONL — the format is a wire contract for `ms-report`
+//! and any external tooling. Regenerate the fixture after an intentional
+//! format change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p minesweeper --test golden_trace
+//! ```
+
+use minesweeper::telemetry::{Event, JsonlSink, RunReport, SharedBuf};
+use minesweeper::{MineSweeper, MsConfig};
+use vmem::{AddrSpace, Segment};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_trace.jsonl");
+
+/// A scripted run: allocate, wire one dangling pointer, free everything
+/// (spilling the thread-local quarantine buffer), sweep twice — first
+/// retaining the dangling target, then releasing it.
+fn scripted_trace() -> String {
+    let mut cfg = MsConfig::fully_concurrent();
+    cfg.tl_buffer_capacity = 2;
+    let mut space = AddrSpace::new();
+    let mut ms = MineSweeper::new(cfg);
+    let buf = SharedBuf::new();
+    ms.tracer_mut().set_sink(Box::new(JsonlSink::new(buf.clone())));
+    ms.tracer_mut().set_deterministic(true);
+
+    let stack = space.layout().segment_base(Segment::Stack);
+    let ptrs: Vec<_> = (0..4).map(|_| ms.malloc(&mut space, 256)).collect();
+    // Root a dangling pointer to the first allocation.
+    space.write_word(stack, ptrs[0].raw()).unwrap();
+    for (i, &p) in ptrs.iter().enumerate() {
+        ms.tracer_mut().set_virtual_now(1_000 * (i as u64 + 1));
+        ms.free(&mut space, p);
+    }
+    ms.tracer_mut().set_virtual_now(10_000);
+    ms.sweep_now(&mut space); // ptrs[0] fails, the rest release
+    space.write_word(stack, 0).unwrap();
+    ms.tracer_mut().set_virtual_now(20_000);
+    ms.sweep_now(&mut space); // ptrs[0] drains
+    ms.tracer_mut().flush();
+    buf.contents()
+}
+
+#[test]
+fn trace_format_matches_golden_file() {
+    let got = scripted_trace();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("fixture missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(got, want, "JSONL trace drifted from the golden fixture");
+}
+
+#[test]
+fn golden_trace_parses_and_aggregates() {
+    let text = scripted_trace();
+    // Every line must round-trip through the typed event parser.
+    for line in text.lines() {
+        let ev = Event::from_json(line).expect("well-formed event line");
+        assert_eq!(ev.to_json(), line, "event round-trip");
+    }
+    let report = RunReport::from_jsonl(&text).unwrap();
+    assert_eq!(report.sweeps.len(), 2);
+    assert_eq!(report.total_failed_frees(), 1, "the rooted dangler fails once");
+    assert_eq!(report.total_released(), 4, "all four allocations release");
+    assert_eq!(report.flushes, 2, "4 frees spill a 2-entry buffer twice");
+    // Deterministic mode zeroes wall-clock durations.
+    assert!(report.sweeps.iter().all(|s| s.wall_ns == 0 && s.mark_wall_ns == 0));
+    assert_eq!(report.sweeps[0].start_vnow, 10_000);
+    assert_eq!(report.sweeps[1].start_vnow, 20_000);
+}

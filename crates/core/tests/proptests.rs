@@ -10,6 +10,7 @@
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
+use minesweeper::telemetry::{RingSink, RunReport};
 use minesweeper::{FreeOutcome, MineSweeper, MsConfig, NaiveShadowMap, ShadowMap};
 use vmem::{Addr, AddrSpace, Segment};
 
@@ -202,6 +203,74 @@ proptest! {
                 slow.range_marked(Addr::new(start), len),
                 "range [{:#x}, +{}) disagrees", start, len
             );
+        }
+    }
+
+    #[test]
+    fn telemetry_balances_and_reconciles(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        // Two invariants over arbitrary scenarios:
+        //  (a) byte conservation — every byte ever quarantined is either
+        //      released or still in quarantine (swept or unmapped);
+        //  (b) the sweep-lifecycle event stream aggregates to exactly the
+        //      registry's counters (RunReport::reconcile).
+        let mut space = AddrSpace::new();
+        let mut ms = MineSweeper::new(MsConfig::fully_concurrent());
+        let ring = RingSink::new(1 << 16);
+        ms.tracer_mut().set_sink(Box::new(ring.clone()));
+        ms.tracer_mut().set_deterministic(true);
+        let stack = space.layout().segment_base(Segment::Stack);
+
+        let mut objects: Vec<Addr> = Vec::new();
+        let mut live: BTreeSet<usize> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Malloc { size } => {
+                    objects.push(ms.malloc(&mut space, size));
+                    live.insert(objects.len() - 1);
+                }
+                Op::Point { slot, to } => {
+                    if !objects.is_empty() {
+                        let id = to % objects.len();
+                        space
+                            .write_word(stack + slot as u64 * 8, objects[id].raw())
+                            .unwrap();
+                    }
+                }
+                Op::Unpoint { slot } => {
+                    space.write_word(stack + slot as u64 * 8, 0).unwrap();
+                }
+                Op::Free { n } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let &id = live.iter().nth(n % live.len()).unwrap();
+                    ms.free(&mut space, objects[id]);
+                    live.remove(&id);
+                    if n % 3 == 0 {
+                        // Absorbed double frees must not skew the balance.
+                        ms.free(&mut space, objects[id]);
+                    }
+                }
+                Op::Sweep => {
+                    ms.sweep_now(&mut space);
+                }
+            }
+            let st = ms.stats();
+            let q = ms.quarantine();
+            prop_assert_eq!(
+                st.quarantined_bytes,
+                st.released_bytes + q.tracked_bytes() + q.unmapped_bytes(),
+                "quarantined bytes must be released or still tracked"
+            );
+        }
+
+        let events = ring.events();
+        let report = RunReport::from_events(events.iter());
+        let snap = ms.registry().snapshot();
+        if let Err(e) = report.reconcile(&snap) {
+            prop_assert!(false, "event/counter reconciliation failed: {}", e);
         }
     }
 

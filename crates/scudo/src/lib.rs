@@ -220,6 +220,10 @@ impl HeapBackend for Scudo {
     fn advance_clock(&mut self, now: u64) {
         self.clock = self.clock.max(now);
     }
+
+    fn purged_pages(&self) -> u64 {
+        self.stats.released_pages
+    }
 }
 
 #[cfg(test)]

@@ -12,8 +12,9 @@ use baselines::{
     MarkUsFreeOutcome, Oscar, PSweeper, PsFreeOutcome,
 };
 use jalloc::{JAlloc, JallocConfig};
-use minesweeper::{FreeOutcome, HeapBackend, MineSweeper};
+use minesweeper::{FreeOutcome, HeapBackend, MineSweeper, LAYER_SUBSYSTEM};
 use scudo::Scudo;
+use telemetry::{Histogram, Registry, Sink};
 use vmem::{Addr, AddrSpace, Segment, PAGE_SIZE, WORD_SIZE};
 use workloads::{Op, Profile, Rng, TraceGen};
 
@@ -62,6 +63,38 @@ enum Sys {
     Ds(Box<DangSan>),
 }
 
+/// Subsystem label the engine registers its instruments under, alongside
+/// the layer's [`minesweeper::LAYER_SUBSYSTEM`] counters in the same
+/// registry.
+pub const ENGINE_SUBSYSTEM: &str = "engine";
+
+/// Engine-side telemetry: virtual-cycle histograms registered on the
+/// layer's shared registry, so one snapshot covers both the allocator
+/// layer's counters and the engine's timing distributions.
+#[derive(Debug)]
+struct EngineTelem {
+    /// Cycles the mutator spent blocked per allocation pause / sequential
+    /// sweep (the paper's §5.7 pause valve).
+    pause_cycles: Histogram,
+    /// Stop-the-world re-check cycles charged to the mutator, per sweep.
+    stw_cycles: Histogram,
+    /// Virtual duration of each completed sweep, start to finish.
+    sweep_cycles: Histogram,
+    /// `now` at which the in-flight sweep started.
+    sweep_start: u64,
+}
+
+impl EngineTelem {
+    fn register(registry: &Registry) -> Self {
+        EngineTelem {
+            pause_cycles: registry.histogram(ENGINE_SUBSYSTEM, "pause_cycles"),
+            stw_cycles: registry.histogram(ENGINE_SUBSYSTEM, "stw_cycles"),
+            sweep_cycles: registry.histogram(ENGINE_SUBSYSTEM, "sweep_cycles"),
+            sweep_start: 0,
+        }
+    }
+}
+
 /// Replays one `(profile, system, seed)` run. See the
 /// [crate docs](crate) and [`crate::run`].
 #[derive(Debug)]
@@ -89,6 +122,8 @@ pub struct Engine {
     sample_interval: u64,
     next_sample: u64,
     seed: u64,
+    /// Present for MineSweeper-layered systems (they own the registry).
+    telem: Option<EngineTelem>,
 }
 
 impl Engine {
@@ -129,6 +164,11 @@ impl Engine {
             System::PSweeper => Sys::Ps(Box::new(PSweeper::new())),
             System::DangSan => Sys::Ds(Box::new(DangSan::new())),
         };
+        let telem = match &sys {
+            Sys::Ms(ms) => Some(EngineTelem::register(ms.registry())),
+            Sys::MsScudo(ms) => Some(EngineTelem::register(ms.registry())),
+            _ => None,
+        };
         let sample_interval = (run_cycles / 256).max(10_000);
         let mut metrics = RunMetrics {
             benchmark: profile.name.to_string(),
@@ -158,7 +198,27 @@ impl Engine {
             sample_interval,
             next_sample: sample_interval,
             seed,
+            telem,
         }
+    }
+
+    /// Attaches `sink` to the layered system's sweep tracer, so the run
+    /// emits lifecycle events ([`telemetry::EventKind`]) stamped with the
+    /// engine's virtual clock. With `deterministic` set, wall-clock
+    /// durations in events are zeroed so identically seeded runs produce
+    /// byte-identical traces.
+    ///
+    /// Returns `false` (and drops the sink) when the system under test has
+    /// no tracer (baselines).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn Sink>, deterministic: bool) -> bool {
+        let tracer = match &mut self.sys {
+            Sys::Ms(ms) => ms.tracer_mut(),
+            Sys::MsScudo(ms) => ms.tracer_mut(),
+            _ => return false,
+        };
+        tracer.set_sink(sink);
+        tracer.set_deterministic(deterministic);
+        true
     }
 
     /// Runs the profile's generated trace to completion and returns the
@@ -619,7 +679,8 @@ impl Engine {
                 self.charge_mutator(self.cost.free_fast);
             }
             Sys::Ms(ms) => {
-                let st0 = ms.stats().clone();
+                ms.tracer_mut().set_virtual_now(self.now);
+                let st0 = ms.stats();
                 let outcome = ms.free(&mut self.space, obj.base);
                 debug_assert_eq!(outcome, FreeOutcome::Quarantined);
                 let st = ms.stats();
@@ -657,7 +718,8 @@ impl Engine {
                 self.charge_mutator(self.cost.scudo_free);
             }
             Sys::MsScudo(ms) => {
-                let st0 = ms.stats().clone();
+                ms.tracer_mut().set_virtual_now(self.now);
+                let st0 = ms.stats();
                 let outcome = ms.free(&mut self.space, obj.base);
                 debug_assert_eq!(outcome, FreeOutcome::Quarantined);
                 let st = ms.stats();
@@ -716,8 +778,12 @@ impl Engine {
         match &mut self.sys {
             Sys::Ms(ms)
                 if !self.sweep_active && ms.sweep_needed(&self.space) => {
+                    ms.tracer_mut().set_virtual_now(self.now);
                     ms.start_sweep(&mut self.space);
                     self.sweep_active = true;
+                    if let Some(t) = &mut self.telem {
+                        t.sweep_start = self.now;
+                    }
                     if !ms.config().concurrent {
                         // Sequential version: the whole sweep runs in the
                         // mutator (§5.4).
@@ -726,8 +792,12 @@ impl Engine {
                 }
             Sys::MsScudo(ms)
                 if !self.sweep_active && ms.sweep_needed(&self.space) => {
+                    ms.tracer_mut().set_virtual_now(self.now);
                     ms.start_sweep(&mut self.space);
                     self.sweep_active = true;
+                    if let Some(t) = &mut self.telem {
+                        t.sweep_start = self.now;
+                    }
                     if !ms.config().concurrent {
                         self.fast_forward_sweep(true);
                     }
@@ -805,6 +875,9 @@ impl Engine {
         if blocking {
             self.now += wall + dcs * self.cost.demand_commit;
             self.metrics.pause_cycles += wall;
+            if let Some(t) = &self.telem {
+                t.pause_cycles.record(wall);
+            }
             self.background += wall * self.sweeper_threads();
         } else {
             self.background += wall * self.sweeper_threads() + dcs * self.cost.demand_commit;
@@ -815,12 +888,14 @@ impl Engine {
     fn finish_sweep(&mut self) {
         let (report, purged, concurrent) = match &mut self.sys {
             Sys::Ms(ms) => {
+                ms.tracer_mut().set_virtual_now(self.now);
                 let purged0 = ms.heap().stats().purged_pages;
                 let concurrent = ms.config().concurrent;
                 let report = ms.finish_sweep(&mut self.space);
                 (report, ms.heap().stats().purged_pages - purged0, concurrent)
             }
             Sys::MsScudo(ms) => {
+                ms.tracer_mut().set_virtual_now(self.now);
                 let purged0 = ms.heap().stats().released_pages;
                 let concurrent = ms.config().concurrent;
                 let report = ms.finish_sweep(&mut self.space);
@@ -832,6 +907,12 @@ impl Engine {
         let stw = report.stw_pages * self.cost.stw_page;
         self.now += stw;
         self.metrics.stw_cycles += stw;
+        if let Some(t) = &self.telem {
+            if stw > 0 {
+                t.stw_cycles.record(stw);
+            }
+            t.sweep_cycles.record(self.now.saturating_sub(t.sweep_start));
+        }
         // Release + purge work.
         let finish_cost =
             report.released * self.cost.release_entry + purged * self.cost.purge_page;
@@ -853,16 +934,25 @@ impl Engine {
         self.metrics.rss_series.push((self.now.max(1), rss));
         self.metrics.mutator_cycles = self.now.max(1);
         self.metrics.background_cycles = self.background;
-        match &self.sys {
+        // Export telemetry: flush any attached trace sink, snapshot the
+        // shared registry, and derive the headline sweep metrics from the
+        // layer's counters (single source of truth).
+        let snap = match &mut self.sys {
             Sys::Ms(ms) => {
-                self.metrics.sweeps = ms.stats().sweeps;
-                self.metrics.failed_frees = ms.stats().failed_frees;
+                ms.tracer_mut().flush();
+                Some(ms.registry().snapshot())
             }
             Sys::MsScudo(ms) => {
-                self.metrics.sweeps = ms.stats().sweeps;
-                self.metrics.failed_frees = ms.stats().failed_frees;
+                ms.tracer_mut().flush();
+                Some(ms.registry().snapshot())
             }
-            _ => {}
+            _ => None,
+        };
+        if let Some(snap) = snap {
+            self.metrics.sweeps = snap.counter(LAYER_SUBSYSTEM, "sweeps").unwrap_or(0);
+            self.metrics.failed_frees =
+                snap.counter(LAYER_SUBSYSTEM, "failed_frees").unwrap_or(0);
+            self.metrics.telemetry = Some(snap);
         }
         self.metrics
     }
@@ -1064,6 +1154,18 @@ mod tests {
         let p = Profile { dangling_rate: 0.2, ..fast_profile() };
         let ms = run(&p, System::minesweeper_default(), 13);
         assert!(ms.failed_frees > 0, "20% dangling rate must trip some sweeps");
+    }
+
+    #[test]
+    fn telemetry_snapshot_matches_headline_metrics() {
+        let m = run(&fast_profile(), System::minesweeper_default(), 7);
+        let snap = m.telemetry.as_ref().expect("layered runs carry telemetry");
+        assert_eq!(snap.counter("layer", "sweeps"), Some(m.sweeps));
+        assert_eq!(snap.counter("layer", "failed_frees"), Some(m.failed_frees));
+        // Every sweep the engine drove is one sweep_cycles observation.
+        let sweeps = snap.histogram(ENGINE_SUBSYSTEM, "sweep_cycles").unwrap();
+        assert_eq!(sweeps.count(), m.sweeps);
+        assert!(run(&fast_profile(), System::Baseline, 7).telemetry.is_none());
     }
 
     #[test]

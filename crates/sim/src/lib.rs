@@ -38,7 +38,7 @@ pub mod report;
 mod system;
 
 pub use cost::CostModel;
-pub use engine::Engine;
+pub use engine::{Engine, ENGINE_SUBSYSTEM};
 pub use exploit::{run_exploit, ExploitReport};
 pub use metrics::{geomean, RunMetrics};
 pub use system::System;

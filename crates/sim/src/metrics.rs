@@ -1,5 +1,7 @@
 //! Run metrics: virtual-time accounting and RSS traces.
 
+use telemetry::Snapshot;
+
 /// Everything measured during one simulated run.
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
@@ -34,6 +36,10 @@ pub struct RunMetrics {
     /// Pages re-inflated by sweeps demand-committing purged memory (only
     /// non-zero with `madvise`-style purging, §4.5).
     pub sweep_demand_commits: u64,
+    /// End-of-run telemetry snapshot (layer counters + engine pause/STW/
+    /// sweep histograms). Present for MineSweeper-layered systems; the
+    /// `sweeps` and `failed_frees` fields above are derived from it.
+    pub telemetry: Option<Snapshot>,
 }
 
 impl RunMetrics {

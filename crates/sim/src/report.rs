@@ -1,5 +1,7 @@
 //! Plain-text table formatting for the figure regenerators.
 
+use telemetry::{Histogram, Snapshot};
+
 /// Formats an aligned table. The first row is the header; a separator line
 /// is inserted under it. Columns are right-aligned except the first.
 ///
@@ -69,6 +71,43 @@ pub fn bytes(b: u64) -> String {
     }
 }
 
+/// Renders a run's telemetry [`Snapshot`] as aligned tables: one of
+/// counters (`subsystem/name  value`) and — when any histograms were
+/// recorded — one of histogram summaries (count, sum, mean, p-max bucket
+/// bound). Units are virtual cycles for the engine's histograms.
+pub fn telemetry_tables(snap: &Snapshot) -> String {
+    let mut rows = vec![vec!["counter".to_string(), "value".to_string()]];
+    for c in &snap.counters {
+        rows.push(vec![format!("{}/{}", c.subsystem, c.name), c.value.to_string()]);
+    }
+    let mut out = table(&rows);
+    let live: Vec<_> = snap.histograms.iter().filter(|h| h.count() > 0).collect();
+    if !live.is_empty() {
+        let mut hrows = vec![vec![
+            "histogram".to_string(),
+            "count".to_string(),
+            "sum".to_string(),
+            "mean".to_string(),
+            "max<=".to_string(),
+        ]];
+        for h in live {
+            let count = h.count();
+            let mean = h.sum as f64 / count as f64;
+            let top = h.buckets.iter().map(|&(i, _)| i).max().unwrap_or(0);
+            hrows.push(vec![
+                format!("{}/{}", h.subsystem, h.name),
+                count.to_string(),
+                h.sum.to_string(),
+                format!("{mean:.0}"),
+                Histogram::bucket_bound(top).to_string(),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&table(&hrows));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +137,23 @@ mod tests {
     #[test]
     fn empty_table_is_empty() {
         assert_eq!(table(&[]), "");
+    }
+
+    #[test]
+    fn telemetry_tables_render_counters_and_histograms() {
+        let reg = telemetry::Registry::new();
+        reg.counter("layer", "sweeps").add(3);
+        let h = reg.histogram("engine", "pause_cycles");
+        h.record(100);
+        h.record(200);
+        let t = telemetry_tables(&reg.snapshot());
+        assert!(t.contains("layer/sweeps"));
+        assert!(t.contains("engine/pause_cycles"));
+        assert!(t.contains("150"), "mean of 100 and 200:\n{t}");
+        // Empty histograms are suppressed.
+        let reg2 = telemetry::Registry::new();
+        reg2.counter("layer", "sweeps").add(1);
+        reg2.histogram("engine", "idle");
+        assert!(!telemetry_tables(&reg2.snapshot()).contains("idle"));
     }
 }

@@ -1,0 +1,77 @@
+//! Acceptance test for the telemetry pipeline (ISSUE: a deterministic sim
+//! run with tracing enabled must produce a JSONL event stream and a
+//! metrics snapshot whose aggregated totals exactly match the layer's
+//! `MsStats` counters).
+
+use sim::{Engine, System, ENGINE_SUBSYSTEM};
+use telemetry::{JsonlSink, RunReport, SharedBuf, Snapshot};
+use workloads::{LifetimeDist, Profile, SizeDist};
+
+fn fast_profile() -> Profile {
+    Profile {
+        total_allocs: 4_000,
+        cycles_per_alloc: 300,
+        size_dist: SizeDist::LogNormal { median: 64, sigma: 2.5, cap: 64 * 1024 },
+        lifetime: LifetimeDist::Mixture(vec![
+            (0.9, LifetimeDist::Exp(100.0)),
+            (0.1, LifetimeDist::Exp(1_500.0)),
+        ]),
+        ..Profile::demo()
+    }
+}
+
+/// Runs one traced deterministic run; returns the JSONL text and metrics.
+fn traced_run(system: System, seed: u64) -> (String, sim::RunMetrics) {
+    let buf = SharedBuf::new();
+    let mut eng = Engine::new(&fast_profile(), system, seed);
+    assert!(eng.set_trace_sink(Box::new(JsonlSink::new(buf.clone())), true));
+    let m = eng.run();
+    (buf.contents(), m)
+}
+
+#[test]
+fn trace_totals_match_layer_counters() {
+    let (jsonl, m) = traced_run(System::minesweeper_default(), 7);
+    let snap = m.telemetry.as_ref().expect("layered run exports a snapshot");
+    let report = RunReport::from_jsonl(&jsonl).unwrap();
+    assert!(!report.sweeps.is_empty(), "churn must trigger sweeps");
+
+    // The full event/counter cross-check: sweeps, releases, bytes, failed
+    // frees, swept bytes, STW pages and quarantine flushes all reconcile.
+    report.reconcile(snap).expect("trace aggregates == registry counters");
+
+    // Spot-check the headline counters against the derived RunMetrics.
+    assert_eq!(report.sweeps.len() as u64, m.sweeps);
+    assert_eq!(report.total_failed_frees(), m.failed_frees);
+    assert_eq!(snap.counter("layer", "sweeps"), Some(m.sweeps));
+    assert_eq!(snap.counter("layer", "released"), Some(report.total_released()));
+
+    // Engine histograms live in the same snapshot: one sweep_cycles
+    // observation per sweep.
+    let sweep_h = snap.histogram(ENGINE_SUBSYSTEM, "sweep_cycles").unwrap();
+    assert_eq!(sweep_h.count(), m.sweeps);
+}
+
+#[test]
+fn mostly_concurrent_trace_reconciles_with_stw_events() {
+    let (jsonl, m) = traced_run(System::minesweeper_mostly(), 9);
+    let snap = m.telemetry.as_ref().unwrap();
+    let report = RunReport::from_jsonl(&jsonl).unwrap();
+    report.reconcile(snap).expect("mostly-concurrent trace reconciles");
+    assert!(
+        report.total_stw_pages() > 0,
+        "mostly-concurrent sweeps must re-check soft-dirty pages"
+    );
+    assert!(jsonl.lines().any(|l| l.contains("\"stw_pass\"")));
+}
+
+#[test]
+fn deterministic_traces_are_bit_identical() {
+    let (a, ma) = traced_run(System::minesweeper_default(), 11);
+    let (b, mb) = traced_run(System::minesweeper_default(), 11);
+    assert_eq!(a, b, "identical seeds must produce identical traces");
+    assert_eq!(ma.telemetry, mb.telemetry);
+    // And the snapshot survives its JSON round-trip.
+    let snap = ma.telemetry.unwrap();
+    assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+}

@@ -1,0 +1,614 @@
+//! The lock-free metrics registry: atomic counters and fixed-bucket log2
+//! histograms, labelled by subsystem, with point-in-time snapshots.
+//!
+//! Registration takes a lock (it happens a handful of times at startup);
+//! every increment afterwards is a single atomic RMW on a shared cell, so
+//! instrumented hot paths never contend on the registry itself. Handles
+//! ([`Counter`], [`Histogram`]) are cheap `Arc` clones and stay valid for
+//! the registry's lifetime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::{escape, Json, JsonError};
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i - 1]`, and bucket 64 tops out at
+/// `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Snapshot schema version written into JSON exports; bump on any
+/// incompatible change so downstream tooling can compare runs safely.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
+/// A monotonically increasing atomic counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter not attached to any registry (snapshots will not
+    /// see it). Useful for tests and placeholders.
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared storage of a histogram.
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket log2 histogram handle.
+///
+/// Bucket boundaries are powers of two, so recording costs one
+/// `leading_zeros` plus two relaxed atomic adds — cheap enough for
+/// per-sweep (and even per-free) paths.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (`0`, `1`, `3`, `7`, …,
+    /// `u64::MAX`).
+    pub fn bucket_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64.. => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.0.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // Saturate instead of wrapping: a sum that pegs at u64::MAX is an
+        // obviously-overflowed export; a wrapped one silently lies.
+        let _ = self.0.sum.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+            Some(s.saturating_add(value))
+        });
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug)]
+enum Instrument {
+    Counter(Counter),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Entry {
+    subsystem: String,
+    name: String,
+    instrument: Instrument,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// The metrics registry. Cloning shares the underlying storage, so
+/// subsystems in different layers (the allocator layer, the sim engine, a
+/// benchmark harness) can register into one registry and export one
+/// coherent snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or retrieves) the counter `subsystem/name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a histogram.
+    pub fn counter(&self, subsystem: &str, name: &str) -> Counter {
+        let mut entries = self.inner.entries.lock().expect("registry poisoned");
+        if let Some(e) =
+            entries.iter().find(|e| e.subsystem == subsystem && e.name == name)
+        {
+            match &e.instrument {
+                Instrument::Counter(c) => return c.clone(),
+                Instrument::Histogram(_) => {
+                    panic!("{subsystem}/{name} is registered as a histogram")
+                }
+            }
+        }
+        let c = Counter::default();
+        entries.push(Entry {
+            subsystem: subsystem.to_string(),
+            name: name.to_string(),
+            instrument: Instrument::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Registers (or retrieves) the histogram `subsystem/name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a counter.
+    pub fn histogram(&self, subsystem: &str, name: &str) -> Histogram {
+        let mut entries = self.inner.entries.lock().expect("registry poisoned");
+        if let Some(e) =
+            entries.iter().find(|e| e.subsystem == subsystem && e.name == name)
+        {
+            match &e.instrument {
+                Instrument::Histogram(h) => return h.clone(),
+                Instrument::Counter(_) => {
+                    panic!("{subsystem}/{name} is registered as a counter")
+                }
+            }
+        }
+        let h = Histogram::default();
+        entries.push(Entry {
+            subsystem: subsystem.to_string(),
+            name: name.to_string(),
+            instrument: Instrument::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Takes a point-in-time snapshot of every registered instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.inner.entries.lock().expect("registry poisoned");
+        let mut snap = Snapshot::default();
+        for e in entries.iter() {
+            match &e.instrument {
+                Instrument::Counter(c) => snap.counters.push(CounterSample {
+                    subsystem: e.subsystem.clone(),
+                    name: e.name.clone(),
+                    value: c.get(),
+                }),
+                Instrument::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    snap.histograms.push(HistogramSample {
+                        subsystem: e.subsystem.clone(),
+                        name: e.name.clone(),
+                        buckets: counts
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &c)| c > 0)
+                            .map(|(i, &c)| (i, c))
+                            .collect(),
+                        sum: h.sum(),
+                    });
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A counter's value at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Subsystem label (`layer`, `engine`, `bench`, …).
+    pub subsystem: String,
+    /// Metric name within the subsystem.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// A histogram's state at snapshot time. Buckets are sparse
+/// `(bucket_index, count)` pairs; see [`Histogram::bucket_bound`] for the
+/// bound of each index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Subsystem label.
+    pub subsystem: String,
+    /// Metric name within the subsystem.
+    pub name: String,
+    /// Non-empty buckets as `(bucket_index, count)`.
+    pub buckets: Vec<(usize, u64)>,
+    /// Saturating sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSample {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Count in bucket `i` (0 if empty).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.iter().find(|&&(b, _)| b == i).map_or(0, |&(_, c)| c)
+    }
+}
+
+/// A point-in-time view of a [`Registry`], suitable for diffing,
+/// serialising and exposing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl Snapshot {
+    /// Looks up a counter value.
+    pub fn counter(&self, subsystem: &str, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.subsystem == subsystem && c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a histogram sample.
+    pub fn histogram(&self, subsystem: &str, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.subsystem == subsystem && h.name == name)
+    }
+
+    /// The difference `self - before`, metric by metric (saturating, so a
+    /// restarted counter reads 0 rather than wrapping). Metrics absent
+    /// from `before` are passed through unchanged; metrics only in
+    /// `before` are dropped.
+    pub fn delta(&self, before: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| CounterSample {
+                subsystem: c.subsystem.clone(),
+                name: c.name.clone(),
+                value: c
+                    .value
+                    .saturating_sub(before.counter(&c.subsystem, &c.name).unwrap_or(0)),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let prev = before.histogram(&h.subsystem, &h.name);
+                HistogramSample {
+                    subsystem: h.subsystem.clone(),
+                    name: h.name.clone(),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .map(|&(i, c)| {
+                            (i, c.saturating_sub(prev.map_or(0, |p| p.bucket(i))))
+                        })
+                        .filter(|&(_, c)| c > 0)
+                        .collect(),
+                    sum: h.sum.saturating_sub(prev.map_or(0, |p| p.sum)),
+                }
+            })
+            .collect();
+        Snapshot { counters, histograms }
+    }
+
+    /// Serialises the snapshot as JSON (schema-versioned; round-trips via
+    /// [`Snapshot::from_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema_version\": {SNAPSHOT_SCHEMA_VERSION},\n  \"counters\": ["
+        ));
+        for (i, c) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"subsystem\": \"{}\", \"name\": \"{}\", \"value\": {}}}",
+                escape(&c.subsystem),
+                escape(&c.name),
+                c.value
+            ));
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let buckets: Vec<String> =
+                h.buckets.iter().map(|&(b, c)| format!("[{b}, {c}]")).collect();
+            out.push_str(&format!(
+                "    {{\"subsystem\": \"{}\", \"name\": \"{}\", \"sum\": {}, \"count\": {}, \"buckets\": [{}]}}",
+                escape(&h.subsystem),
+                escape(&h.name),
+                h.sum,
+                h.count(),
+                buckets.join(", ")
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a snapshot back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed JSON or a missing/mistyped field.
+    pub fn from_json(text: &str) -> Result<Snapshot, JsonError> {
+        let v = Json::parse(text)?;
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| JsonError::new("missing schema_version"))?;
+        if version != SNAPSHOT_SCHEMA_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported schema_version {version} (expected {SNAPSHOT_SCHEMA_VERSION})"
+            )));
+        }
+        let mut snap = Snapshot::default();
+        for c in v.get("counters").and_then(Json::as_array).unwrap_or(&[]) {
+            snap.counters.push(CounterSample {
+                subsystem: field_str(c, "subsystem")?,
+                name: field_str(c, "name")?,
+                value: field_u64(c, "value")?,
+            });
+        }
+        for h in v.get("histograms").and_then(Json::as_array).unwrap_or(&[]) {
+            let mut buckets = Vec::new();
+            for pair in h.get("buckets").and_then(Json::as_array).unwrap_or(&[]) {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| JsonError::new("bucket must be [index, count]"))?;
+                let idx = pair[0]
+                    .as_u64()
+                    .ok_or_else(|| JsonError::new("bucket index must be a number"))?;
+                let count = pair[1]
+                    .as_u64()
+                    .ok_or_else(|| JsonError::new("bucket count must be a number"))?;
+                buckets.push((idx as usize, count));
+            }
+            snap.histograms.push(HistogramSample {
+                subsystem: field_str(h, "subsystem")?,
+                name: field_str(h, "name")?,
+                buckets,
+                sum: field_u64(h, "sum")?,
+            });
+        }
+        Ok(snap)
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (`ms_<subsystem>_<name>`; histograms as cumulative `_bucket{le=…}`
+    /// series).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let m = metric_name(&c.subsystem, &c.name);
+            out.push_str(&format!("# TYPE {m} counter\n{m} {}\n", c.value));
+        }
+        for h in &self.histograms {
+            let m = metric_name(&h.subsystem, &h.name);
+            out.push_str(&format!("# TYPE {m} histogram\n"));
+            let mut cumulative = 0;
+            for (i, count) in &h.buckets {
+                cumulative += count;
+                let bound = Histogram::bucket_bound(*i);
+                out.push_str(&format!("{m}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            out.push_str(&format!("{m}_sum {}\n{m}_count {cumulative}\n", h.sum));
+        }
+        out
+    }
+}
+
+fn metric_name(subsystem: &str, name: &str) -> String {
+    let sanitize = |s: &str| {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+    };
+    format!("ms_{}_{}", sanitize(subsystem), sanitize(name))
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, JsonError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| JsonError::new(format!("missing string field {key}")))
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, JsonError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| JsonError::new(format!("missing numeric field {key}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_and_share() {
+        let reg = Registry::new();
+        let a = reg.counter("layer", "sweeps");
+        let b = reg.counter("layer", "sweeps");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same cell behind both handles");
+        assert_eq!(reg.snapshot().counter("layer", "sweeps"), Some(3));
+    }
+
+    #[test]
+    fn shared_registry_clone_sees_the_same_metrics() {
+        let reg = Registry::new();
+        let shared = reg.clone();
+        reg.counter("layer", "frees").add(7);
+        assert_eq!(shared.snapshot().counter("layer", "frees"), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a histogram")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.histogram("x", "y");
+        reg.counter("x", "y");
+    }
+
+    #[test]
+    fn histogram_bucketing_edges() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(1), 1);
+        assert_eq!(Histogram::bucket_bound(2), 3);
+        assert_eq!(Histogram::bucket_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bound covers it.
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_bound(i));
+            if i > 0 {
+                assert!(v > Histogram::bucket_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_saturates() {
+        let h = Histogram::detached();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates rather than wrapping");
+    }
+
+    #[test]
+    fn snapshot_delta_algebra() {
+        let reg = Registry::new();
+        let c = reg.counter("layer", "released");
+        let h = reg.histogram("engine", "pause_cycles");
+        c.add(5);
+        h.record(100);
+        let before = reg.snapshot();
+        c.add(3);
+        h.record(100);
+        h.record(0);
+        let after = reg.snapshot();
+
+        let d = after.delta(&before);
+        assert_eq!(d.counter("layer", "released"), Some(3));
+        let dh = d.histogram("engine", "pause_cycles").unwrap();
+        assert_eq!(dh.count(), 2);
+        assert_eq!(dh.sum, 100);
+        assert_eq!(dh.bucket(0), 1);
+
+        // delta(self) is all-zero; delta(empty) is identity.
+        let zero = after.delta(&after);
+        assert!(zero.counters.iter().all(|c| c.value == 0));
+        assert!(zero.histograms.iter().all(|h| h.count() == 0 && h.sum == 0));
+        assert_eq!(after.delta(&Snapshot::default()), after);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let reg = Registry::new();
+        reg.counter("layer", "sweeps").add(42);
+        let h = reg.histogram("engine", "pause_cycles");
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = reg.snapshot();
+        let text = snap.to_json();
+        let parsed = Snapshot::from_json(&text).unwrap();
+        assert_eq!(parsed, snap, "JSON round-trip must be lossless:\n{text}");
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        assert!(Snapshot::from_json("{\"schema_version\": 999}").is_err());
+        assert!(Snapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter("layer", "sweeps").add(2);
+        let h = reg.histogram("engine", "pause-cycles");
+        h.record(5);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE ms_layer_sweeps counter"));
+        assert!(text.contains("ms_layer_sweeps 2"));
+        assert!(text.contains("ms_engine_pause_cycles_bucket{le=\"7\"} 1"));
+        assert!(text.contains("ms_engine_pause_cycles_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("ms_engine_pause_cycles_sum 5"));
+        assert!(text.contains("ms_engine_pause_cycles_count 1"));
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let reg = Registry::new();
+        let c = reg.counter("t", "hits");
+        let h = reg.histogram("t", "vals");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,485 @@
+//! Per-sweep timelines: folds a stream of [`Event`]s into one
+//! [`SweepRecord`] per sweep, aggregates them into a [`RunReport`], and
+//! renders the paper-style summary tables (`Fig. 13`/`Fig. 14`:
+//! failed-free rates over sweeps, quarantine high-water marks, pause-time
+//! histograms).
+
+use crate::json::JsonError;
+use crate::registry::{Histogram, HistogramSample, Snapshot};
+use crate::trace::{Event, EventKind, Trigger};
+
+/// Everything one sweep did, folded from its lifecycle events.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepRecord {
+    /// 1-based sweep number.
+    pub sweep: u64,
+    /// What fired the sweep (absent if the trace starts mid-sweep).
+    pub trigger: Option<Trigger>,
+    /// Virtual time at `SweepStart`.
+    pub start_vnow: u64,
+    /// Virtual time at `SweepEnd` (equal to `start_vnow` if the sweep
+    /// never finished within the trace).
+    pub end_vnow: u64,
+    /// Swept quarantined bytes when the sweep started.
+    pub quarantine_bytes: u64,
+    /// Quarantined entries when the sweep started.
+    pub quarantine_entries: u64,
+    /// Bytes advanced through during marking.
+    pub mark_bytes: u64,
+    /// Words examined during marking.
+    pub mark_words: u64,
+    /// Shadow-map granules marked.
+    pub marked_granules: u64,
+    /// Wall-clock marking time (ns; 0 in deterministic traces).
+    pub mark_wall_ns: u64,
+    /// Pages re-checked by the stop-the-world pass.
+    pub stw_pages: u64,
+    /// Words re-checked by the stop-the-world pass.
+    pub stw_words: u64,
+    /// Entries released back to the allocator.
+    pub released: u64,
+    /// Bytes released back to the allocator.
+    pub released_bytes: u64,
+    /// Entries retained by dangling pointers (failed frees, §5.4).
+    pub failed_frees: u64,
+    /// Pages the allocator purge decommitted after the sweep.
+    pub purged_pages: u64,
+    /// Wall-clock sweep duration (ns; 0 in deterministic traces).
+    pub wall_ns: u64,
+}
+
+impl SweepRecord {
+    /// Fraction of this sweep's candidate entries that failed to free
+    /// (`failed / (released + failed)`), the per-sweep quantity behind
+    /// the paper's Fig. 13.
+    pub fn failed_free_rate(&self) -> f64 {
+        let total = self.released + self.failed_frees;
+        if total == 0 {
+            0.0
+        } else {
+            self.failed_frees as f64 / total as f64
+        }
+    }
+
+    /// Sweep duration in virtual cost units.
+    pub fn virtual_duration(&self) -> u64 {
+        self.end_vnow.saturating_sub(self.start_vnow)
+    }
+}
+
+/// A whole run's timeline: every sweep plus the quarantine-flush
+/// traffic between them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// One record per sweep, in sweep order.
+    pub sweeps: Vec<SweepRecord>,
+    /// Thread-local quarantine buffer flushes observed.
+    pub flushes: u64,
+    /// Entries those flushes spilled to the global quarantine.
+    pub flushed_entries: u64,
+    /// Total events folded in.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Folds a stream of events (in emission order) into a report.
+    /// Events for a sweep number not yet seen open a new record, so a
+    /// trace that starts mid-sweep still aggregates.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> RunReport {
+        let mut report = RunReport::default();
+        for event in events {
+            report.events += 1;
+            match &event.kind {
+                EventKind::SweepStart { sweep, trigger, quarantine_bytes, quarantine_entries } => {
+                    let r = report.record_mut(*sweep);
+                    r.trigger = Some(*trigger);
+                    r.start_vnow = event.vnow;
+                    r.end_vnow = event.vnow;
+                    r.quarantine_bytes = *quarantine_bytes;
+                    r.quarantine_entries = *quarantine_entries;
+                }
+                EventKind::MarkPhase { sweep, bytes, words, marked_granules, wall_ns } => {
+                    let r = report.record_mut(*sweep);
+                    r.mark_bytes += bytes;
+                    r.mark_words += words;
+                    r.marked_granules = *marked_granules;
+                    r.mark_wall_ns += wall_ns;
+                }
+                EventKind::StwPass { sweep, pages, words } => {
+                    let r = report.record_mut(*sweep);
+                    r.stw_pages += pages;
+                    r.stw_words += words;
+                }
+                EventKind::Release { sweep, released, released_bytes, failed_frees } => {
+                    let r = report.record_mut(*sweep);
+                    r.released += released;
+                    r.released_bytes += released_bytes;
+                    r.failed_frees += failed_frees;
+                }
+                EventKind::Purge { sweep, purged_pages } => {
+                    report.record_mut(*sweep).purged_pages += purged_pages;
+                }
+                EventKind::QuarantineFlush { entries } => {
+                    report.flushes += 1;
+                    report.flushed_entries += entries;
+                }
+                EventKind::SweepEnd { sweep, wall_ns } => {
+                    let r = report.record_mut(*sweep);
+                    r.end_vnow = event.vnow;
+                    r.wall_ns = *wall_ns;
+                }
+            }
+        }
+        report
+    }
+
+    /// Parses a JSONL trace (one event per line, blank lines ignored)
+    /// and folds it into a report.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] if any line fails to parse as an event.
+    pub fn from_jsonl(text: &str) -> Result<RunReport, JsonError> {
+        let mut events = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(Event::from_json(line)?);
+        }
+        Ok(RunReport::from_events(&events))
+    }
+
+    fn record_mut(&mut self, sweep: u64) -> &mut SweepRecord {
+        if let Some(i) = self.sweeps.iter().position(|r| r.sweep == sweep) {
+            &mut self.sweeps[i]
+        } else {
+            self.sweeps.push(SweepRecord { sweep, ..SweepRecord::default() });
+            self.sweeps.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Total entries released across all sweeps.
+    pub fn total_released(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.released).sum()
+    }
+
+    /// Total bytes released across all sweeps.
+    pub fn total_released_bytes(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.released_bytes).sum()
+    }
+
+    /// Total failed frees across all sweeps.
+    pub fn total_failed_frees(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.failed_frees).sum()
+    }
+
+    /// Total bytes advanced through during marking across all sweeps.
+    pub fn total_mark_bytes(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.mark_bytes).sum()
+    }
+
+    /// Total stop-the-world pages re-checked across all sweeps.
+    pub fn total_stw_pages(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.stw_pages).sum()
+    }
+
+    /// Cumulative failed-free rate over the whole run.
+    pub fn failed_free_rate(&self) -> f64 {
+        let total = self.total_released() + self.total_failed_frees();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_failed_frees() as f64 / total as f64
+        }
+    }
+
+    /// The largest quarantine footprint any sweep started with — the
+    /// run's quarantine high-water mark in bytes.
+    pub fn quarantine_high_water_bytes(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.quarantine_bytes).max().unwrap_or(0)
+    }
+
+    /// The largest entry count any sweep started with.
+    pub fn quarantine_high_water_entries(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.quarantine_entries).max().unwrap_or(0)
+    }
+
+    /// Checks the timeline against a metrics [`Snapshot`] from the same
+    /// run: event-derived totals must exactly equal the layer's counters.
+    /// This is the cross-check that keeps the two telemetry planes
+    /// honest with each other.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of every mismatched metric.
+    pub fn reconcile(&self, snap: &Snapshot) -> Result<(), String> {
+        let mut mismatches = Vec::new();
+        let mut check = |name: &str, from_events: u64| {
+            let from_counters = snap.counter("layer", name).unwrap_or(0);
+            if from_events != from_counters {
+                mismatches.push(format!(
+                    "{name}: events say {from_events}, counters say {from_counters}"
+                ));
+            }
+        };
+        check("sweeps", self.sweeps.len() as u64);
+        check("released", self.total_released());
+        check("released_bytes", self.total_released_bytes());
+        check("failed_frees", self.total_failed_frees());
+        check("swept_bytes", self.total_mark_bytes());
+        check("stw_pages", self.total_stw_pages());
+        check("tl_flushes", self.flushes);
+        check("tl_flushed_entries", self.flushed_entries);
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(mismatches.join("; "))
+        }
+    }
+
+    /// Renders the Fig. 13-style table: per-sweep failed-free counts and
+    /// rates, with a cumulative-total row.
+    pub fn failed_free_table(&self) -> String {
+        let mut out = String::from(
+            "sweep  trigger       released  failed  rate     cumulative\n",
+        );
+        let mut cum_released = 0u64;
+        let mut cum_failed = 0u64;
+        for r in &self.sweeps {
+            cum_released += r.released;
+            cum_failed += r.failed_frees;
+            let cum_total = cum_released + cum_failed;
+            let cum_rate = if cum_total == 0 {
+                0.0
+            } else {
+                cum_failed as f64 / cum_total as f64
+            };
+            out.push_str(&format!(
+                "{:>5}  {:<12}  {:>8}  {:>6}  {:>6.2}%  {:>9.2}%\n",
+                r.sweep,
+                r.trigger.map_or("?", Trigger::as_str),
+                r.released,
+                r.failed_frees,
+                r.failed_free_rate() * 100.0,
+                cum_rate * 100.0,
+            ));
+        }
+        out.push_str(&format!(
+            "total  {:<12}  {:>8}  {:>6}  {:>6.2}%\n",
+            "",
+            self.total_released(),
+            self.total_failed_frees(),
+            self.failed_free_rate() * 100.0,
+        ));
+        out
+    }
+
+    /// Renders the quarantine table: per-sweep footprint at sweep start
+    /// plus the run high-water marks.
+    pub fn quarantine_table(&self) -> String {
+        let mut out =
+            String::from("sweep  quarantine_bytes  entries   released_bytes  purged_pages\n");
+        for r in &self.sweeps {
+            out.push_str(&format!(
+                "{:>5}  {:>16}  {:>7}  {:>15}  {:>12}\n",
+                r.sweep, r.quarantine_bytes, r.quarantine_entries, r.released_bytes, r.purged_pages
+            ));
+        }
+        out.push_str(&format!(
+            "high-water: {} bytes / {} entries; flushes: {} ({} entries)\n",
+            self.quarantine_high_water_bytes(),
+            self.quarantine_high_water_entries(),
+            self.flushes,
+            self.flushed_entries,
+        ));
+        out
+    }
+}
+
+/// Renders a pause-time histogram sample (Fig. 14-style) as an ASCII
+/// table: one row per occupied log2 bucket with a proportional bar.
+pub fn pause_table(sample: &HistogramSample, unit: &str) -> String {
+    let total = sample.count();
+    let mut out = format!(
+        "{}/{} — {} observations, sum {} {}\n",
+        sample.subsystem, sample.name, total, sample.sum, unit
+    );
+    if total == 0 {
+        return out;
+    }
+    let max = sample.buckets.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    for &(i, count) in &sample.buckets {
+        let lo = if i == 0 { 0 } else { Histogram::bucket_bound(i - 1).saturating_add(1) };
+        let hi = Histogram::bucket_bound(i);
+        let bar = "#".repeat(((count * 40).div_ceil(max)) as usize);
+        out.push_str(&format!(
+            "  [{lo:>10} .. {hi:>20}] {count:>8}  {bar}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(vnow: u64, kind: EventKind) -> Event {
+        Event { seq: 0, vnow, kind }
+    }
+
+    fn sample_run() -> Vec<Event> {
+        vec![
+            ev(1, EventKind::QuarantineFlush { entries: 32 }),
+            ev(
+                10,
+                EventKind::SweepStart {
+                    sweep: 1,
+                    trigger: Trigger::Proportional,
+                    quarantine_bytes: 1000,
+                    quarantine_entries: 10,
+                },
+            ),
+            ev(
+                20,
+                EventKind::MarkPhase {
+                    sweep: 1,
+                    bytes: 4096,
+                    words: 512,
+                    marked_granules: 4,
+                    wall_ns: 0,
+                },
+            ),
+            ev(25, EventKind::StwPass { sweep: 1, pages: 2, words: 1024 }),
+            ev(
+                30,
+                EventKind::Release {
+                    sweep: 1,
+                    released: 8,
+                    released_bytes: 800,
+                    failed_frees: 2,
+                },
+            ),
+            ev(32, EventKind::Purge { sweep: 1, purged_pages: 3 }),
+            ev(35, EventKind::SweepEnd { sweep: 1, wall_ns: 0 }),
+            ev(
+                50,
+                EventKind::SweepStart {
+                    sweep: 2,
+                    trigger: Trigger::Unmapped,
+                    quarantine_bytes: 3000,
+                    quarantine_entries: 30,
+                },
+            ),
+            ev(
+                60,
+                EventKind::MarkPhase {
+                    sweep: 2,
+                    bytes: 8192,
+                    words: 1024,
+                    marked_granules: 0,
+                    wall_ns: 0,
+                },
+            ),
+            ev(
+                70,
+                EventKind::Release {
+                    sweep: 2,
+                    released: 30,
+                    released_bytes: 3000,
+                    failed_frees: 0,
+                },
+            ),
+            ev(75, EventKind::SweepEnd { sweep: 2, wall_ns: 0 }),
+        ]
+    }
+
+    #[test]
+    fn folds_events_into_sweep_records() {
+        let report = RunReport::from_events(&sample_run());
+        assert_eq!(report.sweeps.len(), 2);
+        assert_eq!(report.events, 11);
+        let r1 = &report.sweeps[0];
+        assert_eq!(r1.trigger, Some(Trigger::Proportional));
+        assert_eq!(r1.virtual_duration(), 25);
+        assert_eq!(r1.mark_bytes, 4096);
+        assert_eq!(r1.stw_pages, 2);
+        assert_eq!(r1.released, 8);
+        assert_eq!(r1.failed_frees, 2);
+        assert_eq!(r1.purged_pages, 3);
+        assert!((r1.failed_free_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(report.flushes, 1);
+        assert_eq!(report.flushed_entries, 32);
+        assert_eq!(report.total_released(), 38);
+        assert_eq!(report.total_released_bytes(), 3800);
+        assert_eq!(report.total_failed_frees(), 2);
+        assert_eq!(report.quarantine_high_water_bytes(), 3000);
+        assert_eq!(report.quarantine_high_water_entries(), 30);
+        assert!((report.failed_free_rate() - 2.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_round_trip_matches_direct_fold() {
+        let events = sample_run();
+        let text: String =
+            events.iter().map(|e| format!("{}\n", e.to_json())).collect();
+        let via_jsonl = RunReport::from_jsonl(&text).unwrap();
+        assert_eq!(via_jsonl, RunReport::from_events(&events));
+        assert!(RunReport::from_jsonl("{\"seq\":}").is_err());
+    }
+
+    #[test]
+    fn reconcile_agrees_with_matching_counters() {
+        let report = RunReport::from_events(&sample_run());
+        let reg = crate::registry::Registry::new();
+        reg.counter("layer", "sweeps").add(2);
+        reg.counter("layer", "released").add(38);
+        reg.counter("layer", "released_bytes").add(3800);
+        reg.counter("layer", "failed_frees").add(2);
+        reg.counter("layer", "swept_bytes").add(4096 + 8192);
+        reg.counter("layer", "stw_pages").add(2);
+        reg.counter("layer", "tl_flushes").add(1);
+        reg.counter("layer", "tl_flushed_entries").add(32);
+        report.reconcile(&reg.snapshot()).expect("totals must match");
+
+        reg.counter("layer", "failed_frees").add(1);
+        let err = report.reconcile(&reg.snapshot()).unwrap_err();
+        assert!(err.contains("failed_frees"), "mismatch must be named: {err}");
+    }
+
+    #[test]
+    fn tables_render_totals() {
+        let report = RunReport::from_events(&sample_run());
+        let t = report.failed_free_table();
+        assert!(t.contains("proportional"), "{t}");
+        assert!(t.contains("unmapped"), "{t}");
+        assert!(t.lines().count() == 4, "header + 2 sweeps + total:\n{t}");
+        let q = report.quarantine_table();
+        assert!(q.contains("high-water: 3000 bytes / 30 entries"), "{q}");
+
+        let h = Histogram::detached();
+        h.record(5);
+        h.record(1000);
+        let reg = crate::registry::Registry::new();
+        let hh = reg.histogram("engine", "pause_cycles");
+        hh.record(5);
+        hh.record(1000);
+        let snap = reg.snapshot();
+        let table = pause_table(snap.histogram("engine", "pause_cycles").unwrap(), "cycles");
+        assert!(table.contains("2 observations"), "{table}");
+        assert!(table.contains('#'), "{table}");
+    }
+
+    #[test]
+    fn mid_trace_sweep_still_aggregates() {
+        let events = vec![ev(
+            5,
+            EventKind::Release { sweep: 7, released: 1, released_bytes: 16, failed_frees: 0 },
+        )];
+        let report = RunReport::from_events(&events);
+        assert_eq!(report.sweeps.len(), 1);
+        assert_eq!(report.sweeps[0].sweep, 7);
+        assert_eq!(report.sweeps[0].trigger, None);
+        assert_eq!(report.total_released(), 1);
+    }
+}

@@ -16,7 +16,23 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test --workspace -q
 
+echo "== telemetry trace smoke-test =="
+# A small traced run must produce JSONL that parses and whose aggregated
+# totals reconcile exactly with the exported metrics counters.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run -q --release -p ms-cli --bin minesweeper-sim -- run demo \
+    --system ms --trace-out "$smoke_dir/run.jsonl" \
+    --metrics-out "$smoke_dir/metrics.json" > /dev/null
+test -s "$smoke_dir/run.jsonl" || { echo "empty trace"; exit 1; }
+test -s "$smoke_dir/metrics.json" || { echo "empty metrics"; exit 1; }
+cargo run -q --release -p ms-cli --bin ms-report -- "$smoke_dir/run.jsonl" \
+    --metrics "$smoke_dir/metrics.json" --check \
+    | grep -q "reconcile: trace totals match metrics counters" \
+    || { echo "trace/metrics reconciliation failed"; exit 1; }
+
 echo "== clippy (deny warnings) =="
+cargo clippy -p ms-telemetry --all-targets -- -D warnings
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI OK"
