@@ -10,7 +10,16 @@
 //! * `atomic_serial` — the radix [`ShadowMap`] through [`Marker`] (the
 //!   production sweep path, single `scan_page` probe per page slice);
 //! * `atomic_parallel_hN` — [`parallel_mark`]: N+1 threads sharing **one**
-//!   atomic map, no per-thread maps, no union barrier.
+//!   atomic map, no per-thread maps, no union barrier;
+//! * `incremental_dP` — the incremental sweep: a [`PageCache`] primed by a
+//!   cold sweep, then each rep retires a P%-dirty page set and replays the
+//!   digests of the clean remainder instead of re-reading it;
+//! * `incremental_filtered_d5` — incremental plus a [`CandidateFilter`]
+//!   covering every 8th page (a sparse quarantine), gating shadow writes.
+//!
+//! Helper counts are reported as requested *and* effective — the
+//! production path clamps to [`effective_helper_count`], so oversubscribed
+//! requests show up honestly in the output.
 //!
 //! Timing is `std::time::Instant` only (no harness dependency); the best
 //! of `--reps` runs is reported, which is the right statistic for a
@@ -23,8 +32,11 @@ use std::time::Instant;
 use minesweeper::telemetry::{
     EventKind, Histogram, NullSink, Registry, Tracer, SNAPSHOT_SCHEMA_VERSION,
 };
-use minesweeper::{parallel_mark, Marker, NaiveShadowMap, ShadowMap, SweepPlan};
-use vmem::{Addr, AddrSpace, Layout, PAGE_SIZE, WORD_SIZE};
+use minesweeper::{
+    effective_helper_count, parallel_mark, CandidateFilter, MarkAccel, Marker,
+    NaiveShadowMap, PageCache, ShadowMap, SweepPlan,
+};
+use vmem::{Addr, AddrSpace, Layout, PageIdx, PAGE_SIZE, WORD_SIZE};
 
 /// Subsystem label for the bench's own instruments.
 const BENCH_SUBSYSTEM: &str = "bench";
@@ -101,7 +113,12 @@ fn naive_mark_share(
 /// One measured configuration.
 struct Sample {
     name: String,
+    /// Helper threads as requested on the config.
     helpers: usize,
+    /// Helper threads actually spawned after the hardware clamp.
+    effective_helpers: usize,
+    /// Dirty-page percentage for incremental configs, `None` otherwise.
+    dirty_pct: Option<u32>,
     best_secs: f64,
     words_per_sec: f64,
     marked: u64,
@@ -130,6 +147,8 @@ fn measure(
     Sample {
         name: name.to_string(),
         helpers,
+        effective_helpers: effective_helper_count(helpers),
+        dirty_pct: None,
         best_secs: best,
         words_per_sec: total_words as f64 / best,
         marked,
@@ -227,6 +246,7 @@ fn main() {
             sweep: 0,
             bytes: total_words * WORD_SIZE as u64,
             words: total_words,
+            skipped_bytes: 0,
             marked_granules: marked,
             wall_ns: sw.elapsed_ns(),
         });
@@ -240,10 +260,86 @@ fn main() {
         }));
     }
 
-    // Every configuration must find the same mark set.
+    // Incremental sweep: prime a page-summary cache with one cold sweep,
+    // then each rep retires the dirty fraction (every strideth page) and
+    // replays the clean remainder. Re-scanned pages re-record digests, so
+    // reps are idempotent. d100 retires everything — pure cache overhead.
+    let heap_base = plan.ranges()[0].0;
+    let mut epoch = 0u64;
+    for &pct in &[5u32, 50, 100] {
+        let stride = (100 / pct) as u64;
+        let dirty: Vec<PageIdx> = (0..pages)
+            .filter(|i| i % stride == 0)
+            .map(|i| heap_base.add_bytes(i * PAGE_SIZE as u64).page())
+            .collect();
+        let mut cache = PageCache::new();
+        epoch += 1;
+        cache.begin_sweep(&plan, &[], epoch);
+        {
+            let shadow = ShadowMap::new();
+            let mut accel = MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0 };
+            Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
+        }
+        let mut s = measure(&format!("incremental_d{pct}"), 0, total_words, reps, &registry, || {
+            epoch += 1;
+            cache.begin_sweep(&plan, &dirty, epoch);
+            let shadow = ShadowMap::new();
+            let mut accel = MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0 };
+            Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
+            shadow.marked_count()
+        });
+        s.dirty_pct = Some(pct);
+        samples.push(s);
+    }
+
+    // Candidate filter over every 8th page — a sparse quarantine. The
+    // filtered mark set is a strict subset, so it checks against its own
+    // serial reference, not the full-sweep one.
+    let filter = CandidateFilter::build(
+        (0..pages)
+            .filter(|i| i % 8 == 0)
+            .map(|i| (heap_base.add_bytes(i * PAGE_SIZE as u64), PAGE_SIZE as u64)),
+    );
+    let expect_filtered = {
+        let shadow = ShadowMap::new();
+        let mut accel = MarkAccel { filter: Some(&filter), cache: None, qgen: 0 };
+        Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
+        shadow.marked_count()
+    };
+    {
+        let stride = 20u64; // 5% dirty
+        let dirty: Vec<PageIdx> = (0..pages)
+            .filter(|i| i % stride == 0)
+            .map(|i| heap_base.add_bytes(i * PAGE_SIZE as u64).page())
+            .collect();
+        let mut cache = PageCache::new();
+        epoch += 1;
+        cache.begin_sweep(&plan, &[], epoch);
+        {
+            let shadow = ShadowMap::new();
+            let mut accel =
+                MarkAccel { filter: Some(&filter), cache: Some(&mut cache), qgen: 0 };
+            Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
+        }
+        let mut s = measure("incremental_filtered_d5", 0, total_words, reps, &registry, || {
+            epoch += 1;
+            cache.begin_sweep(&plan, &dirty, epoch);
+            let shadow = ShadowMap::new();
+            let mut accel =
+                MarkAccel { filter: Some(&filter), cache: Some(&mut cache), qgen: 0 };
+            Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
+            shadow.marked_count()
+        });
+        s.dirty_pct = Some(5);
+        samples.push(s);
+    }
+
+    // Every full configuration must find the same mark set; filtered
+    // configurations must match the filtered serial reference.
     let expect = samples[0].marked;
     for s in &samples {
-        assert_eq!(s.marked, expect, "{} disagrees on the mark set", s.name);
+        let want = if s.name.contains("filtered") { expect_filtered } else { expect };
+        assert_eq!(s.marked, want, "{} disagrees on the mark set", s.name);
     }
 
     println!(
@@ -252,13 +348,17 @@ fn main() {
         expect,
         reps
     );
-    println!("{:<22} {:>8} {:>12} {:>14}", "config", "helpers", "ms", "Mwords/s");
+    println!(
+        "{:<24} {:>9} {:>6} {:>12} {:>14}",
+        "config", "help r/e", "dirty", "ms", "Mwords/s"
+    );
     let baseline = samples[0].words_per_sec;
     for s in &samples {
         println!(
-            "{:<22} {:>8} {:>12.3} {:>14.1}   ({:.2}x naive serial)",
+            "{:<24} {:>9} {:>6} {:>12.3} {:>14.1}   ({:.2}x naive serial)",
             s.name,
-            s.helpers,
+            format!("{}/{}", s.helpers, s.effective_helpers),
+            s.dirty_pct.map_or("-".to_string(), |p| format!("{p}%")),
             s.best_secs * 1e3,
             s.words_per_sec / 1e6,
             s.words_per_sec / baseline
@@ -280,10 +380,16 @@ fn main() {
     let _ = writeln!(json, "  \"results\": [");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };
+        let dirty = s.dirty_pct.map_or("null".to_string(), |p| p.to_string());
         let _ = writeln!(
             json,
-            "    {{ \"name\": \"{}\", \"helpers\": {}, \"best_ms\": {:.3}, \"words_per_sec\": {:.0}, \"vs_naive_serial\": {:.3} }}{comma}",
-            s.name, s.helpers, s.best_secs * 1e3, s.words_per_sec, s.words_per_sec / baseline
+            "    {{ \"name\": \"{}\", \"requested_helpers\": {}, \"effective_helpers\": {}, \"dirty_pct\": {dirty}, \"best_ms\": {:.3}, \"words_per_sec\": {:.0}, \"vs_naive_serial\": {:.3} }}{comma}",
+            s.name,
+            s.helpers,
+            s.effective_helpers,
+            s.best_secs * 1e3,
+            s.words_per_sec,
+            s.words_per_sec / baseline
         );
     }
     let _ = writeln!(json, "  ]");

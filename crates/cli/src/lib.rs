@@ -406,6 +406,7 @@ pub fn render_report(
         "released".into(),
         "failed".into(),
         "ff rate".into(),
+        "skip".into(),
         "cycles".into(),
         "wall ns".into(),
     ]];
@@ -418,6 +419,7 @@ pub fn render_report(
             r.released.to_string(),
             r.failed_frees.to_string(),
             format!("{:.1}%", r.failed_free_rate() * 100.0),
+            format!("{:.1}%", r.skip_rate() * 100.0),
             r.virtual_duration().to_string(),
             r.wall_ns.to_string(),
         ]);
@@ -440,6 +442,16 @@ pub fn render_report(
         }
         if check {
             report.reconcile(&snap).map_err(CliError)?;
+            // Per-sweep mark accounting: every byte the plan advanced
+            // through was either read word-by-word or skipped wholesale.
+            for r in &report.sweeps {
+                if r.mark_words * 8 + r.mark_skipped_bytes != r.mark_bytes {
+                    return Err(CliError(format!(
+                        "sweep {}: scanned {} words + skipped {} bytes != {} plan bytes",
+                        r.sweep, r.mark_words, r.mark_skipped_bytes, r.mark_bytes
+                    )));
+                }
+            }
             out.push_str("\nreconcile: trace totals match metrics counters\n");
         }
     } else if check {

@@ -74,6 +74,15 @@ pub struct MsConfig {
     /// Report double frees (debug mode, §3 footnote 3). Always *handled*
     /// idempotently; this only controls recording them.
     pub report_double_frees: bool,
+    /// Incremental sweep: cache per-page digests of heap-pointing words
+    /// and replay them for pages whose soft-dirty bit stayed clear,
+    /// skipping their 512-word re-read ([`crate::PageCache`]).
+    pub page_cache: bool,
+    /// Incremental sweep: gate shadow-map writes through a coarse
+    /// 1-bit-per-page bitmap of pages holding quarantined granules
+    /// ([`crate::CandidateFilter`]). Release decisions are unchanged; only
+    /// marks that could never matter are dropped.
+    pub candidate_filter: bool,
 }
 
 impl MsConfig {
@@ -96,6 +105,8 @@ impl MsConfig {
             quarantine: true,
             tl_buffer_capacity: 64,
             report_double_frees: false,
+            page_cache: true,
+            candidate_filter: true,
         }
     }
 
@@ -113,12 +124,16 @@ impl MsConfig {
     // ---- §5.4 ablation ladder (Figures 15 & 16) -------------------------
 
     /// "Unoptimised": quarantine + synchronous in-mutator sweeps only.
+    /// The incremental-sweep accelerations are part of the optimisation
+    /// set, so they are off here and return with the final ladder step.
     pub fn ablation_unoptimised() -> Self {
         MsConfig {
             zeroing: false,
             unmapping: false,
             concurrent: false,
             purge_after_sweep: false,
+            page_cache: false,
+            candidate_filter: false,
             ..Self::fully_concurrent()
         }
     }
@@ -139,9 +154,15 @@ impl MsConfig {
         MsConfig { concurrent: true, ..Self::ablation_unmapping() }
     }
 
-    /// "+ Purging" — identical to [`MsConfig::fully_concurrent`].
+    /// "+ Purging" — identical to [`MsConfig::fully_concurrent`] (the
+    /// incremental-sweep accelerations come back with the full config).
     pub fn ablation_purging() -> Self {
-        MsConfig { purge_after_sweep: true, ..Self::ablation_concurrency() }
+        MsConfig {
+            purge_after_sweep: true,
+            page_cache: true,
+            candidate_filter: true,
+            ..Self::ablation_concurrency()
+        }
     }
 
     // ---- §5.5 partial-version ladder (Figure 17) ------------------------
@@ -283,6 +304,18 @@ impl MsConfigBuilder {
         self
     }
 
+    /// Enables or disables the soft-dirty page-summary cache.
+    pub fn page_cache(mut self, on: bool) -> Self {
+        self.cfg.page_cache = on;
+        self
+    }
+
+    /// Enables or disables the quarantine candidate filter.
+    pub fn candidate_filter(mut self, on: bool) -> Self {
+        self.cfg.candidate_filter = on;
+        self
+    }
+
     /// Finalises the configuration.
     pub fn build(self) -> MsConfig {
         self.cfg
@@ -350,5 +383,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn builder_rejects_zero_threshold() {
         MsConfig::builder().sweep_threshold(0.0);
+    }
+
+    #[test]
+    fn incremental_knobs_toggle_independently() {
+        assert!(MsConfig::fully_concurrent().page_cache);
+        assert!(MsConfig::fully_concurrent().candidate_filter);
+        assert!(!MsConfig::ablation_unoptimised().page_cache);
+        assert!(!MsConfig::ablation_unoptimised().candidate_filter);
+        let c = MsConfig::builder().page_cache(false).candidate_filter(true).build();
+        assert!(!c.page_cache);
+        assert!(c.candidate_filter);
+        let c = MsConfig::builder().page_cache(true).candidate_filter(false).build();
+        assert!(c.page_cache);
+        assert!(!c.candidate_filter);
     }
 }

@@ -3,14 +3,16 @@
 
 use jalloc::{JAlloc, JallocConfig};
 use telemetry::{EventKind, Registry, Stopwatch, Tracer, Trigger};
-use vmem::{Addr, AddrSpace, PageRange, Protection, WORD_SIZE};
+use vmem::{Addr, AddrSpace, PageIdx, PageRange, Protection, WORD_SIZE};
 
 use crate::backend::HeapBackend;
 use crate::config::{MsConfig, SweepMode};
+use crate::filter::CandidateFilter;
+use crate::pagecache::PageCache;
 use crate::quarantine::{InsertResult, QEntry, Quarantine};
 use crate::shadow::ShadowMap;
 use crate::stats::MsStats;
-use crate::sweep::{mark_page, Marker, StepResult, SweepPlan};
+use crate::sweep::{mark_page, MarkAccel, Marker, StepResult, SweepPlan};
 use crate::telem::MsCounters;
 
 /// Maximum double-free report entries retained in debug mode.
@@ -48,6 +50,9 @@ pub struct SweepReport {
     pub failed: u64,
     /// Words examined by the marking phase.
     pub marked_words: u64,
+    /// Bytes the marking phase advanced through without reading
+    /// (cache-replayed clean pages plus protected/unmapped skips).
+    pub skipped_bytes: u64,
     /// Pages re-examined by the stop-the-world pass (mostly-concurrent
     /// mode only).
     pub stw_pages: u64,
@@ -90,6 +95,9 @@ pub struct MineSweeper<B: HeapBackend = JAlloc> {
     double_free_reports: Vec<Addr>,
     /// Sweeps started (numbers sweep-lifecycle trace events).
     next_sweep: u64,
+    /// Soft-dirty page-summary cache: lives across sweeps so clean pages
+    /// can replay last sweep's digests ([`MsConfig::page_cache`]).
+    page_cache: PageCache,
 }
 
 #[derive(Debug)]
@@ -101,9 +109,15 @@ struct ActiveSweep {
     /// Marking-phase accumulators across incremental steps.
     mark_bytes: u64,
     mark_words: u64,
+    mark_skipped_bytes: u64,
     mark_wall_ns: u64,
     /// Wall clock for the whole sweep (inert when tracing is off).
     stopwatch: Stopwatch,
+    /// Candidate filter over this sweep's locked entries
+    /// ([`MsConfig::candidate_filter`]).
+    filter: Option<CandidateFilter>,
+    /// Quarantine generation locked in at sweep start (tags digests).
+    qgen: u64,
 }
 
 impl MineSweeper<JAlloc> {
@@ -144,6 +158,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             tracer: Tracer::disabled(),
             double_free_reports: Vec::new(),
             next_sweep: 0,
+            page_cache: PageCache::new(),
         }
     }
 
@@ -181,8 +196,23 @@ impl<B: HeapBackend> MineSweeper<B> {
             tl_flushes: c.tl_flushes.get(),
             tl_flushed_entries: c.tl_flushed_entries.get(),
             invalid_frees: c.invalid_frees.get(),
+            skipped_bytes: c.skipped_bytes.get(),
+            pages_skipped: c.pages_skipped.get(),
+            pages_replayed: c.pages_replayed.get(),
+            filter_rejects: c.filter_rejects.get(),
             double_free_reports: self.double_free_reports.clone(),
         }
+    }
+
+    /// The shadow map (read-only; cleared and repopulated by each sweep).
+    /// Exposed so equivalence tests can compare mark sets across configs.
+    pub fn shadow(&self) -> &ShadowMap {
+        &self.shadow
+    }
+
+    /// The soft-dirty page-summary cache (read-only introspection).
+    pub fn page_cache(&self) -> &PageCache {
+        &self.page_cache
     }
 
     /// The metrics registry this layer registers into. Clone it to let
@@ -413,8 +443,38 @@ impl<B: HeapBackend> MineSweeper<B> {
         } else {
             SweepPlan::from_ranges(Vec::new())
         };
-        if self.cfg.mode == SweepMode::MostlyConcurrent {
-            space.clear_soft_dirty();
+        // Rebuild the candidate filter over exactly this sweep's locked
+        // candidate set: only marks into these entries' pages can change a
+        // release decision.
+        let filter = (self.cfg.marking && self.cfg.candidate_filter)
+            .then(|| CandidateFilter::build(locked.iter().map(|e| (e.base, e.usable))));
+        // Snapshot soft-dirty state BEFORE any clearing, then retire cache
+        // entries for dirty pages and pages that left the plan.
+        if self.cfg.marking && self.cfg.page_cache {
+            let mut dirty: Vec<PageIdx> = plan
+                .ranges()
+                .iter()
+                .flat_map(|&(base, len)| {
+                    space.snapshot_soft_dirty(PageRange::spanning(base, len))
+                })
+                .collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            self.page_cache.begin_sweep(&plan, &dirty, id);
+        }
+        match self.cfg.mode {
+            // The STW contract needs dirtiness tracked everywhere, so the
+            // global clear stays (the cache's snapshot already happened).
+            SweepMode::MostlyConcurrent => space.clear_soft_dirty(),
+            // Fully concurrent only clears what the cache tracks: the
+            // plan's own ranges. Everything else keeps accumulating
+            // dirtiness and is reported dirty at the next snapshot.
+            SweepMode::FullyConcurrent if self.cfg.marking && self.cfg.page_cache => {
+                for &(base, len) in plan.ranges() {
+                    space.clear_soft_dirty_range(PageRange::spanning(base, len));
+                }
+            }
+            SweepMode::FullyConcurrent => {}
         }
         // New epoch: wipe last sweep's marks, keeping the chunks resident.
         self.shadow.clear();
@@ -424,8 +484,11 @@ impl<B: HeapBackend> MineSweeper<B> {
             id,
             mark_bytes: 0,
             mark_words: 0,
+            mark_skipped_bytes: 0,
             mark_wall_ns: 0,
             stopwatch,
+            filter,
+            qgen: self.quarantine.generation(),
         });
     }
 
@@ -439,12 +502,26 @@ impl<B: HeapBackend> MineSweeper<B> {
         let sw = self.tracer.stopwatch();
         let active = self.active.as_mut().expect("no sweep in flight");
         let layout = *space.layout();
-        let r = active.marker.step(space, &layout, &self.shadow, word_budget);
+        let cache = (self.cfg.marking && self.cfg.page_cache)
+            .then_some(&mut self.page_cache);
+        let mut accel =
+            MarkAccel { filter: active.filter.as_ref(), cache, qgen: active.qgen };
+        let r = active.marker.step_accel(space, &layout, &self.shadow, word_budget, &mut accel);
         active.mark_bytes += r.bytes;
         active.mark_words += r.words;
+        active.mark_skipped_bytes += r.skipped_bytes;
         active.mark_wall_ns += sw.elapsed_ns();
-        self.counters.swept_bytes.add(r.bytes);
+        self.absorb_mark_counters(&r);
         r
+    }
+
+    /// Folds one mark step's counters into the registry.
+    fn absorb_mark_counters(&self, r: &StepResult) {
+        self.counters.swept_bytes.add(r.bytes);
+        self.counters.skipped_bytes.add(r.skipped_bytes);
+        self.counters.pages_skipped.add(r.pages_skipped);
+        self.counters.pages_replayed.add(r.pages_replayed);
+        self.counters.filter_rejects.add(r.filter_rejects);
     }
 
     /// Completes the in-flight sweep: finishes marking if needed, runs the
@@ -463,18 +540,26 @@ impl<B: HeapBackend> MineSweeper<B> {
 
         // Drain any marking the caller did not step through.
         let sw = self.tracer.stopwatch();
-        let drained_bytes = active.marker.remaining_bytes();
-        let drained_words = active.marker.run_to_end(space, &layout, &self.shadow);
-        report.marked_words += drained_words;
-        active.mark_bytes += drained_bytes;
-        active.mark_words += drained_words;
+        let drained = {
+            let cache = (self.cfg.marking && self.cfg.page_cache)
+                .then_some(&mut self.page_cache);
+            let mut accel =
+                MarkAccel { filter: active.filter.as_ref(), cache, qgen: active.qgen };
+            active.marker.run_to_end_accel(space, &layout, &self.shadow, &mut accel)
+        };
+        report.marked_words += drained.words;
+        active.mark_bytes += drained.bytes;
+        active.mark_words += drained.words;
+        active.mark_skipped_bytes += drained.skipped_bytes;
         active.mark_wall_ns += sw.elapsed_ns();
-        self.counters.swept_bytes.add(drained_bytes);
+        self.absorb_mark_counters(&drained);
+        report.skipped_bytes = active.mark_skipped_bytes;
         let marked_granules = self.shadow.marked_count();
         self.tracer.emit(|| EventKind::MarkPhase {
             sweep: id,
             bytes: active.mark_bytes,
             words: active.mark_words,
+            skipped_bytes: active.mark_skipped_bytes,
             marked_granules,
             wall_ns: active.mark_wall_ns,
         });
@@ -585,6 +670,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             sweep: id,
             bytes: 0,
             words: 0,
+            skipped_bytes: 0,
             marked_granules,
             wall_ns: 0,
         });

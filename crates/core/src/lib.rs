@@ -58,8 +58,10 @@
 
 mod backend;
 mod config;
+mod filter;
 mod layer;
 mod mte;
+mod pagecache;
 mod quarantine;
 mod shadow;
 mod stats;
@@ -68,12 +70,17 @@ mod telem;
 
 pub use backend::HeapBackend;
 pub use config::{MsConfig, MsConfigBuilder, SweepMode};
+pub use filter::CandidateFilter;
 pub use layer::{FreeOutcome, MineSweeper, SweepReport};
 pub use mte::{tag_ptr, untag_ptr, MteError, MteHeap, TagTable, QUARANTINE_TAG, TAG_GRANULE};
+pub use pagecache::PageCache;
 pub use quarantine::{QEntry, Quarantine};
 pub use shadow::{NaiveShadowMap, ShadowMap, ShadowWriter, MAX_SHADOWED};
 pub use stats::MsStats;
-pub use sweep::{parallel_mark, Marker, StepResult, SweepPlan};
+pub use sweep::{
+    effective_helper_count, parallel_mark, parallel_mark_accel, MarkAccel, Marker, StepResult,
+    SweepPlan,
+};
 pub use telem::{MsCounters, LAYER_SUBSYSTEM};
 
 // The telemetry crate itself, re-exported so embedders can name sinks,

@@ -78,6 +78,7 @@ pub struct Quarantine {
     tracked_bytes: u64,
     failed_bytes: u64,
     unmapped_bytes: u64,
+    generation: u64,
 }
 
 impl Quarantine {
@@ -92,6 +93,7 @@ impl Quarantine {
             tracked_bytes: 0,
             failed_bytes: 0,
             unmapped_bytes: 0,
+            generation: 0,
         }
     }
 
@@ -100,6 +102,7 @@ impl Quarantine {
         if !self.dedup.insert(entry.base.raw()) {
             return InsertResult::DoubleFree;
         }
+        self.generation += 1;
         self.tracked_bytes += entry.swept_bytes();
         self.unmapped_bytes += entry.unmapped_bytes();
         if entry.failed {
@@ -129,6 +132,7 @@ impl Quarantine {
     /// to the allocator.
     pub fn on_released(&mut self, entry: &QEntry) {
         assert!(self.dedup.remove(&entry.base.raw()), "released entry must be tracked");
+        self.generation += 1;
         self.tracked_bytes -= entry.swept_bytes();
         self.unmapped_bytes -= entry.unmapped_bytes();
         if entry.failed {
@@ -152,6 +156,17 @@ impl Quarantine {
     /// entries mid-sweep).
     pub fn contains(&self, base: Addr) -> bool {
         self.dedup.contains(&base.raw())
+    }
+
+    /// Monotonic membership generation: bumped every time an allocation
+    /// enters ([`Quarantine::insert`]) or leaves
+    /// ([`Quarantine::on_released`]) the quarantine. Sweep-side caches
+    /// epoch-tag their entries with this value so "has the candidate set
+    /// changed?" is a single integer compare — O(1) invalidation, never a
+    /// scan. (A failed entry rejoining via [`Quarantine::on_failed`] is
+    /// not a membership change.)
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Total swept (non-unmapped) bytes in quarantine.
@@ -292,6 +307,23 @@ mod tests {
         let locked = q.lock_generation();
         q.on_released(&locked[0]);
         assert_eq!(q.unmapped_bytes(), 0);
+    }
+
+    #[test]
+    fn generation_tracks_membership_changes_only() {
+        let mut q = Quarantine::new(8);
+        let g0 = q.generation();
+        q.insert(entry(0x1000, 16));
+        assert_eq!(q.generation(), g0 + 1);
+        q.insert(entry(0x1000, 16)); // double free: no membership change
+        assert_eq!(q.generation(), g0 + 1);
+        let locked = q.lock_generation();
+        assert_eq!(q.generation(), g0 + 1, "locking is not a membership change");
+        q.on_failed(locked[0]);
+        assert_eq!(q.generation(), g0 + 1, "failed entries stay members");
+        let locked = q.lock_generation();
+        q.on_released(&locked[0]);
+        assert_eq!(q.generation(), g0 + 2);
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub struct MsStats {
     /// Frees of addresses that were not live allocation bases (reported,
     /// not forwarded — the allocator never sees them).
     pub invalid_frees: u64,
+    /// Bytes marking advanced through without reading (incremental sweep:
+    /// cache-replayed clean pages plus protected/unmapped skips).
+    pub skipped_bytes: u64,
+    /// Clean pages whose 512-word re-read was skipped via the
+    /// page-summary cache.
+    pub pages_skipped: u64,
+    /// Skipped pages whose non-empty digest was replayed into the shadow
+    /// map.
+    pub pages_replayed: u64,
+    /// Heap-pointing words suppressed by the candidate filter.
+    pub filter_rejects: u64,
     /// Double-free reports (populated only with
     /// [`crate::MsConfig::report_double_frees`]; capped).
     pub double_free_reports: Vec<Addr>,

@@ -19,6 +19,8 @@
 
 use vmem::{Addr, AddrSpace, Layout, MemError, PageIdx, Segment, PAGE_SIZE, WORD_SIZE};
 
+use crate::filter::CandidateFilter;
+use crate::pagecache::PageCache;
 use crate::shadow::ShadowMap;
 
 /// The memory ranges one sweep will examine: active heap extents plus the
@@ -79,14 +81,61 @@ impl SweepPlan {
 }
 
 /// Progress report from one [`Marker::step`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// Accounting invariant: `bytes == words * 8 + skipped_bytes` — every
+/// byte the cursor advances through is either read word-by-word or
+/// skipped wholesale (cache-replayed clean pages, protected pages,
+/// unmapped holes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct StepResult {
     /// Words actually read and tested.
     pub words: u64,
     /// Bytes advanced through the plan (including skipped pages).
     pub bytes: u64,
+    /// Bytes advanced without reading: clean pages replayed from the
+    /// page-summary cache plus protected/unmapped page skips.
+    pub skipped_bytes: u64,
+    /// Clean pages whose 512-word re-read was skipped via the cache.
+    pub pages_skipped: u64,
+    /// Skipped pages whose non-empty digest was replayed into the shadow
+    /// map (a subset of `pages_skipped`; the rest had no heap pointers).
+    pub pages_replayed: u64,
+    /// Heap-pointing words suppressed by the candidate filter (scan and
+    /// replay combined).
+    pub filter_rejects: u64,
     /// Whether the marking phase is complete.
     pub finished: bool,
+}
+
+impl StepResult {
+    /// Folds another step's counters into this one (`finished` takes the
+    /// later step's value).
+    fn absorb(&mut self, r: StepResult) {
+        self.words += r.words;
+        self.bytes += r.bytes;
+        self.skipped_bytes += r.skipped_bytes;
+        self.pages_skipped += r.pages_skipped;
+        self.pages_replayed += r.pages_replayed;
+        self.filter_rejects += r.filter_rejects;
+        self.finished = r.finished;
+    }
+}
+
+/// Acceleration context for a sweep: the optional candidate filter and
+/// page-summary cache the marker consults, plus the quarantine generation
+/// tag recorded into fresh digests.
+///
+/// A default (empty) accel reproduces the unaccelerated sweep exactly.
+#[derive(Debug, Default)]
+pub struct MarkAccel<'a> {
+    /// Candidate filter built from this sweep's locked quarantine
+    /// generation; `None` marks every heap-pointing word.
+    pub filter: Option<&'a CandidateFilter>,
+    /// Page-summary cache: clean pages replay their digest instead of
+    /// being re-read, freshly scanned pages record a new digest.
+    pub cache: Option<&'a mut PageCache>,
+    /// Quarantine generation tag for recorded digests.
+    pub qgen: u64,
 }
 
 /// Scan disposition of one page.
@@ -112,6 +161,10 @@ pub struct Marker {
     /// [`Marker::has_passed`] is a binary search instead of a linear walk
     /// over the plan (root-heavy plans have thousands of ranges).
     by_base: Vec<(u64, u64, usize)>,
+    /// In-progress page digest `(page index, heap-pointing values)` —
+    /// carried across budget-split steps so a page scanned in several
+    /// chunks still records one complete summary.
+    pending: Option<(u64, Vec<u64>)>,
 }
 
 impl Marker {
@@ -124,7 +177,7 @@ impl Marker {
             .map(|(i, &(base, len))| (base.raw(), len, i))
             .collect();
         by_base.sort_unstable();
-        Marker { plan, idx: 0, off: 0, done_bytes: 0, by_base }
+        Marker { plan, idx: 0, off: 0, done_bytes: 0, by_base, pending: None }
     }
 
     /// Bytes of plan not yet advanced through.
@@ -165,10 +218,34 @@ impl Marker {
         shadow: &ShadowMap,
         word_budget: u64,
     ) -> StepResult {
+        self.step_accel(space, layout, shadow, word_budget, &mut MarkAccel::default())
+    }
+
+    /// [`Marker::step`] with the incremental-sweep accelerations engaged:
+    ///
+    /// * **cache replay** — a fully-covered page with a valid
+    ///   [`PageCache`] entry skips its 512-word re-read; the digest is
+    ///   re-filtered through the *current* filter and marked directly
+    ///   (skipped pages cost no word budget — the engine charges them via
+    ///   [`StepResult::skipped_bytes`] instead);
+    /// * **candidate filter** — heap-pointing words whose target page
+    ///   holds no quarantined granule never touch the shadow map;
+    /// * **zero-word fast path** — zero (the overwhelmingly common swept
+    ///   value after zero-on-free, §4.1) falls through in one compare;
+    /// * **digest recording** — every fully scanned page records its
+    ///   pre-filter digest for the next sweep.
+    pub fn step_accel(
+        &mut self,
+        space: &mut AddrSpace,
+        layout: &Layout,
+        shadow: &ShadowMap,
+        word_budget: u64,
+        accel: &mut MarkAccel<'_>,
+    ) -> StepResult {
         let mut writer = shadow.writer();
-        let mut words = 0;
+        let mut r = StepResult::default();
         let start_bytes = self.done_bytes;
-        while words < word_budget && self.idx < self.plan.ranges.len() {
+        while r.words < word_budget && self.idx < self.plan.ranges.len() {
             let (base, len) = self.plan.ranges[self.idx];
             if self.off >= len {
                 self.idx += 1;
@@ -176,21 +253,78 @@ impl Marker {
                 continue;
             }
             let addr = base.add_bytes(self.off);
+            let page = addr.page();
             // The chunk is bounded by the page end, the range end and the
             // remaining word budget.
-            let page_end = addr.page().next().base().offset_from(base).min(len);
+            let page_end = page.next().base().offset_from(base).min(len);
             let chunk_words =
-                ((page_end - self.off) / WORD_SIZE as u64).min(word_budget - words);
-            // One probe: mark in the committed arm (the page borrow ends
-            // with the match), then advance state without it.
-            let state = match space.scan_page(addr.page()) {
-                Ok(Some(page)) => {
-                    let start_word = addr.word_in_page();
-                    for &value in &page[start_word..start_word + chunk_words as usize] {
-                        if layout.heap_contains(Addr::new(value)) {
-                            writer.mark(Addr::new(value));
+                ((page_end - self.off) / WORD_SIZE as u64).min(word_budget - r.words);
+            // Digests only make sense for pages this range covers
+            // entirely: a partial scan would record (and later replay) a
+            // partial truth.
+            let covered = page.base().raw() >= base.raw()
+                && page.base().offset_from(base) + PAGE_SIZE as u64 <= len;
+            let at_page_start = covered && self.off == page.base().offset_from(base);
+
+            // Clean-page fast path: replay the cached digest through the
+            // current filter instead of re-reading 512 words.
+            if at_page_start {
+                if let Some(targets) =
+                    accel.cache.as_deref().and_then(|c| c.lookup(page))
+                {
+                    let mut marked_any = false;
+                    for &value in targets {
+                        let target = Addr::new(value);
+                        match accel.filter {
+                            Some(f) if !f.allows(target) => r.filter_rejects += 1,
+                            _ => {
+                                writer.mark(target);
+                                marked_any = true;
+                            }
                         }
                     }
+                    r.pages_skipped += 1;
+                    r.pages_replayed += u64::from(marked_any);
+                    r.skipped_bytes += PAGE_SIZE as u64;
+                    self.off += PAGE_SIZE as u64;
+                    self.done_bytes += PAGE_SIZE as u64;
+                    continue;
+                }
+            }
+
+            // Digest state for this chunk: open a fresh one at a covered
+            // page start, continue one split by the word budget, drop
+            // anything else (uncoverable or discontinuous).
+            let digest_active = if accel.cache.is_some() && covered {
+                if at_page_start {
+                    self.pending = Some((page.raw(), Vec::new()));
+                    true
+                } else {
+                    matches!(&self.pending, Some((p, _)) if *p == page.raw())
+                }
+            } else {
+                self.pending = None;
+                false
+            };
+
+            // One probe: mark in the committed arm (the page borrow ends
+            // with the match), then advance state without it.
+            let state = match space.scan_page(page) {
+                Ok(Some(words)) => {
+                    let start_word = addr.word_in_page();
+                    let digest = self
+                        .pending
+                        .as_mut()
+                        .filter(|_| digest_active)
+                        .map(|(_, v)| v);
+                    scan_words(
+                        &words[start_word..start_word + chunk_words as usize],
+                        layout,
+                        &mut writer,
+                        accel.filter,
+                        digest,
+                        &mut r.filter_rejects,
+                    );
                     PageState::Committed
                 }
                 Ok(None) => PageState::Unbacked,
@@ -199,31 +333,42 @@ impl Marker {
             };
             match state {
                 PageState::Committed => {
-                    words += chunk_words;
+                    r.words += chunk_words;
                     self.off += chunk_words * WORD_SIZE as u64;
                     self.done_bytes += chunk_words * WORD_SIZE as u64;
+                    // Page fully scanned: publish its digest.
+                    if digest_active
+                        && self.off == page.base().offset_from(base) + PAGE_SIZE as u64
+                    {
+                        if let (Some((p, targets)), Some(cache)) =
+                            (self.pending.take(), accel.cache.as_deref_mut())
+                        {
+                            cache.record(PageIdx::new(p), accel.qgen, targets);
+                        }
+                    }
                 }
                 PageState::Unbacked => {
                     // Mapped but unbacked: a real read faults it in
                     // (demand-zero) — the naive-purge RSS inflation. The
                     // fresh zeroes mark nothing; consume the chunk.
-                    space.touch_page(addr.page()).expect("mapped page");
-                    words += chunk_words;
+                    space.touch_page(page).expect("mapped page");
+                    self.pending = None;
+                    r.words += chunk_words;
                     self.off += chunk_words * WORD_SIZE as u64;
                     self.done_bytes += chunk_words * WORD_SIZE as u64;
                 }
                 PageState::Skip => {
-                    // Skip the rest of the page without charge.
+                    // Skip the rest of the page without reading a word.
+                    self.pending = None;
+                    r.skipped_bytes += page_end - self.off;
                     self.done_bytes += page_end - self.off;
                     self.off = page_end;
                 }
             }
         }
-        StepResult {
-            words,
-            bytes: self.done_bytes - start_bytes,
-            finished: self.idx >= self.plan.ranges.len(),
-        }
+        r.bytes = self.done_bytes - start_bytes;
+        r.finished = self.idx >= self.plan.ranges.len();
+        r
     }
 
     /// Runs the cursor to completion, returning total words examined.
@@ -239,6 +384,58 @@ impl Marker {
             total += r.words;
             if r.finished {
                 return total;
+            }
+        }
+    }
+
+    /// Runs the cursor to completion with accelerations, returning the
+    /// aggregated [`StepResult`].
+    pub fn run_to_end_accel(
+        &mut self,
+        space: &mut AddrSpace,
+        layout: &Layout,
+        shadow: &ShadowMap,
+        accel: &mut MarkAccel<'_>,
+    ) -> StepResult {
+        let mut total = StepResult::default();
+        loop {
+            let r = self.step_accel(space, layout, shadow, u64::MAX, accel);
+            total.absorb(r);
+            if total.finished {
+                return total;
+            }
+        }
+    }
+}
+
+/// The shared inner mark loop: zero fast path, heap range check, optional
+/// digest capture (pre-filter), optional candidate filter, shadow write.
+#[inline]
+fn scan_words(
+    words: &[u64],
+    layout: &Layout,
+    writer: &mut crate::shadow::ShadowWriter<'_>,
+    filter: Option<&CandidateFilter>,
+    mut digest: Option<&mut Vec<u64>>,
+    filter_rejects: &mut u64,
+) {
+    for &value in words {
+        // Zero-on-free (§4.1) makes zero by far the most common swept
+        // word: one compare and on to the next word.
+        if value == 0 {
+            continue;
+        }
+        let target = Addr::new(value);
+        if !layout.heap_contains(target) {
+            continue;
+        }
+        if let Some(d) = digest.as_deref_mut() {
+            d.push(value);
+        }
+        match filter {
+            Some(f) if !f.allows(target) => *filter_rejects += 1,
+            _ => {
+                writer.mark(target);
             }
         }
     }
@@ -280,13 +477,45 @@ pub fn mark_page(
 ///
 /// This is the library-facing sweep used when no discrete-event engine is
 /// orchestrating virtual time (examples, tests, raw-bandwidth benches).
+///
+/// The helper count is clamped via [`effective_helper_count`]: asking for
+/// more helpers than the machine has spare cores only adds scheduling
+/// churn to what is a bandwidth-bound loop.
 pub fn parallel_mark(
     space: &AddrSpace,
     plan: &SweepPlan,
     layout: &Layout,
     helper_threads: usize,
 ) -> ShadowMap {
-    let threads = helper_threads + 1;
+    parallel_mark_accel(space, plan, layout, helper_threads, None, None)
+}
+
+/// Clamps a requested helper-thread count to the hardware: at most
+/// `available_parallelism() - 1` helpers (the main sweeper thread takes
+/// one core). Returns 0 (serial) on single-core machines or when the
+/// parallelism query fails.
+pub fn effective_helper_count(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    requested.min(cores.saturating_sub(1))
+}
+
+/// [`parallel_mark`] with the incremental-sweep accelerations: an optional
+/// candidate `filter` gating shadow-map writes and an optional read-only
+/// page `cache` whose digests are replayed (through the current filter)
+/// for clean, fully-share-covered pages instead of re-reading them.
+///
+/// The cache is consulted read-only — helper threads never record fresh
+/// digests (recording needs `&mut` and a coherent full-page scan; the
+/// incremental [`Marker`] owns that path).
+pub fn parallel_mark_accel(
+    space: &AddrSpace,
+    plan: &SweepPlan,
+    layout: &Layout,
+    helper_threads: usize,
+    filter: Option<&CandidateFilter>,
+    cache: Option<&PageCache>,
+) -> ShadowMap {
+    let threads = effective_helper_count(helper_threads) + 1;
     // Split ranges into per-thread shares of roughly equal byte counts.
     let share = plan
         .total_bytes()
@@ -328,12 +557,37 @@ pub fn parallel_mark(
                             let addr = base.add_bytes(off);
                             let page_end =
                                 addr.page().next().base().offset_from(base).min(len);
+                            // Clean-page replay: only when this share piece
+                            // covers the whole page (a partial replay would
+                            // mark words outside the share).
+                            if addr.is_aligned(PAGE_SIZE as u64)
+                                && page_end - off == PAGE_SIZE as u64
+                            {
+                                if let Some(targets) =
+                                    cache.and_then(|c| c.lookup(addr.page()))
+                                {
+                                    for &value in targets {
+                                        let target = Addr::new(value);
+                                        if filter.is_none_or(|f| f.allows(target)) {
+                                            writer.mark(target);
+                                        }
+                                    }
+                                    off = page_end;
+                                    continue;
+                                }
+                            }
                             let chunk = (page_end - off) as usize / WORD_SIZE;
                             if let Ok(Some(page)) = space.scan_page(addr.page()) {
                                 let w0 = addr.word_in_page();
                                 for &value in &page[w0..w0 + chunk] {
-                                    if layout.heap_contains(Addr::new(value)) {
-                                        writer.mark(Addr::new(value));
+                                    if value == 0 {
+                                        continue;
+                                    }
+                                    let target = Addr::new(value);
+                                    if layout.heap_contains(target)
+                                        && filter.is_none_or(|f| f.allows(target))
+                                    {
+                                        writer.mark(target);
                                     }
                                 }
                             }
@@ -603,6 +857,257 @@ mod tests {
         let shadow = parallel_mark(&space, &plan, &layout, 3);
         assert!(shadow.is_empty());
         assert_eq!(space.rss_bytes(), 0, "peek-based marking must not commit");
+    }
+
+    /// Two-page heap fixture: page 0 holds pointers to `t0`/`t1`, page 1
+    /// holds a pointer to `t1` only. Returns (src, t0, t1, plan).
+    fn two_page_fixture(space: &mut AddrSpace) -> (Addr, Addr, Addr, SweepPlan) {
+        let t0 = heap(space, 1);
+        let t1 = heap(space, 1);
+        let src = heap(space, 2);
+        space.write_word(src + 16, t0.raw()).unwrap();
+        space.write_word(src + 256, t1.raw()).unwrap();
+        space.write_word(src + PAGE_SIZE as u64 + 8, t1.raw()).unwrap();
+        (src, t0, t1, SweepPlan::from_ranges(vec![(src, 2 * PAGE_SIZE as u64)]))
+    }
+
+    #[test]
+    fn cache_skip_replays_identical_marks() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (src, t0, t1, plan) = two_page_fixture(&mut space);
+
+        // Sweep 1: cold cache — every page scanned, digests recorded.
+        let mut cache = PageCache::new();
+        let dirty = space.snapshot_soft_dirty(vmem::PageRange::spanning(
+            src,
+            2 * PAGE_SIZE as u64,
+        ));
+        cache.begin_sweep(&plan, &dirty, 1);
+        space.clear_soft_dirty();
+        let full = ShadowMap::new();
+        let r1 = Marker::new(plan.clone()).run_to_end_accel(
+            &mut space,
+            &layout,
+            &full,
+            &mut MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() },
+        );
+        assert_eq!(r1.pages_skipped, 0, "cold cache skips nothing");
+        assert_eq!(r1.words, 2 * 512);
+        assert_eq!(r1.bytes, r1.words * 8 + r1.skipped_bytes);
+        assert_eq!(cache.len(), 2);
+
+        // Sweep 2: both pages clean — zero words read, same mark set.
+        let dirty = space.snapshot_soft_dirty(vmem::PageRange::spanning(
+            src,
+            2 * PAGE_SIZE as u64,
+        ));
+        assert!(dirty.is_empty(), "nothing written since the clear");
+        cache.begin_sweep(&plan, &dirty, 2);
+        let inc = ShadowMap::new();
+        let r2 = Marker::new(plan.clone()).run_to_end_accel(
+            &mut space,
+            &layout,
+            &inc,
+            &mut MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() },
+        );
+        assert_eq!(r2.pages_skipped, 2);
+        assert_eq!(r2.pages_replayed, 2, "both pages hold heap pointers");
+        assert_eq!(r2.words, 0);
+        assert_eq!(r2.skipped_bytes, 2 * PAGE_SIZE as u64);
+        assert_eq!(r2.bytes, r2.words * 8 + r2.skipped_bytes);
+        assert_eq!(inc.marked_count(), full.marked_count());
+        assert!(inc.is_marked(t0) && inc.is_marked(t1));
+
+        // Dirty one page: only it is re-read; marks still identical.
+        space.write_word(src + 24, t0.raw()).unwrap();
+        let dirty = space.snapshot_soft_dirty(vmem::PageRange::spanning(
+            src,
+            2 * PAGE_SIZE as u64,
+        ));
+        assert_eq!(dirty, vec![src.page()]);
+        cache.begin_sweep(&plan, &dirty, 3);
+        space.clear_soft_dirty();
+        let inc2 = ShadowMap::new();
+        let r3 = Marker::new(plan).run_to_end_accel(
+            &mut space,
+            &layout,
+            &inc2,
+            &mut MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() },
+        );
+        assert_eq!(r3.pages_skipped, 1, "only the clean page skips");
+        assert_eq!(r3.words, 512);
+        assert_eq!(inc2.marked_count(), full.marked_count());
+    }
+
+    #[test]
+    fn digest_survives_budget_split_steps() {
+        // A page scanned across several budget-limited steps must still
+        // record one complete digest — and replay it next sweep.
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (src, _, _, plan) = two_page_fixture(&mut space);
+        let mut cache = PageCache::new();
+        cache.begin_sweep(&plan, &[], 1);
+        space.clear_soft_dirty();
+        let full = ShadowMap::new();
+        let mut marker = Marker::new(plan.clone());
+        let mut accel = MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() };
+        loop {
+            if marker.step_accel(&mut space, &layout, &full, 100, &mut accel).finished {
+                break;
+            }
+        }
+        assert_eq!(cache.len(), 2, "split scans still publish digests");
+
+        let dirty = space.snapshot_soft_dirty(vmem::PageRange::spanning(
+            src,
+            2 * PAGE_SIZE as u64,
+        ));
+        cache.begin_sweep(&plan, &dirty, 2);
+        let inc = ShadowMap::new();
+        let r = Marker::new(plan).run_to_end_accel(
+            &mut space,
+            &layout,
+            &inc,
+            &mut MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() },
+        );
+        assert_eq!(r.pages_skipped, 2);
+        assert_eq!(inc.marked_count(), full.marked_count());
+    }
+
+    #[test]
+    fn filter_preserves_candidate_marks_and_rejects_the_rest() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (_, t0, t1, plan) = two_page_fixture(&mut space);
+
+        // Only t1's page is a quarantine candidate.
+        let filter = CandidateFilter::build([(t1, 64)]);
+        let shadow = ShadowMap::new();
+        let r = Marker::new(plan).run_to_end_accel(
+            &mut space,
+            &layout,
+            &shadow,
+            &mut MarkAccel { filter: Some(&filter), ..MarkAccel::default() },
+        );
+        assert!(shadow.is_marked(t1), "candidate marks preserved");
+        assert!(!shadow.is_marked(t0), "non-candidate marks suppressed");
+        assert_eq!(r.filter_rejects, 1, "one pointer to t0");
+    }
+
+    #[test]
+    fn replay_applies_the_current_sweeps_filter() {
+        // Digests are pre-filter: a page cached under one candidate set
+        // must replay correctly under a different one.
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (src, t0, t1, plan) = two_page_fixture(&mut space);
+        let mut cache = PageCache::new();
+        cache.begin_sweep(&plan, &[], 1);
+        space.clear_soft_dirty();
+        let f1 = CandidateFilter::build([(t1, 64)]);
+        let s1 = ShadowMap::new();
+        Marker::new(plan.clone()).run_to_end_accel(
+            &mut space,
+            &layout,
+            &s1,
+            &mut MarkAccel { filter: Some(&f1), cache: Some(&mut cache), qgen: 1 },
+        );
+        assert!(!s1.is_marked(t0));
+
+        // Next sweep: candidate set flips to t0. Clean pages replay, and
+        // the replayed marks obey the *new* filter.
+        let dirty = space.snapshot_soft_dirty(vmem::PageRange::spanning(
+            src,
+            2 * PAGE_SIZE as u64,
+        ));
+        cache.begin_sweep(&plan, &dirty, 2);
+        let f2 = CandidateFilter::build([(t0, 64)]);
+        let s2 = ShadowMap::new();
+        let r = Marker::new(plan).run_to_end_accel(
+            &mut space,
+            &layout,
+            &s2,
+            &mut MarkAccel { filter: Some(&f2), cache: Some(&mut cache), qgen: 2 },
+        );
+        assert_eq!(r.pages_skipped, 2, "filter change does not dirty pages");
+        assert!(s2.is_marked(t0), "replay marks the new candidate");
+        assert!(!s2.is_marked(t1), "replay suppresses the old one");
+        assert_eq!(r.filter_rejects, 2, "two pointers to t1 rejected");
+    }
+
+    #[test]
+    fn protected_skips_count_as_skipped_bytes() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let a = heap(&mut space, 2);
+        space.commit(vmem::PageRange::spanning(a, 2 * PAGE_SIZE as u64)).unwrap();
+        space
+            .protect(vmem::PageRange::spanning(a, PAGE_SIZE as u64), Protection::None)
+            .unwrap();
+        let shadow = ShadowMap::new();
+        let mut marker =
+            Marker::new(SweepPlan::from_ranges(vec![(a, 2 * PAGE_SIZE as u64)]));
+        let r = marker.run_to_end_accel(
+            &mut space,
+            &layout,
+            &shadow,
+            &mut MarkAccel::default(),
+        );
+        assert_eq!(r.words, 512);
+        assert_eq!(r.skipped_bytes, PAGE_SIZE as u64);
+        assert_eq!(r.bytes, 2 * PAGE_SIZE as u64);
+        assert_eq!(r.bytes, r.words * 8 + r.skipped_bytes);
+        assert_eq!(r.pages_skipped, 0, "protected skip is not a cache skip");
+    }
+
+    #[test]
+    fn effective_helpers_clamp_to_hardware() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(effective_helper_count(0), 0);
+        assert_eq!(effective_helper_count(usize::MAX), cores - 1);
+        assert!(effective_helper_count(3) <= 3);
+    }
+
+    #[test]
+    fn parallel_mark_accel_agrees_with_serial_accel() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (targets, plan) = scatter_fixture(&mut space);
+        let filter =
+            CandidateFilter::build(targets.iter().map(|&t| (t, PAGE_SIZE as u64)));
+
+        // Prime a cache serially, then run the parallel marker against it.
+        let mut cache = PageCache::new();
+        cache.begin_sweep(&plan, &[], 1);
+        space.clear_soft_dirty();
+        let serial = ShadowMap::new();
+        Marker::new(plan.clone()).run_to_end_accel(
+            &mut space,
+            &layout,
+            &serial,
+            &mut MarkAccel { filter: Some(&filter), cache: Some(&mut cache), qgen: 1 },
+        );
+        let dirty = space.snapshot_soft_dirty(vmem::PageRange::spanning(
+            plan.ranges()[0].0,
+            plan.total_bytes(),
+        ));
+        cache.begin_sweep(&plan, &dirty, 2);
+        for threads in [0, 1, 3] {
+            let parallel = parallel_mark_accel(
+                &space,
+                &plan,
+                &layout,
+                threads,
+                Some(&filter),
+                Some(&cache),
+            );
+            assert_eq!(parallel.marked_count(), serial.marked_count());
+            for t in &targets {
+                assert_eq!(parallel.is_marked(*t), serial.is_marked(*t));
+            }
+        }
     }
 
     #[test]

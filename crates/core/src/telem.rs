@@ -45,6 +45,15 @@ pub struct MsCounters {
     pub tl_flushed_entries: Counter,
     /// Invalid frees rejected.
     pub invalid_frees: Counter,
+    /// Bytes the marker advanced through without reading (cache-replayed
+    /// clean pages plus protected/unmapped skips).
+    pub skipped_bytes: Counter,
+    /// Clean pages whose re-read was skipped via the page-summary cache.
+    pub pages_skipped: Counter,
+    /// Skipped pages whose non-empty digest was replayed.
+    pub pages_replayed: Counter,
+    /// Heap-pointing words suppressed by the candidate filter.
+    pub filter_rejects: Counter,
 }
 
 impl MsCounters {
@@ -67,6 +76,10 @@ impl MsCounters {
             tl_flushes: c("tl_flushes"),
             tl_flushed_entries: c("tl_flushed_entries"),
             invalid_frees: c("invalid_frees"),
+            skipped_bytes: c("skipped_bytes"),
+            pages_skipped: c("pages_skipped"),
+            pages_replayed: c("pages_replayed"),
+            filter_rejects: c("filter_rejects"),
         }
     }
 }

@@ -275,6 +275,140 @@ proptest! {
     }
 
     #[test]
+    fn incremental_sweep_is_equivalent_to_full_sweep(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        // Differential test for the incremental sweep: the same op
+        // sequence drives three layers in lockstep —
+        //   base: page cache off, candidate filter off (from-scratch);
+        //   inc:  page cache on (digest replay), filter off;
+        //   incf: page cache on AND candidate filter on.
+        // After every sweep, `inc` must produce a shadow map identical to
+        // `base` (the cache only replays provably-clean pages), and all
+        // three must make identical release decisions (the filter drops
+        // only marks no locked quarantine entry can observe).
+        let base_cfg = MsConfig::builder().page_cache(false).candidate_filter(false).build();
+        let inc_cfg = MsConfig::builder().page_cache(true).candidate_filter(false).build();
+        let incf_cfg = MsConfig::builder().page_cache(true).candidate_filter(true).build();
+        let mut layers: Vec<(AddrSpace, MineSweeper<_>)> = [base_cfg, inc_cfg, incf_cfg]
+            .into_iter()
+            .map(|cfg| (AddrSpace::new(), MineSweeper::new(cfg)))
+            .collect();
+        let stack = layers[0].0.layout().segment_base(Segment::Stack);
+
+        let mut objects: Vec<(Addr, u64)> = Vec::new();
+        let mut live: BTreeSet<usize> = BTreeSet::new();
+        let mut freed: BTreeSet<usize> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Malloc { size } => {
+                    let addrs: Vec<Addr> = layers
+                        .iter_mut()
+                        .map(|(space, ms)| ms.malloc(space, size))
+                        .collect();
+                    // The allocator is deterministic, so lockstep drives
+                    // must agree on placement — everything below relies
+                    // on comparing the same addresses.
+                    prop_assert!(addrs.iter().all(|&a| a == addrs[0]));
+                    let usable = layers[0].1.heap().usable_size(addrs[0]).unwrap();
+                    objects.push((addrs[0], usable));
+                    live.insert(objects.len() - 1);
+                }
+                Op::Point { slot, to } => {
+                    if objects.is_empty() {
+                        continue;
+                    }
+                    let id = to % objects.len();
+                    for (space, _) in &mut layers {
+                        space
+                            .write_word(stack + slot as u64 * 8, objects[id].0.raw())
+                            .unwrap();
+                    }
+                }
+                Op::Unpoint { slot } => {
+                    for (space, _) in &mut layers {
+                        space.write_word(stack + slot as u64 * 8, 0).unwrap();
+                    }
+                }
+                Op::Free { n } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let &id = live.iter().nth(n % live.len()).unwrap();
+                    let outcomes: Vec<FreeOutcome> = layers
+                        .iter_mut()
+                        .map(|(space, ms)| ms.free(space, objects[id].0))
+                        .collect();
+                    prop_assert!(outcomes.iter().all(|&o| o == outcomes[0]));
+                    live.remove(&id);
+                    freed.insert(id);
+                }
+                Op::Sweep => {
+                    if layers[0].1.quarantine().is_empty() {
+                        continue;
+                    }
+                    for (space, ms) in &mut layers {
+                        ms.sweep_now(space);
+                    }
+                    let (_, base) = &layers[0];
+                    let (_, inc) = &layers[1];
+                    let (_, incf) = &layers[2];
+                    // Cache replay must reproduce the from-scratch shadow
+                    // map bit for bit.
+                    prop_assert_eq!(
+                        base.shadow().marked_count(),
+                        inc.shadow().marked_count(),
+                        "cache replay changed the mark count"
+                    );
+                    for &(obj, usable) in &objects {
+                        prop_assert_eq!(
+                            base.shadow().range_marked(obj, usable),
+                            inc.shadow().range_marked(obj, usable),
+                            "cache replay flipped a mark over {}", obj
+                        );
+                    }
+                    // All three agree on every release decision.
+                    for &id in &freed {
+                        let b = base.quarantine().contains(objects[id].0);
+                        prop_assert_eq!(b, inc.quarantine().contains(objects[id].0));
+                        prop_assert_eq!(b, incf.quarantine().contains(objects[id].0));
+                    }
+                    let (bs, is_, fs) = (base.stats(), inc.stats(), incf.stats());
+                    prop_assert_eq!(bs.released, is_.released);
+                    prop_assert_eq!(bs.released, fs.released);
+                    prop_assert_eq!(bs.failed_frees, is_.failed_frees);
+                    prop_assert_eq!(bs.failed_frees, fs.failed_frees);
+                    freed.retain(|&id| base.quarantine().contains(objects[id].0));
+                }
+            }
+        }
+
+        // Drain: with roots cleared, every layer must empty its
+        // quarantine within two sweeps and still agree on totals.
+        for slot in 0..16u8 {
+            for (space, _) in &mut layers {
+                space.write_word(stack + slot as u64 * 8, 0).unwrap();
+            }
+        }
+        for (space, ms) in &mut layers {
+            ms.sweep_now(space);
+            ms.sweep_now(space);
+            prop_assert!(ms.quarantine().is_empty());
+        }
+        let totals: Vec<(u64, u64)> = layers
+            .iter()
+            .map(|(_, ms)| (ms.stats().released, ms.stats().failed_frees))
+            .collect();
+        prop_assert!(totals.iter().all(|&t| t == totals[0]), "totals diverged: {:?}", totals);
+        // The accelerated layers actually exercised their machinery at
+        // least once if anything swept (cache entries get recorded on
+        // every scan).
+        if layers[1].1.stats().sweeps > 0 {
+            prop_assert!(!layers[1].1.page_cache().is_empty());
+        }
+    }
+
+    #[test]
     fn malloc_free_roundtrip_is_stable_under_quarantine(
         sizes in proptest::collection::vec(8u64..100_000, 1..40)
     ) {

@@ -31,6 +31,10 @@ pub struct CostModel {
     /// Bytes of memory one sweeper thread marks per cycle (linear,
     /// prefetch-friendly: one 8-byte word per cycle).
     pub sweep_bytes_per_cycle: u64,
+    /// Skipping one provably-clean page during an incremental sweep:
+    /// soft-dirty test + page-summary cache lookup + replaying the (few)
+    /// cached heap-pointing words, instead of the 512-word re-read.
+    pub sweep_skip_page: u64,
     /// Stop-the-world re-check of one soft-dirty page (fault handling +
     /// 512-word scan).
     pub stw_page: u64,
@@ -121,6 +125,7 @@ impl CostModel {
             unmap_syscall: 1_400,
             remap_syscall: 900,
             sweep_bytes_per_cycle: 8,
+            sweep_skip_page: 40,
             stw_page: 800,
             release_entry: 70,
             purge_page: 250,
@@ -160,6 +165,16 @@ impl CostModel {
     pub fn cold_cost(&self, bytes: u64) -> u64 {
         self.cold_base + bytes.min(self.cold_cap_bytes) / 64 * self.cold_line
     }
+
+    /// Cycles one sweeper thread spends marking a region where
+    /// `scanned_bytes` were read word-by-word and `skipped_bytes` were
+    /// advanced over without reading (incremental sweep: cache-replayed
+    /// clean pages and protected/unmapped skips pay only the flat
+    /// per-page [`sweep_skip_page`](Self::sweep_skip_page) cost).
+    pub fn mark_cost(&self, scanned_bytes: u64, skipped_bytes: u64) -> u64 {
+        scanned_bytes / self.sweep_bytes_per_cycle
+            + skipped_bytes / vmem::PAGE_SIZE as u64 * self.sweep_skip_page
+    }
 }
 
 impl Default for CostModel {
@@ -196,6 +211,22 @@ mod tests {
             c.cold_cost(1 << 30),
             c.cold_base + c.cold_cap_bytes / 64 * c.cold_line,
             "capped"
+        );
+    }
+
+    #[test]
+    fn skipping_a_page_beats_scanning_it() {
+        let c = CostModel::desktop();
+        let page = vmem::PAGE_SIZE as u64;
+        let scan = c.mark_cost(page, 0);
+        let skip = c.mark_cost(0, page);
+        assert_eq!(scan, page / c.sweep_bytes_per_cycle);
+        assert_eq!(skip, c.sweep_skip_page);
+        assert!(skip * 4 < scan, "skip must be far cheaper than a re-read");
+        assert_eq!(
+            c.mark_cost(8192, 4096),
+            8192 / c.sweep_bytes_per_cycle + c.sweep_skip_page,
+            "mixed step splits cleanly"
         );
     }
 }

@@ -982,7 +982,10 @@ fn progress_one<B: HeapBackend>(
     let r = ms.sweep_step(space, budget_words);
     let dcs = space.stats().demand_commits - dc0;
     metrics.sweep_demand_commits += dcs;
-    *background += r.bytes / cost.sweep_bytes_per_cycle + dcs * cost.demand_commit;
+    // Skipped pages (incremental sweep) advance the cursor without the
+    // word-by-word re-read; they cost a flat per-page lookup instead.
+    *background += cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes)
+        + dcs * cost.demand_commit;
     r.finished
 }
 
@@ -995,7 +998,6 @@ fn fast_forward_one<B: HeapBackend>(
     cores: u64,
     mutator_threads: u64,
 ) -> (u64, u64) {
-    let remaining = ms.sweep_remaining_bytes();
     let threads = if ms.config().concurrent {
         let helpers = ms.config().helper_threads as u64 + 1;
         let spare = cores.saturating_sub(mutator_threads).max(1);
@@ -1003,10 +1005,13 @@ fn fast_forward_one<B: HeapBackend>(
     } else {
         1
     };
-    let wall = remaining / (cost.sweep_bytes_per_cycle * threads).max(1);
     let dc0 = space.stats().demand_commits;
     let r = ms.sweep_step(space, u64::MAX);
     debug_assert!(r.finished);
+    // Derive the wall time from what the drain actually did: skipped
+    // pages (incremental sweep) cost a flat per-page lookup, not the
+    // streaming re-read.
+    let wall = cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes) / threads.max(1);
     (wall, space.stats().demand_commits - dc0)
 }
 

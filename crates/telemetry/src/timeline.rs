@@ -28,6 +28,9 @@ pub struct SweepRecord {
     pub mark_bytes: u64,
     /// Words examined during marking.
     pub mark_words: u64,
+    /// Bytes marking advanced through without reading (incremental sweep:
+    /// cache-replayed clean pages plus protected/unmapped skips).
+    pub mark_skipped_bytes: u64,
     /// Shadow-map granules marked.
     pub marked_granules: u64,
     /// Wall-clock marking time (ns; 0 in deterministic traces).
@@ -65,6 +68,17 @@ impl SweepRecord {
     pub fn virtual_duration(&self) -> u64 {
         self.end_vnow.saturating_sub(self.start_vnow)
     }
+
+    /// Fraction of the marking phase's bytes that were skipped rather
+    /// than read (`mark_skipped_bytes / mark_bytes`; 0 when nothing was
+    /// marked) — the incremental sweep's effectiveness for this sweep.
+    pub fn skip_rate(&self) -> f64 {
+        if self.mark_bytes == 0 {
+            0.0
+        } else {
+            self.mark_skipped_bytes as f64 / self.mark_bytes as f64
+        }
+    }
 }
 
 /// A whole run's timeline: every sweep plus the quarantine-flush
@@ -98,10 +112,18 @@ impl RunReport {
                     r.quarantine_bytes = *quarantine_bytes;
                     r.quarantine_entries = *quarantine_entries;
                 }
-                EventKind::MarkPhase { sweep, bytes, words, marked_granules, wall_ns } => {
+                EventKind::MarkPhase {
+                    sweep,
+                    bytes,
+                    words,
+                    skipped_bytes,
+                    marked_granules,
+                    wall_ns,
+                } => {
                     let r = report.record_mut(*sweep);
                     r.mark_bytes += bytes;
                     r.mark_words += words;
+                    r.mark_skipped_bytes += skipped_bytes;
                     r.marked_granules = *marked_granules;
                     r.mark_wall_ns += wall_ns;
                 }
@@ -179,6 +201,12 @@ impl RunReport {
         self.sweeps.iter().map(|r| r.mark_bytes).sum()
     }
 
+    /// Total bytes marking skipped (cache replay + protected/unmapped)
+    /// across all sweeps.
+    pub fn total_mark_skipped_bytes(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.mark_skipped_bytes).sum()
+    }
+
     /// Total stop-the-world pages re-checked across all sweeps.
     pub fn total_stw_pages(&self) -> u64 {
         self.sweeps.iter().map(|r| r.stw_pages).sum()
@@ -228,6 +256,7 @@ impl RunReport {
         check("released_bytes", self.total_released_bytes());
         check("failed_frees", self.total_failed_frees());
         check("swept_bytes", self.total_mark_bytes());
+        check("skipped_bytes", self.total_mark_skipped_bytes());
         check("stw_pages", self.total_stw_pages());
         check("tl_flushes", self.flushes);
         check("tl_flushed_entries", self.flushed_entries);
@@ -346,6 +375,7 @@ mod tests {
                     sweep: 1,
                     bytes: 4096,
                     words: 512,
+                    skipped_bytes: 0,
                     marked_granules: 4,
                     wall_ns: 0,
                 },
@@ -376,7 +406,8 @@ mod tests {
                 EventKind::MarkPhase {
                     sweep: 2,
                     bytes: 8192,
-                    words: 1024,
+                    words: 512,
+                    skipped_bytes: 4096,
                     marked_granules: 0,
                     wall_ns: 0,
                 },
@@ -403,6 +434,12 @@ mod tests {
         assert_eq!(r1.trigger, Some(Trigger::Proportional));
         assert_eq!(r1.virtual_duration(), 25);
         assert_eq!(r1.mark_bytes, 4096);
+        assert_eq!(r1.mark_skipped_bytes, 0);
+        assert!((r1.skip_rate() - 0.0).abs() < 1e-12);
+        let r2 = &report.sweeps[1];
+        assert_eq!(r2.mark_skipped_bytes, 4096);
+        assert!((r2.skip_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(report.total_mark_skipped_bytes(), 4096);
         assert_eq!(r1.stw_pages, 2);
         assert_eq!(r1.released, 8);
         assert_eq!(r1.failed_frees, 2);
@@ -437,6 +474,7 @@ mod tests {
         reg.counter("layer", "released_bytes").add(3800);
         reg.counter("layer", "failed_frees").add(2);
         reg.counter("layer", "swept_bytes").add(4096 + 8192);
+        reg.counter("layer", "skipped_bytes").add(4096);
         reg.counter("layer", "stw_pages").add(2);
         reg.counter("layer", "tl_flushes").add(1);
         reg.counter("layer", "tl_flushed_entries").add(32);

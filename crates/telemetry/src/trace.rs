@@ -69,6 +69,10 @@ pub enum EventKind {
         bytes: u64,
         /// Words actually read and tested.
         words: u64,
+        /// Bytes advanced without reading: cache-replayed clean pages plus
+        /// protected/unmapped skips. Invariant: `bytes == words * 8 +
+        /// skipped_bytes`.
+        skipped_bytes: u64,
         /// Granules marked in the shadow map when marking finished.
         marked_granules: u64,
         /// Wall-clock marking time in nanoseconds (0 in deterministic
@@ -143,10 +147,19 @@ impl Event {
                     trigger.as_str()
                 )
             }
-            EventKind::MarkPhase { sweep, bytes, words, marked_granules, wall_ns } => {
+            EventKind::MarkPhase { sweep, bytes, words, skipped_bytes, marked_granules, wall_ns } => {
+                // skip_rate is derived (skipped_bytes / bytes), emitted for
+                // human consumers; parsing recomputes it from the integers.
+                let skip_rate = if *bytes == 0 {
+                    0.0
+                } else {
+                    *skipped_bytes as f64 / *bytes as f64
+                };
                 format!(
                     "\"type\": \"mark_phase\", \"sweep\": {sweep}, \"bytes\": {bytes}, \
-                     \"words\": {words}, \"marked_granules\": {marked_granules}, \"wall_ns\": {wall_ns}"
+                     \"words\": {words}, \"skipped_bytes\": {skipped_bytes}, \
+                     \"skip_rate\": {skip_rate:.4}, \
+                     \"marked_granules\": {marked_granules}, \"wall_ns\": {wall_ns}"
                 )
             }
             EventKind::StwPass { sweep, pages, words } => {
@@ -206,6 +219,7 @@ impl Event {
                 sweep: num("sweep")?,
                 bytes: num("bytes")?,
                 words: num("words")?,
+                skipped_bytes: num("skipped_bytes")?,
                 marked_granules: num("marked_granules")?,
                 wall_ns: num("wall_ns")?,
             },
@@ -481,7 +495,8 @@ mod tests {
             EventKind::MarkPhase {
                 sweep: 1,
                 bytes: 8192,
-                words: 1024,
+                words: 512,
+                skipped_bytes: 4096,
                 marked_granules: 7,
                 wall_ns: 0,
             },

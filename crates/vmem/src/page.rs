@@ -59,9 +59,17 @@ impl PageSlot {
 
     /// Commits the page (idempotent), zero-filling fresh backing.
     /// Returns `true` if the page was newly committed.
+    ///
+    /// A fresh commit sets the soft-dirty bit: the page's observable
+    /// contents change (whatever a decommit discarded is now zeroes), and
+    /// Linux likewise reports newly faulted pages as soft-dirty after a
+    /// `clear_refs` cycle. Consumers that skip clean pages (the sweep's
+    /// page-summary cache) rely on this to never treat a
+    /// decommit/recommit round-trip as "unchanged".
     pub(crate) fn commit(&mut self) -> bool {
         if self.data.is_none() {
             self.data = Some(Box::new([0u64; WORDS_PER_PAGE]));
+            self.soft_dirty = true;
             true
         } else {
             false

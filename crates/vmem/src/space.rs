@@ -183,6 +183,10 @@ impl AddrSpace {
     /// lost; a later access demand-commits to zeroes). Uncommitted pages are
     /// untouched.
     ///
+    /// Decommitting a committed page sets its soft-dirty bit: the contents
+    /// observably change (to zeroes on the next access), so any cached
+    /// per-page sweep summary is stale.
+    ///
     /// # Errors
     ///
     /// [`MemError::Unmapped`] if any page in the range is not mapped.
@@ -191,6 +195,7 @@ impl AddrSpace {
             let slot =
                 self.pages.get_mut(&p.raw()).ok_or(MemError::Unmapped(p.base()))?;
             if slot.decommit() {
+                slot.soft_dirty = true;
                 self.stats.on_decommit();
             }
         }
@@ -198,6 +203,11 @@ impl AddrSpace {
     }
 
     /// Sets the protection of every page in `range`.
+    ///
+    /// A protection *change* sets the soft-dirty bit on the affected pages
+    /// (like `mprotect` remapping PTEs without `VM_SOFTDIRTY` preserved):
+    /// cached sweep summaries for reprotected pages must be conservatively
+    /// invalidated.
     ///
     /// # Errors
     ///
@@ -209,7 +219,11 @@ impl AddrSpace {
             }
         }
         for p in range.iter() {
-            self.pages.get_mut(&p.raw()).expect("checked above").prot = prot;
+            let slot = self.pages.get_mut(&p.raw()).expect("checked above");
+            if slot.prot != prot {
+                slot.soft_dirty = true;
+            }
+            slot.prot = prot;
         }
         self.stats.protects += 1;
         Ok(())
@@ -404,6 +418,43 @@ impl AddrSpace {
         self.pages.get(&addr.page().raw()).is_some_and(|s| s.soft_dirty)
     }
 
+    /// Bulk soft-dirty snapshot over `range`, one `pagemap`-style read per
+    /// sweep instead of a per-page query: the sorted pages in `range` that
+    /// must be treated as **dirty** by anything caching per-page state.
+    ///
+    /// A page is reported dirty unless it is mapped, committed, readable
+    /// and its soft-dirty bit is clear. Unmapped, unbacked, protected and
+    /// alias pages have no stable directly-owned contents to be clean
+    /// *relative to*, so they are always reported dirty — exactly like
+    /// absent PTEs under `/proc/pid/pagemap`, which carry no soft-dirty
+    /// history either.
+    pub fn snapshot_soft_dirty(&self, range: PageRange) -> Vec<PageIdx> {
+        range
+            .iter()
+            .filter(|p| {
+                !self.pages.get(&p.raw()).is_some_and(|s| {
+                    s.is_committed()
+                        && s.prot == Protection::ReadWrite
+                        && s.alias_of.is_none()
+                        && !s.soft_dirty
+                })
+            })
+            .collect()
+    }
+
+    /// Clears the soft-dirty bit on every mapped page in `range` only —
+    /// the targeted counterpart of [`AddrSpace::clear_soft_dirty`], so a
+    /// sweep can reset exactly the pages it is about to scan without
+    /// erasing dirtiness history for pages outside its plan. Unmapped
+    /// pages in the range are skipped.
+    pub fn clear_soft_dirty_range(&mut self, range: PageRange) {
+        for p in range.iter() {
+            if let Some(slot) = self.pages.get_mut(&p.raw()) {
+                slot.soft_dirty = false;
+            }
+        }
+    }
+
     /// Word contents of a whole page for bulk scanning, without side
     /// effects: `Ok(Some(words))` for a committed readable page,
     /// `Ok(None)` for a mapped readable page with no backing (reads as
@@ -596,6 +647,85 @@ mod tests {
         space.clear_soft_dirty();
         space.read_word(a).unwrap();
         assert!(!space.is_soft_dirty(a), "reads must not dirty pages");
+    }
+
+    #[test]
+    fn snapshot_reports_unscannable_pages_as_dirty() {
+        let mut space = AddrSpace::new();
+        let a = space.reserve_heap(4);
+        space.map(a, 4).unwrap();
+        space.write_word(a, 1).unwrap(); // page 0: committed
+        space.write_word(a + PAGE_SIZE as u64, 2).unwrap(); // page 1: committed
+        // page 2 stays unbacked; page 3 committed then protected.
+        space.write_word(a + 3 * PAGE_SIZE as u64, 3).unwrap();
+        space
+            .protect(
+                PageRange::spanning(a + 3 * PAGE_SIZE as u64, PAGE_SIZE as u64),
+                Protection::None,
+            )
+            .unwrap();
+        space.clear_soft_dirty();
+        space.write_word(a + PAGE_SIZE as u64, 9).unwrap(); // re-dirty page 1
+        let range = PageRange::spanning(a, 4 * PAGE_SIZE as u64);
+        let dirty = space.snapshot_soft_dirty(range);
+        // Page 0 is the only provably-clean page: 1 is written, 2 is
+        // unbacked, 3 is protected.
+        assert_eq!(
+            dirty,
+            vec![
+                (a + PAGE_SIZE as u64).page(),
+                (a + 2 * PAGE_SIZE as u64).page(),
+                (a + 3 * PAGE_SIZE as u64).page()
+            ]
+        );
+    }
+
+    #[test]
+    fn decommit_recommit_round_trip_is_never_clean() {
+        // The page-summary cache's key invariant: a page whose contents
+        // were discarded (decommit) and re-faulted (commit) must not look
+        // clean, even though no write touched it.
+        let mut space = AddrSpace::new();
+        let a = heap_page(&mut space);
+        space.write_word(a, 1).unwrap();
+        space.clear_soft_dirty();
+        let range = PageRange::spanning(a, PAGE_SIZE as u64);
+        space.decommit(range).unwrap();
+        assert!(space.is_soft_dirty(a), "decommit changes observable contents");
+        space.clear_soft_dirty();
+        space.touch_page(a.page()).unwrap(); // demand-commit, no write
+        assert!(space.is_soft_dirty(a), "a fresh commit is born dirty");
+    }
+
+    #[test]
+    fn protection_change_sets_soft_dirty() {
+        let mut space = AddrSpace::new();
+        let a = heap_page(&mut space);
+        space.write_word(a, 1).unwrap();
+        space.clear_soft_dirty();
+        let range = PageRange::spanning(a, PAGE_SIZE as u64);
+        space.protect(range, Protection::None).unwrap();
+        assert!(space.is_soft_dirty(a));
+        space.clear_soft_dirty();
+        space.protect(range, Protection::None).unwrap(); // no-op change
+        assert!(!space.is_soft_dirty(a), "same-protection calls stay clean");
+        space.protect(range, Protection::ReadWrite).unwrap();
+        assert!(space.is_soft_dirty(a), "reopening a page invalidates too");
+    }
+
+    #[test]
+    fn clear_soft_dirty_range_is_targeted() {
+        let mut space = AddrSpace::new();
+        let a = heap_page(&mut space);
+        let b = heap_page(&mut space);
+        space.write_word(a, 1).unwrap();
+        space.write_word(b, 2).unwrap();
+        space.clear_soft_dirty_range(PageRange::spanning(a, PAGE_SIZE as u64));
+        assert!(!space.is_soft_dirty(a));
+        assert!(space.is_soft_dirty(b), "out-of-range pages keep their bit");
+        // Unmapped pages in the range are tolerated.
+        let far = Addr::new(b.raw() + 64 * PAGE_SIZE as u64);
+        space.clear_soft_dirty_range(PageRange::spanning(far, PAGE_SIZE as u64));
     }
 
     #[test]

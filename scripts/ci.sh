@@ -31,6 +31,20 @@ cargo run -q --release -p ms-cli --bin ms-report -- "$smoke_dir/run.jsonl" \
     | grep -q "reconcile: trace totals match metrics counters" \
     || { echo "trace/metrics reconciliation failed"; exit 1; }
 
+echo "== sweep bench smoke-run =="
+# One rep on the small fixture: asserts the bench runs end to end and the
+# JSON carries the expected schema (including the incremental-sweep and
+# helper-clamp fields). Explicitly NOT a performance gate.
+cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
+    --quick --reps 1 --out "$smoke_dir/bench.json" \
+    --metrics-out "$smoke_dir/bench_metrics.json" > /dev/null
+for key in requested_helpers effective_helpers dirty_pct incremental_d5 \
+    incremental_filtered_d5 words_per_sec; do
+    grep -q "$key" "$smoke_dir/bench.json" \
+        || { echo "bench JSON missing $key"; exit 1; }
+done
+test -s "$smoke_dir/bench_metrics.json" || { echo "empty bench metrics"; exit 1; }
+
 echo "== clippy (deny warnings) =="
 cargo clippy -p ms-telemetry --all-targets -- -D warnings
 cargo clippy --workspace --all-targets -- -D warnings
