@@ -15,7 +15,11 @@
 //!   cold sweep, then each rep retires a P%-dirty page set and replays the
 //!   digests of the clean remainder instead of re-reading it;
 //! * `incremental_filtered_d5` — incremental plus a [`CandidateFilter`]
-//!   covering every 8th page (a sparse quarantine), gating shadow writes.
+//!   covering every 8th page (a sparse quarantine), gating shadow writes;
+//! * `forensics_off` / `forensics_sampled_s8` / `forensics_full` — the
+//!   serial accel path with an [`EdgeRecorder`] over a synthetic
+//!   every-8th-page quarantine: off measures the disabled single-branch
+//!   cost, sampled records 1-in-8 candidate hits, full records them all.
 //!
 //! Helper counts are reported as requested *and* effective — the
 //! production path clamps to [`effective_helper_count`], so oversubscribed
@@ -33,8 +37,8 @@ use minesweeper::telemetry::{
     EventKind, Histogram, NullSink, Registry, Tracer, SNAPSHOT_SCHEMA_VERSION,
 };
 use minesweeper::{
-    effective_helper_count, parallel_mark, CandidateFilter, MarkAccel, Marker,
-    NaiveShadowMap, PageCache, ShadowMap, SweepPlan,
+    effective_helper_count, parallel_mark, CandidateFilter, EdgeRecorder, ForensicsMode,
+    MarkAccel, Marker, NaiveShadowMap, PageCache, QEntry, ShadowMap, SweepPlan,
 };
 use vmem::{Addr, AddrSpace, Layout, PageIdx, PAGE_SIZE, WORD_SIZE};
 
@@ -277,14 +281,14 @@ fn main() {
         cache.begin_sweep(&plan, &[], epoch);
         {
             let shadow = ShadowMap::new();
-            let mut accel = MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0 };
+            let mut accel = MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0, forensics: None };
             Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
         }
         let mut s = measure(&format!("incremental_d{pct}"), 0, total_words, reps, &registry, || {
             epoch += 1;
             cache.begin_sweep(&plan, &dirty, epoch);
             let shadow = ShadowMap::new();
-            let mut accel = MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0 };
+            let mut accel = MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0, forensics: None };
             Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
             shadow.marked_count()
         });
@@ -302,7 +306,7 @@ fn main() {
     );
     let expect_filtered = {
         let shadow = ShadowMap::new();
-        let mut accel = MarkAccel { filter: Some(&filter), cache: None, qgen: 0 };
+        let mut accel = MarkAccel { filter: Some(&filter), cache: None, qgen: 0, forensics: None };
         Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
         shadow.marked_count()
     };
@@ -318,7 +322,7 @@ fn main() {
         {
             let shadow = ShadowMap::new();
             let mut accel =
-                MarkAccel { filter: Some(&filter), cache: Some(&mut cache), qgen: 0 };
+                MarkAccel { filter: Some(&filter), cache: Some(&mut cache), qgen: 0, forensics: None };
             Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
         }
         let mut s = measure("incremental_filtered_d5", 0, total_words, reps, &registry, || {
@@ -326,12 +330,45 @@ fn main() {
             cache.begin_sweep(&plan, &dirty, epoch);
             let shadow = ShadowMap::new();
             let mut accel =
-                MarkAccel { filter: Some(&filter), cache: Some(&mut cache), qgen: 0 };
+                MarkAccel { filter: Some(&filter), cache: Some(&mut cache), qgen: 0, forensics: None };
             Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
             shadow.marked_count()
         });
         s.dirty_pct = Some(5);
         samples.push(s);
+    }
+
+    // Forensics: the serial accel path with provenance recording over a
+    // synthetic quarantine (every 8th page is one page-sized candidate —
+    // sparse, like a real locked set). Off measures the disabled
+    // single-branch dispatch cost; sampled and full pay the per-hit
+    // binary search + atomic update. Recording never touches the shadow
+    // map, so every config checks against the full-sweep mark set.
+    let candidates: Vec<QEntry> = (0..pages)
+        .filter(|i| i % 8 == 0)
+        .map(|i| QEntry::new(heap_base.add_bytes(i * PAGE_SIZE as u64), PAGE_SIZE as u64))
+        .collect();
+    for (name, mode) in [
+        ("forensics_off", ForensicsMode::Off),
+        ("forensics_sampled_s8", ForensicsMode::Sampled(8)),
+        ("forensics_full", ForensicsMode::Full),
+    ] {
+        let recorder = EdgeRecorder::new(&candidates, mode);
+        samples.push(measure(name, 0, total_words, reps, &registry, || {
+            let shadow = ShadowMap::new();
+            let mut accel = MarkAccel {
+                filter: None,
+                cache: None,
+                qgen: 0,
+                forensics: recorder.as_ref(),
+            };
+            Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &shadow, &mut accel);
+            shadow.marked_count()
+        }));
+        if mode == ForensicsMode::Full {
+            let rec = recorder.as_ref().expect("full mode builds a recorder");
+            assert!(rec.recorded() > 0, "pointer-dense fixture must record edges");
+        }
     }
 
     // Every full configuration must find the same mark set; filtered

@@ -3,18 +3,23 @@
 
 use std::process::ExitCode;
 
-use ms_cli::CliError;
+use ms_cli::{CliError, ReportOpts};
 
 const USAGE: &str = "\
 ms-report — summarise MineSweeper sweep-lifecycle traces
 
 USAGE:
     ms-report <run.jsonl> [--metrics <metrics.json>] [--check]
+              [--pinners] [--failed-frees]
 
 Prints a per-sweep timeline plus failed-free and quarantine tables from
 the JSONL event stream; with --metrics also the engine's pause/STW/sweep
-histograms. --check reconciles the trace's aggregated totals against the
-snapshot's counters and fails on any mismatch.
+histograms. --pinners ranks allocation sites by the bytes their dangling
+pointers pin in quarantine, and --failed-frees lists every entry still in
+the failed-free ledger (both need a trace recorded with the `forensics`
+config knob on). --check reconciles the trace's aggregated totals —
+including the forensic ledger, when present — against the snapshot's
+counters and fails on any mismatch.
 ";
 
 fn main() -> ExitCode {
@@ -34,7 +39,7 @@ fn main() -> ExitCode {
 fn report(args: &[String]) -> Result<String, CliError> {
     let mut trace = None;
     let mut metrics = None;
-    let mut check = false;
+    let mut opts = ReportOpts::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,7 +51,9 @@ fn report(args: &[String]) -> Result<String, CliError> {
                         .clone(),
                 );
             }
-            "--check" => check = true,
+            "--check" => opts.check = true,
+            "--pinners" => opts.pinners = true,
+            "--failed-frees" => opts.failed_frees = true,
             flag if flag.starts_with('-') => {
                 return Err(CliError(format!("unknown flag: {flag}")));
             }
@@ -67,5 +74,5 @@ fn report(args: &[String]) -> Result<String, CliError> {
         ),
         None => None,
     };
-    ms_cli::render_report(&trace_text, metrics_text.as_deref(), check)
+    ms_cli::render_report_with(&trace_text, metrics_text.as_deref(), &opts)
 }

@@ -34,6 +34,9 @@ pub enum Command {
         trace_out: Option<String>,
         /// Write the end-of-run metrics snapshot as JSON here.
         metrics_out: Option<String>,
+        /// Sweep-forensics mode label (`off`, `full`, `sampled:N`); only
+        /// meaningful for minesweeper-layered systems.
+        forensics: Option<String>,
     },
     /// Run one benchmark under every system and print the overhead table.
     Compare {
@@ -103,6 +106,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut knobs = "demo".to_string();
             let mut trace_out = None;
             let mut metrics_out = None;
+            let mut forensics = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--system" => {
@@ -150,6 +154,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         );
                     }
+                    "--forensics" => {
+                        forensics = Some(
+                            it.next()
+                                .ok_or_else(|| {
+                                    CliError("--forensics needs a value".into())
+                                })?
+                                .clone(),
+                        );
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(CliError(format!("unknown flag: {flag}")));
                     }
@@ -163,9 +176,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let positional = |what: &str| {
                 benchmark.clone().ok_or_else(|| CliError(format!("{what} needed")))
             };
-            if cmd != "run" && (trace_out.is_some() || metrics_out.is_some()) {
+            if cmd != "run"
+                && (trace_out.is_some() || metrics_out.is_some() || forensics.is_some())
+            {
                 return Err(CliError(
-                    "--trace-out/--metrics-out are only valid with `run`".into(),
+                    "--trace-out/--metrics-out/--forensics are only valid with `run`"
+                        .into(),
                 ));
             }
             match cmd.as_str() {
@@ -175,6 +191,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     seed,
                     trace_out,
                     metrics_out,
+                    forensics,
                 }),
                 "compare" => Ok(Command::Compare {
                     benchmark: positional("compare needs a benchmark name")?,
@@ -223,6 +240,49 @@ pub fn system_by_label(label: &str) -> Result<System, CliError> {
     }
 }
 
+/// Parses a forensics-mode label: `off`, `full`, or `sampled:N`.
+///
+/// # Errors
+///
+/// [`CliError`] on unknown labels or a zero/malformed sample period.
+pub fn forensics_by_label(label: &str) -> Result<minesweeper::ForensicsMode, CliError> {
+    use minesweeper::ForensicsMode;
+    match label {
+        "off" => Ok(ForensicsMode::Off),
+        "full" => Ok(ForensicsMode::Full),
+        other => match other.strip_prefix("sampled:") {
+            Some(n) => match n.parse::<u32>() {
+                Ok(period) if period > 0 => Ok(ForensicsMode::Sampled(period)),
+                _ => Err(CliError(format!("bad sample period: {n}"))),
+            },
+            None => Err(CliError(format!(
+                "unknown forensics mode: {other} (try off, full, sampled:<n>)"
+            ))),
+        },
+    }
+}
+
+/// Applies a forensics mode to a system, when it is minesweeper-layered.
+///
+/// # Errors
+///
+/// [`CliError`] when the system has no sweep (and hence no forensics).
+fn apply_forensics(sys: System, label: &str) -> Result<System, CliError> {
+    let mode = forensics_by_label(label)?;
+    match sys {
+        System::MineSweeper(cfg) => {
+            Ok(System::MineSweeper(minesweeper::MsConfig { forensics: mode, ..cfg }))
+        }
+        System::MineSweeperScudo(cfg) => {
+            Ok(System::MineSweeperScudo(minesweeper::MsConfig { forensics: mode, ..cfg }))
+        }
+        other => Err(CliError(format!(
+            "--forensics needs a minesweeper-layered system, not {}",
+            other.label()
+        ))),
+    }
+}
+
 /// Finds a benchmark profile across all suites.
 ///
 /// # Errors
@@ -264,9 +324,12 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             out.push_str("  demo           (synthetic quick-run profile)\n");
             Ok(out)
         }
-        Command::Run { benchmark, system, seed, trace_out, metrics_out } => {
+        Command::Run { benchmark, system, seed, trace_out, metrics_out, forensics } => {
             let profile = profile_by_name(benchmark)?;
-            let sys = system_by_label(system)?;
+            let mut sys = system_by_label(system)?;
+            if let Some(label) = forensics {
+                sys = apply_forensics(sys, label)?;
+            }
             let m = if trace_out.is_some() || metrics_out.is_some() {
                 let mut eng = Engine::new(&profile, sys, *seed);
                 if let Some(path) = trace_out {
@@ -380,22 +443,36 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
     }
 }
 
+/// What an `ms-report` rendering should include beyond the base timeline.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ReportOpts {
+    /// Reconcile trace totals against the metrics snapshot's counters.
+    pub check: bool,
+    /// Append the forensics pinner table (sites ranked by pinned bytes).
+    pub pinners: bool,
+    /// Append the per-entry failed-free ledger detail table.
+    pub failed_frees: bool,
+}
+
 /// Renders an `ms-report` summary: a per-sweep timeline plus failed-free
 /// and quarantine tables (the paper's Fig. 13/14 shapes) from a JSONL
 /// sweep trace, and — when a metrics snapshot is supplied — the engine's
-/// pause/STW/sweep duration histograms. With `check`, the trace's
+/// pause/STW/sweep duration histograms. `opts.pinners` /
+/// `opts.failed_frees` append the forensics views (which need a trace
+/// recorded with the `forensics` knob on). With `opts.check`, the trace's
 /// aggregated totals are reconciled against the snapshot's layer counters
 /// and any mismatch is an error.
 ///
 /// # Errors
 ///
-/// [`CliError`] on malformed inputs, `check` without metrics, or a
-/// reconciliation mismatch.
-pub fn render_report(
+/// [`CliError`] on malformed/truncated inputs, `check` without metrics,
+/// or a reconciliation mismatch.
+pub fn render_report_with(
     trace_text: &str,
     metrics_text: Option<&str>,
-    check: bool,
+    opts: &ReportOpts,
 ) -> Result<String, CliError> {
+    let check = opts.check;
     let report = RunReport::from_jsonl(trace_text)
         .map_err(|e| CliError(format!("bad trace: {e}")))?;
     let mut rows = vec![vec![
@@ -429,6 +506,14 @@ pub fn render_report(
     out.push_str(&report.failed_free_table());
     out.push('\n');
     out.push_str(&report.quarantine_table());
+    if opts.pinners {
+        out.push('\n');
+        out.push_str(&report.pinner_table());
+    }
+    if opts.failed_frees {
+        out.push('\n');
+        out.push_str(&report.failed_free_detail_table());
+    }
     if let Some(text) = metrics_text {
         let snap = Snapshot::from_json(text)
             .map_err(|e| CliError(format!("bad metrics: {e}")))?;
@@ -460,6 +545,20 @@ pub fn render_report(
     Ok(out)
 }
 
+/// [`render_report_with`] without the forensics views — the pre-forensics
+/// signature, kept for callers that only need the timeline and `--check`.
+///
+/// # Errors
+///
+/// As [`render_report_with`].
+pub fn render_report(
+    trace_text: &str,
+    metrics_text: Option<&str>,
+    check: bool,
+) -> Result<String, CliError> {
+    render_report_with(trace_text, metrics_text, &ReportOpts { check, ..ReportOpts::default() })
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 minesweeper-sim — MineSweeper (ASPLOS'22) reproduction driver
@@ -468,6 +567,7 @@ USAGE:
     minesweeper-sim list
     minesweeper-sim run <benchmark> [--system <label>] [--seed <n>]
                         [--trace-out <run.jsonl>] [--metrics-out <metrics.json>]
+                        [--forensics <off|full|sampled:n>]
     minesweeper-sim compare <benchmark> [--seed <n>]
     minesweeper-sim exploit [--system <label>]
     minesweeper-sim record <benchmark> --out <file> [--seed <n>]
@@ -498,7 +598,8 @@ mod tests {
                 system: "markus".into(),
                 seed: 9,
                 trace_out: None,
-                metrics_out: None
+                metrics_out: None,
+                forensics: None
             }
         );
     }
@@ -515,7 +616,8 @@ mod tests {
                 system: "minesweeper".into(),
                 seed: 42,
                 trace_out: Some("/tmp/t.jsonl".into()),
-                metrics_out: Some("/tmp/m.json".into())
+                metrics_out: Some("/tmp/m.json".into()),
+                forensics: None
             }
         );
         assert!(parse(&argv("compare demo --trace-out /tmp/t.jsonl")).is_err());
@@ -532,7 +634,8 @@ mod tests {
                 system: "minesweeper".into(),
                 seed: 42,
                 trace_out: None,
-                metrics_out: None
+                metrics_out: None,
+                forensics: None
             }
         );
         assert_eq!(parse(&[]).unwrap(), Command::Help);
@@ -630,6 +733,7 @@ mod tests {
             seed: 1,
             trace_out: None,
             metrics_out: None,
+            forensics: None,
         })
         .unwrap();
         assert!(out.contains("sweeps"));
@@ -646,6 +750,7 @@ mod tests {
             seed: 1,
             trace_out: Some(dir.to_string_lossy().into_owned()),
             metrics_out: None,
+            forensics: None,
         })
         .unwrap_err();
         assert!(err.0.contains("layered"), "{err}");
@@ -662,6 +767,7 @@ mod tests {
             seed: 5,
             trace_out: Some(trace.to_string_lossy().into_owned()),
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            forensics: None,
         })
         .unwrap();
         let trace_text = std::fs::read_to_string(&trace).unwrap();
@@ -673,7 +779,103 @@ mod tests {
         assert!(report.contains("reconcile: trace totals match"), "{report}");
         assert!(report.contains("proportional"), "{report}");
         assert!(render_report(&trace_text, None, true).is_err());
+
+        // A torn final line (truncated mid-write) is a clear error, not a
+        // panic, and names the offending line.
+        let torn = &trace_text[..trace_text.len() - trace_text.len() / 10];
+        assert!(!torn.ends_with('\n'), "truncation must tear the last line");
+        let err = render_report(torn, None, false).unwrap_err();
+        assert!(err.0.contains("bad trace"), "{err}");
+        assert!(err.0.contains("torn final line"), "{err}");
         std::fs::remove_file(trace).ok();
         std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn parse_forensics_flag() {
+        let cmd = parse(&argv("run demo --forensics sampled:8")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                benchmark: "demo".into(),
+                system: "minesweeper".into(),
+                seed: 42,
+                trace_out: None,
+                metrics_out: None,
+                forensics: Some("sampled:8".into())
+            }
+        );
+        assert!(parse(&argv("compare demo --forensics full")).is_err());
+        assert!(parse(&argv("run demo --forensics")).is_err());
+    }
+
+    #[test]
+    fn forensics_labels_resolve() {
+        use minesweeper::ForensicsMode;
+        assert_eq!(forensics_by_label("off").unwrap(), ForensicsMode::Off);
+        assert_eq!(forensics_by_label("full").unwrap(), ForensicsMode::Full);
+        assert_eq!(
+            forensics_by_label("sampled:16").unwrap(),
+            ForensicsMode::Sampled(16)
+        );
+        assert!(forensics_by_label("sampled:0").is_err());
+        assert!(forensics_by_label("sampled:x").is_err());
+        assert!(forensics_by_label("everything").is_err());
+    }
+
+    #[test]
+    fn forensics_needs_a_layered_system() {
+        let err = execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "baseline".into(),
+            seed: 1,
+            trace_out: None,
+            metrics_out: None,
+            forensics: Some("full".into()),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("layered"), "{err}");
+    }
+
+    #[test]
+    fn forensic_run_report_shows_pinners_and_reconciles() {
+        let trace = std::env::temp_dir().join("ms_cli_forensic_test.jsonl");
+        let metrics = std::env::temp_dir().join("ms_cli_forensic_test.json");
+        execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "ms".into(),
+            seed: 5,
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            forensics: Some("full".into()),
+        })
+        .unwrap();
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(trace_text.lines().any(|l| l.contains("\"ledger_entries\"")));
+        let opts = ReportOpts { check: true, pinners: true, failed_frees: true };
+        let out = render_report_with(&trace_text, Some(&metrics_text), &opts).unwrap();
+        assert!(out.contains("pinned sites"), "{out}");
+        assert!(out.contains("reconcile: trace totals match"), "{out}");
+
+        // Without forensics in the trace, the views degrade gracefully.
+        let plain = execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "ms".into(),
+            seed: 5,
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+            metrics_out: None,
+            forensics: None,
+        });
+        plain.unwrap();
+        let plain_text = std::fs::read_to_string(&trace).unwrap();
+        let out = render_report_with(&plain_text, None, &opts_no_check()).unwrap();
+        assert!(out.contains("no forensics data"), "{out}");
+        std::fs::remove_file(trace).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+
+    fn opts_no_check() -> ReportOpts {
+        ReportOpts { check: false, pinners: true, failed_frees: true }
     }
 }

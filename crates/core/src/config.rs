@@ -17,6 +17,31 @@ pub enum SweepMode {
     MostlyConcurrent,
 }
 
+/// Sweep-forensics recording mode: whether the mark loop records
+/// provenance edges (source word → quarantined candidate) and the layer
+/// maintains the failed-free ledger.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ForensicsMode {
+    /// No recording. The mark loop pays exactly one branch per chunk; the
+    /// ledger stays empty and no forensic events are emitted.
+    #[default]
+    Off,
+    /// Record roughly 1-in-N provenance edges (a shared atomic tick keeps
+    /// the sampling deterministic in serial marking). Ledger bookkeeping
+    /// and the byte-conservation invariants stay exact — only the
+    /// per-entry hit counts and example sources are sampled.
+    Sampled(u32),
+    /// Record every edge.
+    Full,
+}
+
+impl ForensicsMode {
+    /// Whether any recording happens at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, ForensicsMode::Off)
+    }
+}
+
 /// Full configuration for a [`crate::MineSweeper`] instance.
 ///
 /// Use the presets ([`MsConfig::fully_concurrent`],
@@ -83,6 +108,10 @@ pub struct MsConfig {
     /// ([`crate::CandidateFilter`]). Release decisions are unchanged; only
     /// marks that could never matter are dropped.
     pub candidate_filter: bool,
+    /// Sweep forensics: provenance-edge recording and the failed-free
+    /// ledger ([`crate::EdgeRecorder`], [`crate::FailedFreeLedger`]). Off
+    /// by default; release decisions are identical in every mode.
+    pub forensics: ForensicsMode,
 }
 
 impl MsConfig {
@@ -107,6 +136,7 @@ impl MsConfig {
             report_double_frees: false,
             page_cache: true,
             candidate_filter: true,
+            forensics: ForensicsMode::Off,
         }
     }
 
@@ -316,6 +346,12 @@ impl MsConfigBuilder {
         self
     }
 
+    /// Sets the sweep-forensics mode.
+    pub fn forensics(mut self, mode: ForensicsMode) -> Self {
+        self.cfg.forensics = mode;
+        self
+    }
+
     /// Finalises the configuration.
     pub fn build(self) -> MsConfig {
         self.cfg
@@ -383,6 +419,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn builder_rejects_zero_threshold() {
         MsConfig::builder().sweep_threshold(0.0);
+    }
+
+    #[test]
+    fn forensics_defaults_off_everywhere() {
+        assert_eq!(MsConfig::fully_concurrent().forensics, ForensicsMode::Off);
+        assert_eq!(MsConfig::mostly_concurrent().forensics, ForensicsMode::Off);
+        assert_eq!(MsConfig::ablation_unoptimised().forensics, ForensicsMode::Off);
+        assert!(!ForensicsMode::Off.enabled());
+        assert!(ForensicsMode::Sampled(16).enabled());
+        assert!(ForensicsMode::Full.enabled());
+        let c = MsConfig::builder().forensics(ForensicsMode::Sampled(8)).build();
+        assert_eq!(c.forensics, ForensicsMode::Sampled(8));
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The drop-in allocator layer: `malloc`/`free` interposition, quarantine
 //! management, sweep orchestration (§3, Figure 3).
 
+use std::collections::HashMap;
+
 use jalloc::{JAlloc, JallocConfig};
-use telemetry::{EventKind, Registry, Stopwatch, Tracer, Trigger};
+use telemetry::{EventKind, Histogram, Registry, Stopwatch, Tracer, Trigger};
 use vmem::{Addr, AddrSpace, PageIdx, PageRange, Protection, WORD_SIZE};
 
 use crate::backend::HeapBackend;
 use crate::config::{MsConfig, SweepMode};
 use crate::filter::CandidateFilter;
+use crate::forensics::{EdgeAgg, EdgeRecorder, FailedFreeLedger};
 use crate::pagecache::PageCache;
 use crate::quarantine::{InsertResult, QEntry, Quarantine};
 use crate::shadow::ShadowMap;
@@ -98,6 +101,12 @@ pub struct MineSweeper<B: HeapBackend = JAlloc> {
     /// Soft-dirty page-summary cache: lives across sweeps so clean pages
     /// can replay last sweep's digests ([`MsConfig::page_cache`]).
     page_cache: PageCache,
+    /// Cross-sweep failed-free ledger ([`MsConfig::forensics`]); empty and
+    /// untouched when forensics is off.
+    ledger: FailedFreeLedger,
+    /// Residency histogram: sweeps a previously failed entry survived
+    /// before release (recorded at release time, forensics only).
+    residency: Histogram,
 }
 
 #[derive(Debug)]
@@ -118,6 +127,10 @@ struct ActiveSweep {
     filter: Option<CandidateFilter>,
     /// Quarantine generation locked in at sweep start (tags digests).
     qgen: u64,
+    /// Forensics edge recorder over the locked entries
+    /// ([`MsConfig::forensics`]); `None` keeps the mark loop on its
+    /// non-recording path.
+    recorder: Option<EdgeRecorder>,
 }
 
 impl MineSweeper<JAlloc> {
@@ -147,6 +160,7 @@ impl<B: HeapBackend> MineSweeper<B> {
     pub fn with_backend(cfg: MsConfig, backend: B) -> Self {
         let registry = Registry::new();
         let counters = MsCounters::register(&registry);
+        let residency = registry.histogram(crate::telem::LAYER_SUBSYSTEM, "residency_sweeps");
         MineSweeper {
             quarantine: Quarantine::new(cfg.tl_buffer_capacity),
             cfg,
@@ -159,6 +173,8 @@ impl<B: HeapBackend> MineSweeper<B> {
             double_free_reports: Vec::new(),
             next_sweep: 0,
             page_cache: PageCache::new(),
+            ledger: FailedFreeLedger::new(),
+            residency,
         }
     }
 
@@ -215,6 +231,12 @@ impl<B: HeapBackend> MineSweeper<B> {
         &self.page_cache
     }
 
+    /// The cross-sweep failed-free ledger (read-only introspection; empty
+    /// unless [`MsConfig::forensics`] is enabled).
+    pub fn ledger(&self) -> &FailedFreeLedger {
+        &self.ledger
+    }
+
     /// The metrics registry this layer registers into. Clone it to let
     /// other subsystems (an engine, a benchmark harness) register their
     /// own instruments alongside the layer's and export one snapshot.
@@ -258,6 +280,19 @@ impl<B: HeapBackend> MineSweeper<B> {
     /// invalid frees return [`FreeOutcome::Invalid`], double frees
     /// [`FreeOutcome::DoubleFree`].
     pub fn free(&mut self, space: &mut AddrSpace, addr: Addr) -> FreeOutcome {
+        self.free_sited(space, addr, 0)
+    }
+
+    /// [`MineSweeper::free`] with an allocation-site id attached: the site
+    /// rides the quarantine entry into the forensics ledger, so failed
+    /// frees attribute back to the code that allocated them. Site 0 means
+    /// "unknown" (what plain `free` passes).
+    pub fn free_sited(
+        &mut self,
+        space: &mut AddrSpace,
+        addr: Addr,
+        site: u32,
+    ) -> FreeOutcome {
         // A base already in quarantine is a double free even before we ask
         // the heap (the heap still considers it live).
         if self.cfg.quarantine && self.quarantine.contains(addr) {
@@ -307,7 +342,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             self.counters.unmapped_pages.add(unmapped_pages);
         }
 
-        let entry = QEntry { base: addr, usable, unmapped_pages, failed: false };
+        let entry = QEntry { base: addr, usable, unmapped_pages, failed: false, site };
         match self.quarantine.insert(entry) {
             InsertResult::Inserted { flushed } => {
                 if flushed {
@@ -478,6 +513,13 @@ impl<B: HeapBackend> MineSweeper<B> {
         }
         // New epoch: wipe last sweep's marks, keeping the chunks resident.
         self.shadow.clear();
+        // Forensics: a recorder over exactly this sweep's candidates (None
+        // when the knob is off, or when nothing marks anyway).
+        let recorder = if self.cfg.marking {
+            EdgeRecorder::new(&locked, self.cfg.forensics)
+        } else {
+            None
+        };
         self.active = Some(ActiveSweep {
             marker: Marker::new(plan),
             locked,
@@ -489,6 +531,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             stopwatch,
             filter,
             qgen: self.quarantine.generation(),
+            recorder,
         });
     }
 
@@ -504,8 +547,12 @@ impl<B: HeapBackend> MineSweeper<B> {
         let layout = *space.layout();
         let cache = (self.cfg.marking && self.cfg.page_cache)
             .then_some(&mut self.page_cache);
-        let mut accel =
-            MarkAccel { filter: active.filter.as_ref(), cache, qgen: active.qgen };
+        let mut accel = MarkAccel {
+            filter: active.filter.as_ref(),
+            cache,
+            qgen: active.qgen,
+            forensics: active.recorder.as_ref(),
+        };
         let r = active.marker.step_accel(space, &layout, &self.shadow, word_budget, &mut accel);
         active.mark_bytes += r.bytes;
         active.mark_words += r.words;
@@ -522,6 +569,7 @@ impl<B: HeapBackend> MineSweeper<B> {
         self.counters.pages_skipped.add(r.pages_skipped);
         self.counters.pages_replayed.add(r.pages_replayed);
         self.counters.filter_rejects.add(r.filter_rejects);
+        self.counters.pin_edges.add(r.pin_edges);
     }
 
     /// Completes the in-flight sweep: finishes marking if needed, runs the
@@ -543,8 +591,12 @@ impl<B: HeapBackend> MineSweeper<B> {
         let drained = {
             let cache = (self.cfg.marking && self.cfg.page_cache)
                 .then_some(&mut self.page_cache);
-            let mut accel =
-                MarkAccel { filter: active.filter.as_ref(), cache, qgen: active.qgen };
+            let mut accel = MarkAccel {
+                filter: active.filter.as_ref(),
+                cache,
+                qgen: active.qgen,
+                forensics: active.recorder.as_ref(),
+            };
             active.marker.run_to_end_accel(space, &layout, &self.shadow, &mut accel)
         };
         report.marked_words += drained.words;
@@ -579,18 +631,11 @@ impl<B: HeapBackend> MineSweeper<B> {
         }
 
         // Phase 3: release unmarked entries, retain the rest.
+        let edges = active.recorder.as_ref().map(EdgeRecorder::aggregates);
         for entry in active.locked {
             let dangling = self.cfg.marking
                 && self.shadow.range_marked(entry.base, entry.usable);
-            if dangling && self.cfg.honor_failed_frees {
-                self.quarantine.on_failed(entry);
-                self.counters.failed_frees.inc();
-                report.failed += 1;
-            } else {
-                self.release_entry(space, &entry);
-                report.released += 1;
-                report.released_bytes += entry.usable;
-            }
+            self.resolve_entry(space, entry, dangling, id, edges.as_ref(), &mut report);
         }
         report.marked_granules = self.shadow.marked_count();
         self.tracer.emit(|| EventKind::Release {
@@ -609,8 +654,91 @@ impl<B: HeapBackend> MineSweeper<B> {
         }
         self.counters.sweeps.inc();
         let wall_ns = active.stopwatch.elapsed_ns();
-        self.tracer.emit(|| EventKind::SweepEnd { sweep: id, wall_ns });
+        let ledger = self.sweep_end_ledger();
+        self.tracer.emit(|| EventKind::SweepEnd { sweep: id, wall_ns, ledger });
         report
+    }
+
+    /// The ledger snapshot a `SweepEnd` event carries: `None` with
+    /// forensics off (the event then serialises in its pre-forensics
+    /// shape). With it on, the ledger's bytes must mirror the
+    /// quarantine's failed-byte accounting exactly — both derive from the
+    /// same release decisions.
+    fn sweep_end_ledger(&self) -> Option<telemetry::LedgerTotals> {
+        if !self.cfg.forensics.enabled() {
+            return None;
+        }
+        let totals = self.ledger.totals();
+        debug_assert_eq!(
+            totals.bytes,
+            self.quarantine.failed_bytes(),
+            "ledger and quarantine disagree on failed bytes"
+        );
+        Some(totals)
+    }
+
+    /// The single release-or-retain decision point for one locked entry —
+    /// both [`MineSweeper::finish_sweep`] and
+    /// [`MineSweeper::sweep_now_with_shadow`] come through here, so the
+    /// forensics ledger can never diverge from the quarantine's own
+    /// failed-free accounting.
+    fn resolve_entry(
+        &mut self,
+        space: &mut AddrSpace,
+        entry: QEntry,
+        dangling: bool,
+        sweep: u64,
+        edges: Option<&HashMap<u64, EdgeAgg>>,
+        report: &mut SweepReport,
+    ) {
+        let forensics = self.cfg.forensics.enabled();
+        let agg = edges.and_then(|m| m.get(&entry.base.raw()).copied());
+        if forensics {
+            // Aggregates only hold entries with at least one recorded hit.
+            if let Some(a) = agg {
+                let (site, base, bytes) = (entry.site, entry.base.raw(), entry.swept_bytes());
+                self.tracer.emit(|| EventKind::PinEdge {
+                    sweep,
+                    site,
+                    base,
+                    bytes,
+                    hits: a.hits,
+                    src: a.src,
+                });
+            }
+        }
+        if dangling && self.cfg.honor_failed_frees {
+            if forensics {
+                let swept = entry.swept_bytes();
+                let (site, base) = (entry.site, entry.base.raw());
+                let (rec, first) = self.ledger.on_failed(&entry, sweep, agg);
+                let (survivals, first_failed) = (rec.survivals, rec.first_failed);
+                if first {
+                    self.counters.ledger_bytes_in.add(swept);
+                }
+                self.tracer.emit(|| EventKind::FailedFreeAged {
+                    sweep,
+                    site,
+                    base,
+                    bytes: swept,
+                    survivals,
+                    first_failed,
+                });
+            }
+            self.quarantine.on_failed(entry);
+            self.counters.failed_frees.inc();
+            report.failed += 1;
+        } else {
+            if forensics {
+                if let Some(rec) = self.ledger.on_released(entry.base) {
+                    self.counters.ledger_bytes_out.add(rec.bytes);
+                    self.residency.record(sweep.saturating_sub(rec.first_failed));
+                }
+            }
+            self.release_entry(space, &entry);
+            report.released += 1;
+            report.released_bytes += entry.usable;
+        }
     }
 
     fn release_entry(&mut self, space: &mut AddrSpace, entry: &QEntry) {
@@ -674,17 +802,12 @@ impl<B: HeapBackend> MineSweeper<B> {
             marked_granules,
             wall_ns: 0,
         });
+        // Caller-provided shadow map: marking ran elsewhere, so there is no
+        // edge recorder — forensics still keeps the ledger from the release
+        // decisions themselves.
         for entry in locked {
             let dangling = shadow.range_marked(entry.base, entry.usable);
-            if dangling && self.cfg.honor_failed_frees {
-                self.quarantine.on_failed(entry);
-                self.counters.failed_frees.inc();
-                report.failed += 1;
-            } else {
-                self.release_entry(space, &entry);
-                report.released += 1;
-                report.released_bytes += entry.usable;
-            }
+            self.resolve_entry(space, entry, dangling, id, None, &mut report);
         }
         report.marked_granules = shadow.marked_count();
         self.tracer.emit(|| EventKind::Release {
@@ -701,7 +824,8 @@ impl<B: HeapBackend> MineSweeper<B> {
         }
         self.counters.sweeps.inc();
         let wall_ns = stopwatch.elapsed_ns();
-        self.tracer.emit(|| EventKind::SweepEnd { sweep: id, wall_ns });
+        let ledger = self.sweep_end_ledger();
+        self.tracer.emit(|| EventKind::SweepEnd { sweep: id, wall_ns, ledger });
         report
     }
 }

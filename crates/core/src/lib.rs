@@ -59,6 +59,7 @@
 mod backend;
 mod config;
 mod filter;
+mod forensics;
 mod layer;
 mod mte;
 mod pagecache;
@@ -69,8 +70,9 @@ mod sweep;
 mod telem;
 
 pub use backend::HeapBackend;
-pub use config::{MsConfig, MsConfigBuilder, SweepMode};
+pub use config::{ForensicsMode, MsConfig, MsConfigBuilder, SweepMode};
 pub use filter::CandidateFilter;
+pub use forensics::{EdgeAgg, EdgeRecorder, FailedFreeLedger, LedgerEntry};
 pub use layer::{FreeOutcome, MineSweeper, SweepReport};
 pub use mte::{tag_ptr, untag_ptr, MteError, MteHeap, TagTable, QUARANTINE_TAG, TAG_GRANULE};
 pub use pagecache::PageCache;

@@ -23,12 +23,15 @@ pub struct QEntry {
     pub unmapped_pages: u64,
     /// Whether the entry has already failed at least one sweep.
     pub failed: bool,
+    /// Allocation-site id the workload attached to this allocation
+    /// (0 when unknown). Forensics aggregates pinned bytes per site.
+    pub site: u32,
 }
 
 impl QEntry {
     /// Creates an entry for an allocation with no unmapped pages.
     pub fn new(base: Addr, usable: u64) -> Self {
-        QEntry { base, usable, unmapped_pages: 0, failed: false }
+        QEntry { base, usable, unmapped_pages: 0, failed: false, site: 0 }
     }
 
     /// Bytes of this entry that sweeps must still examine (everything not
@@ -300,6 +303,7 @@ mod tests {
             usable: 10 * PAGE_SIZE as u64,
             unmapped_pages: 9,
             failed: false,
+            site: 0,
         };
         q.insert(e);
         assert_eq!(q.tracked_bytes(), PAGE_SIZE as u64);

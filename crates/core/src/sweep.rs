@@ -20,6 +20,7 @@
 use vmem::{Addr, AddrSpace, Layout, MemError, PageIdx, Segment, PAGE_SIZE, WORD_SIZE};
 
 use crate::filter::CandidateFilter;
+use crate::forensics::EdgeRecorder;
 use crate::pagecache::PageCache;
 use crate::shadow::ShadowMap;
 
@@ -103,6 +104,10 @@ pub struct StepResult {
     /// Heap-pointing words suppressed by the candidate filter (scan and
     /// replay combined).
     pub filter_rejects: u64,
+    /// Provenance edges recorded by the forensics [`EdgeRecorder`] during
+    /// this step (zero when forensics is off or every edge was sampled
+    /// out). Cache-replayed pages record page-granular edges.
+    pub pin_edges: u64,
     /// Whether the marking phase is complete.
     pub finished: bool,
 }
@@ -117,6 +122,7 @@ impl StepResult {
         self.pages_skipped += r.pages_skipped;
         self.pages_replayed += r.pages_replayed;
         self.filter_rejects += r.filter_rejects;
+        self.pin_edges += r.pin_edges;
         self.finished = r.finished;
     }
 }
@@ -136,6 +142,12 @@ pub struct MarkAccel<'a> {
     pub cache: Option<&'a mut PageCache>,
     /// Quarantine generation tag for recorded digests.
     pub qgen: u64,
+    /// Forensics edge recorder: when present, words that hit a
+    /// quarantined candidate also record a provenance edge (source
+    /// address → quarantine entry). `None` keeps the mark loop on the
+    /// plain [`scan_words`] path — the disabled cost is one branch per
+    /// chunk, not per word.
+    pub forensics: Option<&'a EdgeRecorder>,
 }
 
 /// Scan disposition of one page.
@@ -245,6 +257,7 @@ impl Marker {
         let mut writer = shadow.writer();
         let mut r = StepResult::default();
         let start_bytes = self.done_bytes;
+        let edges_before = accel.forensics.map_or(0, EdgeRecorder::recorded);
         while r.words < word_budget && self.idx < self.plan.ranges.len() {
             let (base, len) = self.plan.ranges[self.idx];
             if self.off >= len {
@@ -280,6 +293,11 @@ impl Marker {
                             _ => {
                                 writer.mark(target);
                                 marked_any = true;
+                                // Replayed digests lost the word offset:
+                                // attribute the edge to the page.
+                                if let Some(rec) = accel.forensics {
+                                    rec.note(page.base(), target);
+                                }
                             }
                         }
                     }
@@ -317,14 +335,27 @@ impl Marker {
                         .as_mut()
                         .filter(|_| digest_active)
                         .map(|(_, v)| v);
-                    scan_words(
-                        &words[start_word..start_word + chunk_words as usize],
-                        layout,
-                        &mut writer,
-                        accel.filter,
-                        digest,
-                        &mut r.filter_rejects,
-                    );
+                    let slice = &words[start_word..start_word + chunk_words as usize];
+                    match accel.forensics {
+                        Some(rec) => scan_words_forensic(
+                            slice,
+                            addr,
+                            layout,
+                            &mut writer,
+                            accel.filter,
+                            digest,
+                            &mut r.filter_rejects,
+                            rec,
+                        ),
+                        None => scan_words(
+                            slice,
+                            layout,
+                            &mut writer,
+                            accel.filter,
+                            digest,
+                            &mut r.filter_rejects,
+                        ),
+                    }
                     PageState::Committed
                 }
                 Ok(None) => PageState::Unbacked,
@@ -368,6 +399,8 @@ impl Marker {
         }
         r.bytes = self.done_bytes - start_bytes;
         r.finished = self.idx >= self.plan.ranges.len();
+        r.pin_edges =
+            accel.forensics.map_or(0, EdgeRecorder::recorded) - edges_before;
         r
     }
 
@@ -441,6 +474,42 @@ fn scan_words(
     }
 }
 
+/// [`scan_words`] with forensic edge recording: identical mark/filter
+/// decisions, plus a [`EdgeRecorder::note`] per shadow write. Kept as a
+/// separate function so the non-forensic loop carries no per-word branch
+/// or address arithmetic. `base` is the address of `words[0]`.
+#[allow(clippy::too_many_arguments)]
+fn scan_words_forensic(
+    words: &[u64],
+    base: Addr,
+    layout: &Layout,
+    writer: &mut crate::shadow::ShadowWriter<'_>,
+    filter: Option<&CandidateFilter>,
+    mut digest: Option<&mut Vec<u64>>,
+    filter_rejects: &mut u64,
+    rec: &EdgeRecorder,
+) {
+    for (i, &value) in words.iter().enumerate() {
+        if value == 0 {
+            continue;
+        }
+        let target = Addr::new(value);
+        if !layout.heap_contains(target) {
+            continue;
+        }
+        if let Some(d) = digest.as_deref_mut() {
+            d.push(value);
+        }
+        match filter {
+            Some(f) if !f.allows(target) => *filter_rejects += 1,
+            _ => {
+                writer.mark(target);
+                rec.note(base.add_bytes(i as u64 * WORD_SIZE as u64), target);
+            }
+        }
+    }
+}
+
 /// Re-marks a single page (stop-the-world pass over soft-dirty pages,
 /// §4.3). Returns words examined; protected/unmapped pages contribute zero.
 pub fn mark_page(
@@ -487,7 +556,7 @@ pub fn parallel_mark(
     layout: &Layout,
     helper_threads: usize,
 ) -> ShadowMap {
-    parallel_mark_accel(space, plan, layout, helper_threads, None, None)
+    parallel_mark_accel(space, plan, layout, helper_threads, None, None, None)
 }
 
 /// Clamps a requested helper-thread count to the hardware: at most
@@ -507,6 +576,10 @@ pub fn effective_helper_count(requested: usize) -> usize {
 /// The cache is consulted read-only — helper threads never record fresh
 /// digests (recording needs `&mut` and a coherent full-page scan; the
 /// incremental [`Marker`] owns that path).
+///
+/// A `forensics` recorder is shared by all helper threads (its counters
+/// are atomic); the recorded total is read off the recorder afterwards,
+/// not returned here.
 pub fn parallel_mark_accel(
     space: &AddrSpace,
     plan: &SweepPlan,
@@ -514,6 +587,7 @@ pub fn parallel_mark_accel(
     helper_threads: usize,
     filter: Option<&CandidateFilter>,
     cache: Option<&PageCache>,
+    forensics: Option<&EdgeRecorder>,
 ) -> ShadowMap {
     let threads = effective_helper_count(helper_threads) + 1;
     // Split ranges into per-thread shares of roughly equal byte counts.
@@ -570,6 +644,9 @@ pub fn parallel_mark_accel(
                                         let target = Addr::new(value);
                                         if filter.is_none_or(|f| f.allows(target)) {
                                             writer.mark(target);
+                                            if let Some(rec) = forensics {
+                                                rec.note(addr, target);
+                                            }
                                         }
                                     }
                                     off = page_end;
@@ -579,7 +656,9 @@ pub fn parallel_mark_accel(
                             let chunk = (page_end - off) as usize / WORD_SIZE;
                             if let Ok(Some(page)) = space.scan_page(addr.page()) {
                                 let w0 = addr.word_in_page();
-                                for &value in &page[w0..w0 + chunk] {
+                                for (i, &value) in
+                                    page[w0..w0 + chunk].iter().enumerate()
+                                {
                                     if value == 0 {
                                         continue;
                                     }
@@ -588,6 +667,17 @@ pub fn parallel_mark_accel(
                                         && filter.is_none_or(|f| f.allows(target))
                                     {
                                         writer.mark(target);
+                                        // Marks are rare relative to words
+                                        // scanned — the disabled check here
+                                        // stays off the zero fast path.
+                                        if let Some(rec) = forensics {
+                                            rec.note(
+                                                addr.add_bytes(
+                                                    i as u64 * WORD_SIZE as u64,
+                                                ),
+                                                target,
+                                            );
+                                        }
                                     }
                                 }
                             }
@@ -1012,7 +1102,12 @@ mod tests {
             &mut space,
             &layout,
             &s1,
-            &mut MarkAccel { filter: Some(&f1), cache: Some(&mut cache), qgen: 1 },
+            &mut MarkAccel {
+                filter: Some(&f1),
+                cache: Some(&mut cache),
+                qgen: 1,
+                ..MarkAccel::default()
+            },
         );
         assert!(!s1.is_marked(t0));
 
@@ -1029,7 +1124,12 @@ mod tests {
             &mut space,
             &layout,
             &s2,
-            &mut MarkAccel { filter: Some(&f2), cache: Some(&mut cache), qgen: 2 },
+            &mut MarkAccel {
+                filter: Some(&f2),
+                cache: Some(&mut cache),
+                qgen: 2,
+                ..MarkAccel::default()
+            },
         );
         assert_eq!(r.pages_skipped, 2, "filter change does not dirty pages");
         assert!(s2.is_marked(t0), "replay marks the new candidate");
@@ -1087,7 +1187,12 @@ mod tests {
             &mut space,
             &layout,
             &serial,
-            &mut MarkAccel { filter: Some(&filter), cache: Some(&mut cache), qgen: 1 },
+            &mut MarkAccel {
+                filter: Some(&filter),
+                cache: Some(&mut cache),
+                qgen: 1,
+                ..MarkAccel::default()
+            },
         );
         let dirty = space.snapshot_soft_dirty(vmem::PageRange::spanning(
             plan.ranges()[0].0,
@@ -1102,12 +1207,73 @@ mod tests {
                 threads,
                 Some(&filter),
                 Some(&cache),
+                None,
             );
             assert_eq!(parallel.marked_count(), serial.marked_count());
             for t in &targets {
                 assert_eq!(parallel.is_marked(*t), serial.is_marked(*t));
             }
         }
+    }
+
+    #[test]
+    fn forensics_recording_does_not_change_marks_or_accounting() {
+        // Differential guarantee behind the forensics knob: an attached
+        // recorder observes the sweep, it never alters it. Same plan,
+        // with and without a recorder — shadow maps and every StepResult
+        // field except pin_edges must be bit-identical.
+        use crate::config::ForensicsMode;
+        use crate::quarantine::QEntry;
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (targets, plan) = scatter_fixture(&mut space);
+        let entries: Vec<QEntry> = targets
+            .iter()
+            .map(|&t| QEntry {
+                base: t,
+                usable: 64,
+                unmapped_pages: 0,
+                failed: false,
+                site: 0,
+            })
+            .collect();
+
+        let plain = ShadowMap::new();
+        let r_plain = Marker::new(plan.clone()).run_to_end_accel(
+            &mut space,
+            &layout,
+            &plain,
+            &mut MarkAccel::default(),
+        );
+
+        let rec = EdgeRecorder::new(&entries, ForensicsMode::Full).unwrap();
+        let forensic = ShadowMap::new();
+        let r_forensic = Marker::new(plan.clone()).run_to_end_accel(
+            &mut space,
+            &layout,
+            &forensic,
+            &mut MarkAccel { forensics: Some(&rec), ..MarkAccel::default() },
+        );
+
+        assert_eq!(forensic.marked_count(), plain.marked_count());
+        for t in &targets {
+            assert_eq!(forensic.is_marked(*t), plain.is_marked(*t));
+        }
+        assert_eq!(r_plain.pin_edges, 0, "no recorder, no edges");
+        assert!(r_forensic.pin_edges > 0, "pointers into candidates recorded");
+        assert_eq!(r_forensic.pin_edges, rec.recorded());
+        assert_eq!(
+            StepResult { pin_edges: 0, ..r_forensic },
+            r_plain,
+            "recording changes nothing but the edge count"
+        );
+
+        // The parallel marker shares the same recorder semantics.
+        let rec_par = EdgeRecorder::new(&entries, ForensicsMode::Full).unwrap();
+        let parallel =
+            parallel_mark_accel(&space, &plan, &layout, 3, None, None, Some(&rec_par));
+        assert_eq!(parallel.marked_count(), plain.marked_count());
+        assert_eq!(rec_par.recorded(), rec.recorded());
     }
 
     #[test]

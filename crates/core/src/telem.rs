@@ -54,6 +54,15 @@ pub struct MsCounters {
     pub pages_replayed: Counter,
     /// Heap-pointing words suppressed by the candidate filter.
     pub filter_rejects: Counter,
+    /// Provenance edges recorded by the forensics layer (post-sampling;
+    /// zero with forensics off).
+    pub pin_edges: Counter,
+    /// Bytes entering the failed-free ledger (first failure of an entry).
+    pub ledger_bytes_in: Counter,
+    /// Bytes leaving the ledger (release of a previously failed entry).
+    /// The ledger's live total is always `ledger_bytes_in -
+    /// ledger_bytes_out`.
+    pub ledger_bytes_out: Counter,
 }
 
 impl MsCounters {
@@ -80,6 +89,9 @@ impl MsCounters {
             pages_skipped: c("pages_skipped"),
             pages_replayed: c("pages_replayed"),
             filter_rejects: c("filter_rejects"),
+            pin_edges: c("pin_edges"),
+            ledger_bytes_in: c("ledger_bytes_in"),
+            ledger_bytes_out: c("ledger_bytes_out"),
         }
     }
 }

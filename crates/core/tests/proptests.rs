@@ -409,6 +409,148 @@ proptest! {
     }
 
     #[test]
+    fn forensics_preserves_decisions_and_conserves_ledger_bytes(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        sampled in any::<bool>(),
+    ) {
+        // Differential + conservation test for the forensics subsystem.
+        // The same op sequence drives two layers in lockstep — forensics
+        // off, and forensics full (or sampled) — and after every sweep:
+        //  (a) release decisions are identical (recording is observation
+        //      only: it may never flip a mark or retain an entry);
+        //  (b) the failed-free ledger's pinned bytes equal the
+        //      quarantine's failed bytes, and together with released
+        //      bytes respect quarantine byte conservation;
+        //  (c) the ledger_bytes_in/out counters balance to the ledger.
+        use minesweeper::ForensicsMode;
+        let mode = if sampled { ForensicsMode::Sampled(3) } else { ForensicsMode::Full };
+        let off_cfg = MsConfig::fully_concurrent();
+        let on_cfg = MsConfig { forensics: mode, ..MsConfig::fully_concurrent() };
+        let mut layers: Vec<(AddrSpace, MineSweeper)> = [off_cfg, on_cfg]
+            .into_iter()
+            .map(|cfg| (AddrSpace::new(), MineSweeper::new(cfg)))
+            .collect();
+        let stack = layers[0].0.layout().segment_base(Segment::Stack);
+
+        let mut objects: Vec<(Addr, u64)> = Vec::new();
+        let mut live: BTreeSet<usize> = BTreeSet::new();
+        let mut freed: BTreeSet<usize> = BTreeSet::new();
+        let mut next_site = 1u32;
+        for op in ops {
+            match op {
+                Op::Malloc { size } => {
+                    let addrs: Vec<Addr> = layers
+                        .iter_mut()
+                        .map(|(space, ms)| ms.malloc(space, size))
+                        .collect();
+                    prop_assert!(addrs.iter().all(|&a| a == addrs[0]));
+                    let usable = layers[0].1.heap().usable_size(addrs[0]).unwrap();
+                    objects.push((addrs[0], usable));
+                    live.insert(objects.len() - 1);
+                }
+                Op::Point { slot, to } => {
+                    if objects.is_empty() {
+                        continue;
+                    }
+                    let id = to % objects.len();
+                    for (space, _) in &mut layers {
+                        space
+                            .write_word(stack + slot as u64 * 8, objects[id].0.raw())
+                            .unwrap();
+                    }
+                }
+                Op::Unpoint { slot } => {
+                    for (space, _) in &mut layers {
+                        space.write_word(stack + slot as u64 * 8, 0).unwrap();
+                    }
+                }
+                Op::Free { n } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let &id = live.iter().nth(n % live.len()).unwrap();
+                    next_site += 1;
+                    let outcomes: Vec<FreeOutcome> = layers
+                        .iter_mut()
+                        .map(|(space, ms)| {
+                            ms.free_sited(space, objects[id].0, next_site)
+                        })
+                        .collect();
+                    prop_assert!(outcomes.iter().all(|&o| o == outcomes[0]));
+                    live.remove(&id);
+                    freed.insert(id);
+                }
+                Op::Sweep => {
+                    if layers[0].1.quarantine().is_empty() {
+                        continue;
+                    }
+                    for (space, ms) in &mut layers {
+                        ms.sweep_now(space);
+                    }
+                    let off = &layers[0].1;
+                    let on = &layers[1].1;
+                    // (a) identical release decisions, entry by entry.
+                    for &id in &freed {
+                        prop_assert_eq!(
+                            off.quarantine().contains(objects[id].0),
+                            on.quarantine().contains(objects[id].0),
+                            "forensics changed the fate of {}", objects[id].0
+                        );
+                    }
+                    let (so, sn) = (off.stats(), on.stats());
+                    prop_assert_eq!(so.released, sn.released);
+                    prop_assert_eq!(so.released_bytes, sn.released_bytes);
+                    prop_assert_eq!(so.failed_frees, sn.failed_frees);
+                    // (b) ledger pinned bytes == quarantine failed bytes,
+                    // and conservation holds with the ledger folded in.
+                    let totals = on.ledger().totals();
+                    prop_assert_eq!(totals.bytes, on.quarantine().failed_bytes());
+                    let q = on.quarantine();
+                    prop_assert_eq!(
+                        sn.quarantined_bytes,
+                        sn.released_bytes + q.tracked_bytes() + q.unmapped_bytes(),
+                        "ledger recording broke byte conservation"
+                    );
+                    prop_assert!(totals.bytes <= q.tracked_bytes() + q.unmapped_bytes());
+                    // (c) the flow counters balance to the live ledger.
+                    let snap = on.registry().snapshot();
+                    let bytes_in = snap.counter("layer", "ledger_bytes_in").unwrap_or(0);
+                    let bytes_out = snap.counter("layer", "ledger_bytes_out").unwrap_or(0);
+                    prop_assert_eq!(totals.bytes, bytes_in - bytes_out);
+                    // The off layer must never touch its ledger.
+                    prop_assert_eq!(off.ledger().totals().entries, 0);
+                    freed.retain(|&id| off.quarantine().contains(objects[id].0));
+                }
+            }
+        }
+
+        // Drain and re-check the final balance: an empty quarantine means
+        // an empty ledger, with in == out.
+        for slot in 0..16u8 {
+            for (space, _) in &mut layers {
+                space.write_word(stack + slot as u64 * 8, 0).unwrap();
+            }
+        }
+        for (space, ms) in &mut layers {
+            ms.sweep_now(space);
+            ms.sweep_now(space);
+            prop_assert!(ms.quarantine().is_empty());
+        }
+        let totals = layers[1].1.ledger().totals();
+        prop_assert_eq!(totals.bytes, 0, "drained quarantine left ledger bytes");
+        prop_assert_eq!(totals.entries, 0);
+        let snap = layers[1].1.registry().snapshot();
+        prop_assert_eq!(
+            snap.counter("layer", "ledger_bytes_in"),
+            snap.counter("layer", "ledger_bytes_out")
+        );
+        prop_assert_eq!(
+            layers[0].1.stats().released,
+            layers[1].1.stats().released
+        );
+    }
+
+    #[test]
     fn malloc_free_roundtrip_is_stable_under_quarantine(
         sizes in proptest::collection::vec(8u64..100_000, 1..40)
     ) {

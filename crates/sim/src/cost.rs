@@ -102,6 +102,10 @@ pub struct CostModel {
     pub dangsan_work_tax: f64,
     /// Walking one log entry at a DangSan free.
     pub dangsan_log_walk: u64,
+    /// Recording one provenance edge in the forensics layer (binary
+    /// search over quarantine starts + two relaxed atomic updates; paid
+    /// only on words that actually hit a candidate, post-sampling).
+    pub forensics_edge: u64,
     /// Scudo `malloc` (hardened fast path: class lookup + randomized
     /// free-list pop).
     pub scudo_malloc: u64,
@@ -149,6 +153,7 @@ impl CostModel {
             dangsan_log_append: 18,
             dangsan_work_tax: 0.45,
             dangsan_log_walk: 10,
+            forensics_edge: 12,
             scudo_malloc: 45,
             scudo_free: 55,
             cores: 8,

@@ -28,6 +28,9 @@ struct Obj {
     base: Addr,
     /// Requested size (what the program may write).
     req: u64,
+    /// Allocation-site id from the trace (0 = unknown). Forwarded into
+    /// the quarantine so forensics can attribute failed frees.
+    site: u32,
     /// Outgoing pointer slots: (byte offset, target id).
     out: Vec<(u64, u64)>,
 }
@@ -249,7 +252,7 @@ impl Engine {
                     let c = c + (c as f64 * tax * self.profile.ptr_density.min(1.0)) as u64;
                     self.charge_mutator(c)
                 }
-                Op::Alloc { id, size } => self.do_alloc(id, size),
+                Op::Alloc { id, size, site } => self.do_alloc(id, size, site),
                 Op::Free { id } => self.do_free(id),
                 Op::Teardown => self.teardown = true,
             }
@@ -393,7 +396,7 @@ impl Engine {
 
     // ---- allocation ------------------------------------------------------
 
-    fn do_alloc(&mut self, id: u64, size: u64) {
+    fn do_alloc(&mut self, id: u64, size: u64, site: u32) {
         self.metrics.allocs += 1;
         // Pause valve: an overloaded sweep blocks new allocations (§5.7).
         let pause = match &self.sys {
@@ -484,7 +487,7 @@ impl Engine {
             page = page.add_bytes(PAGE_SIZE as u64);
         }
 
-        let mut obj = Obj { base, req: size, out: Vec::new() };
+        let mut obj = Obj { base, req: size, site, out: Vec::new() };
         // Pointer wiring per the profile's density.
         let slots_f = self.profile.ptr_density * size as f64 / 64.0;
         let mut k = slots_f as u64;
@@ -681,7 +684,7 @@ impl Engine {
             Sys::Ms(ms) => {
                 ms.tracer_mut().set_virtual_now(self.now);
                 let st0 = ms.stats();
-                let outcome = ms.free(&mut self.space, obj.base);
+                let outcome = ms.free_sited(&mut self.space, obj.base, obj.site);
                 debug_assert_eq!(outcome, FreeOutcome::Quarantined);
                 let st = ms.stats();
                 let mut c = self.cost.quarantine_insert;
@@ -720,7 +723,7 @@ impl Engine {
             Sys::MsScudo(ms) => {
                 ms.tracer_mut().set_virtual_now(self.now);
                 let st0 = ms.stats();
-                let outcome = ms.free(&mut self.space, obj.base);
+                let outcome = ms.free_sited(&mut self.space, obj.base, obj.site);
                 debug_assert_eq!(outcome, FreeOutcome::Quarantined);
                 let st = ms.stats();
                 let mut c = self.cost.quarantine_insert + self.cost.scudo_free / 4;
@@ -985,6 +988,7 @@ fn progress_one<B: HeapBackend>(
     // Skipped pages (incremental sweep) advance the cursor without the
     // word-by-word re-read; they cost a flat per-page lookup instead.
     *background += cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes)
+        + r.pin_edges * cost.forensics_edge
         + dcs * cost.demand_commit;
     r.finished
 }
@@ -1011,7 +1015,9 @@ fn fast_forward_one<B: HeapBackend>(
     // Derive the wall time from what the drain actually did: skipped
     // pages (incremental sweep) cost a flat per-page lookup, not the
     // streaming re-read.
-    let wall = cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes) / threads.max(1);
+    let wall = (cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes)
+        + r.pin_edges * cost.forensics_edge)
+        / threads.max(1);
     (wall, space.stats().demand_commits - dc0)
 }
 

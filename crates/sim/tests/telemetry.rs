@@ -65,6 +65,56 @@ fn mostly_concurrent_trace_reconciles_with_stw_events() {
     assert!(jsonl.lines().any(|l| l.contains("\"stw_pass\"")));
 }
 
+/// A dangling-heavy profile: enough stale pointers survive frees that
+/// sweeps reliably retain entries (long-lived pinners for forensics).
+fn pinner_profile() -> Profile {
+    Profile { dangling_rate: 0.05, ..fast_profile() }
+}
+
+#[test]
+fn forensic_run_reconciles_and_attributes_pinners() {
+    use minesweeper::{ForensicsMode, MsConfig};
+
+    let cfg =
+        MsConfig { forensics: ForensicsMode::Full, ..MsConfig::fully_concurrent() };
+    let (jsonl, m) = {
+        let buf = SharedBuf::new();
+        let mut eng = Engine::new(&pinner_profile(), System::MineSweeper(cfg), 23);
+        assert!(eng.set_trace_sink(Box::new(JsonlSink::new(buf.clone())), true));
+        let m = eng.run();
+        (buf.contents(), m)
+    };
+    let snap = m.telemetry.as_ref().unwrap();
+    let report = RunReport::from_jsonl(&jsonl).unwrap();
+
+    assert!(report.has_forensics(), "forensic events must appear in the trace");
+    assert!(m.failed_frees > 0, "pinner profile must produce failed frees");
+    assert!(
+        snap.counter("layer", "pin_edges").unwrap_or(0) > 0,
+        "dangling pointers must record provenance edges"
+    );
+    // The full forensic cross-check: pin-edge totals, ledger byte flow,
+    // fail-event counts and the live pinned set all reconcile.
+    report.reconcile(snap).expect("forensic trace reconciles");
+
+    let table = report.pinner_table();
+    assert!(table.contains("pinned sites"), "table:\n{table}");
+    assert!(report.total_pin_hits() > 0);
+
+    // Sampled mode records fewer edges but the ledger is exact, so the
+    // reconciliation still holds.
+    let cfg = MsConfig {
+        forensics: ForensicsMode::Sampled(8),
+        ..MsConfig::fully_concurrent()
+    };
+    let buf = SharedBuf::new();
+    let mut eng = Engine::new(&pinner_profile(), System::MineSweeper(cfg), 23);
+    assert!(eng.set_trace_sink(Box::new(JsonlSink::new(buf.clone())), true));
+    let m = eng.run();
+    let report = RunReport::from_jsonl(&buf.contents()).unwrap();
+    report.reconcile(m.telemetry.as_ref().unwrap()).expect("sampled reconciles");
+}
+
 #[test]
 fn deterministic_traces_are_bit_identical() {
     let (a, ma) = traced_run(System::minesweeper_default(), 11);

@@ -28,10 +28,10 @@ pub mod trace;
 pub use json::{Json, JsonError};
 pub use registry::{
     Counter, CounterSample, Histogram, HistogramSample, Registry, Snapshot,
-    HISTOGRAM_BUCKETS, SNAPSHOT_SCHEMA_VERSION,
+    HISTOGRAM_BUCKETS, SNAPSHOT_MIN_SCHEMA_VERSION, SNAPSHOT_SCHEMA_VERSION,
 };
-pub use timeline::{pause_table, RunReport, SweepRecord};
+pub use timeline::{pause_table, AgedRecord, PinRecord, RunReport, SweepRecord};
 pub use trace::{
-    Event, EventKind, JsonlSink, NullSink, RingSink, SharedBuf, Sink, Stopwatch,
-    Tracer, Trigger,
+    Event, EventKind, JsonlSink, LedgerTotals, NullSink, RingSink, SharedBuf, Sink,
+    Stopwatch, Tracer, Trigger,
 };

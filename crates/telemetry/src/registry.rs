@@ -19,7 +19,14 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 
 /// Snapshot schema version written into JSON exports; bump on any
 /// incompatible change so downstream tooling can compare runs safely.
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the forensics instruments (`pin_edges`,
+/// `ledger_bytes_in`/`ledger_bytes_out` counters and the
+/// `residency_sweeps` histogram); the container shape is unchanged, so
+/// version-1 snapshots still parse.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest snapshot schema version [`Snapshot::from_json`] accepts.
+pub const SNAPSHOT_MIN_SCHEMA_VERSION: u64 = 1;
 
 /// A monotonically increasing atomic counter handle.
 #[derive(Clone, Debug, Default)]
@@ -381,9 +388,10 @@ impl Snapshot {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or_else(|| JsonError::new("missing schema_version"))?;
-        if version != SNAPSHOT_SCHEMA_VERSION {
+        if !(SNAPSHOT_MIN_SCHEMA_VERSION..=SNAPSHOT_SCHEMA_VERSION).contains(&version) {
             return Err(JsonError::new(format!(
-                "unsupported schema_version {version} (expected {SNAPSHOT_SCHEMA_VERSION})"
+                "unsupported schema_version {version} (expected \
+                 {SNAPSHOT_MIN_SCHEMA_VERSION}..={SNAPSHOT_SCHEMA_VERSION})"
             )));
         }
         let mut snap = Snapshot::default();
@@ -573,7 +581,21 @@ mod tests {
     #[test]
     fn from_json_rejects_wrong_schema() {
         assert!(Snapshot::from_json("{\"schema_version\": 999}").is_err());
+        assert!(Snapshot::from_json("{\"schema_version\": 0}").is_err());
         assert!(Snapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn version_1_snapshots_still_parse() {
+        // Snapshots written before the forensics bump (version 1) carry
+        // the same container shape and must keep loading.
+        let old = "{\n  \"schema_version\": 1,\n  \"counters\": [\n    \
+                   {\"subsystem\": \"layer\", \"name\": \"sweeps\", \"value\": 42}\n  ],\n  \
+                   \"histograms\": [\n    {\"subsystem\": \"engine\", \"name\": \"pause_cycles\", \
+                   \"sum\": 5, \"count\": 1, \"buckets\": [[3, 1]]}\n  ]\n}\n";
+        let snap = Snapshot::from_json(old).unwrap();
+        assert_eq!(snap.counter("layer", "sweeps"), Some(42));
+        assert_eq!(snap.histogram("engine", "pause_cycles").unwrap().count(), 1);
     }
 
     #[test]

@@ -6,7 +6,43 @@
 
 use crate::json::JsonError;
 use crate::registry::{Histogram, HistogramSample, Snapshot};
-use crate::trace::{Event, EventKind, Trigger};
+use crate::trace::{Event, EventKind, LedgerTotals, Trigger};
+
+/// One `PinEdge` event: provenance of the pointers that pinned a
+/// quarantined entry during one sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PinRecord {
+    /// Sweep the edges were recorded in.
+    pub sweep: u64,
+    /// Allocation-site id of the pinned entry.
+    pub site: u32,
+    /// Base address of the pinned entry.
+    pub base: u64,
+    /// Swept bytes the entry pins.
+    pub bytes: u64,
+    /// Edges recorded into the entry (post-sampling).
+    pub hits: u64,
+    /// Example source address of a pinning pointer (0 if none captured).
+    pub src: u64,
+}
+
+/// One `FailedFreeAged` event: a failed-free decision with its ledger
+/// history attached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AgedRecord {
+    /// Sweep that made the decision.
+    pub sweep: u64,
+    /// Allocation-site id of the entry.
+    pub site: u32,
+    /// Base address of the entry.
+    pub base: u64,
+    /// Swept bytes the entry pins.
+    pub bytes: u64,
+    /// Consecutive sweeps the entry has failed (1 = first failure).
+    pub survivals: u64,
+    /// Sweep of the first failure.
+    pub first_failed: u64,
+}
 
 /// Everything one sweep did, folded from its lifecycle events.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -49,6 +85,14 @@ pub struct SweepRecord {
     pub purged_pages: u64,
     /// Wall-clock sweep duration (ns; 0 in deterministic traces).
     pub wall_ns: u64,
+    /// Provenance-edge hits recorded this sweep (Σ `PinEdge.hits`).
+    pub pin_hits: u64,
+    /// `FailedFreeAged` events this sweep (equals `failed_frees` when
+    /// forensics was on).
+    pub aged_entries: u64,
+    /// Failed-free ledger totals at sweep end (`None` when the trace was
+    /// recorded without forensics).
+    pub ledger: Option<LedgerTotals>,
 }
 
 impl SweepRecord {
@@ -93,6 +137,11 @@ pub struct RunReport {
     pub flushed_entries: u64,
     /// Total events folded in.
     pub events: u64,
+    /// Every `PinEdge` event, in emission order (forensics traces only).
+    pub pins: Vec<PinRecord>,
+    /// Every `FailedFreeAged` event, in emission order (forensics traces
+    /// only).
+    pub aged: Vec<AgedRecord>,
 }
 
 impl RunReport {
@@ -145,10 +194,40 @@ impl RunReport {
                     report.flushes += 1;
                     report.flushed_entries += entries;
                 }
-                EventKind::SweepEnd { sweep, wall_ns } => {
+                EventKind::SweepEnd { sweep, wall_ns, ledger } => {
                     let r = report.record_mut(*sweep);
                     r.end_vnow = event.vnow;
                     r.wall_ns = *wall_ns;
+                    r.ledger = *ledger;
+                }
+                EventKind::PinEdge { sweep, site, base, bytes, hits, src } => {
+                    report.record_mut(*sweep).pin_hits += hits;
+                    report.pins.push(PinRecord {
+                        sweep: *sweep,
+                        site: *site,
+                        base: *base,
+                        bytes: *bytes,
+                        hits: *hits,
+                        src: *src,
+                    });
+                }
+                EventKind::FailedFreeAged {
+                    sweep,
+                    site,
+                    base,
+                    bytes,
+                    survivals,
+                    first_failed,
+                } => {
+                    report.record_mut(*sweep).aged_entries += 1;
+                    report.aged.push(AgedRecord {
+                        sweep: *sweep,
+                        site: *site,
+                        base: *base,
+                        bytes: *bytes,
+                        survivals: *survivals,
+                        first_failed: *first_failed,
+                    });
                 }
             }
         }
@@ -160,14 +239,24 @@ impl RunReport {
     ///
     /// # Errors
     ///
-    /// [`JsonError`] if any line fails to parse as an event.
+    /// [`JsonError`] naming the 1-based line if any line fails to parse
+    /// as an event — a failure on the final line usually means the trace
+    /// was truncated mid-write (torn line).
     pub fn from_jsonl(text: &str) -> Result<RunReport, JsonError> {
         let mut events = Vec::new();
-        for line in text.lines() {
+        let total = text.lines().count();
+        for (idx, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            events.push(Event::from_json(line)?);
+            events.push(Event::from_json(line).map_err(|e| {
+                let hint = if idx + 1 == total {
+                    " (torn final line: trace truncated mid-write?)"
+                } else {
+                    ""
+                };
+                JsonError::new(format!("line {}: {e}{hint}", idx + 1))
+            })?);
         }
         Ok(RunReport::from_events(&events))
     }
@@ -210,6 +299,32 @@ impl RunReport {
     /// Total stop-the-world pages re-checked across all sweeps.
     pub fn total_stw_pages(&self) -> u64 {
         self.sweeps.iter().map(|r| r.stw_pages).sum()
+    }
+
+    /// Total provenance-edge hits recorded across all sweeps.
+    pub fn total_pin_hits(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.pin_hits).sum()
+    }
+
+    /// Whether the trace carries forensics data (any sweep ended with a
+    /// ledger snapshot).
+    pub fn has_forensics(&self) -> bool {
+        self.sweeps.iter().any(|r| r.ledger.is_some())
+    }
+
+    /// The last sweep's ledger totals, if the trace carries them.
+    pub fn last_ledger(&self) -> Option<LedgerTotals> {
+        self.sweeps.iter().rev().find_map(|r| r.ledger)
+    }
+
+    /// The entries pinned at the end of the trace: each currently failed
+    /// entry re-fails (and re-ages) every sweep, so the last sweep's
+    /// `FailedFreeAged` records ARE the live ledger.
+    pub fn pinned_now(&self) -> Vec<AgedRecord> {
+        let Some(last) = self.sweeps.iter().map(|r| r.sweep).max() else {
+            return Vec::new();
+        };
+        self.aged.iter().filter(|a| a.sweep == last).copied().collect()
     }
 
     /// Cumulative failed-free rate over the whole run.
@@ -260,6 +375,49 @@ impl RunReport {
         check("stw_pages", self.total_stw_pages());
         check("tl_flushes", self.flushes);
         check("tl_flushed_entries", self.flushed_entries);
+        check("pin_edges", self.total_pin_hits());
+        // Forensics-specific invariants, only meaningful when the trace
+        // carries ledger snapshots.
+        if let Some(ledger) = self.last_ledger() {
+            let bytes_in = snap.counter("layer", "ledger_bytes_in").unwrap_or(0);
+            let bytes_out = snap.counter("layer", "ledger_bytes_out").unwrap_or(0);
+            if ledger.bytes != bytes_in.saturating_sub(bytes_out) {
+                mismatches.push(format!(
+                    "ledger_bytes: last SweepEnd says {}, counters say {} in - {} out",
+                    ledger.bytes, bytes_in, bytes_out
+                ));
+            }
+            let failed = snap.counter("layer", "failed_frees").unwrap_or(0);
+            if ledger.fail_events != failed {
+                mismatches.push(format!(
+                    "ledger_fail_events: last SweepEnd says {}, failed_frees counter says {failed}",
+                    ledger.fail_events
+                ));
+            }
+            for r in &self.sweeps {
+                if r.ledger.is_some() && r.aged_entries != r.failed_frees {
+                    mismatches.push(format!(
+                        "sweep {}: {} FailedFreeAged events but {} failed frees",
+                        r.sweep, r.aged_entries, r.failed_frees
+                    ));
+                }
+            }
+            // Byte conservation: the last completed sweep's aged records
+            // are exactly the live ledger (skip if the trace ends inside
+            // an unfinished sweep — it has no snapshot to compare with).
+            if let Some(last) = self.sweeps.iter().max_by_key(|r| r.sweep) {
+                if last.ledger.is_some() {
+                    let pinned: u64 = self.pinned_now().iter().map(|a| a.bytes).sum();
+                    if pinned != ledger.bytes {
+                        mismatches.push(format!(
+                            "pinned bytes: last sweep's aged records sum to {pinned}, \
+                             ledger says {}",
+                            ledger.bytes
+                        ));
+                    }
+                }
+            }
+        }
         if mismatches.is_empty() {
             Ok(())
         } else {
@@ -322,6 +480,92 @@ impl RunReport {
             self.flushes,
             self.flushed_entries,
         ));
+        out
+    }
+
+    /// Renders the `--pinners` table: allocation sites ranked by the
+    /// bytes their failed frees currently pin in quarantine, with the
+    /// provenance-edge hits recorded against them in the final sweep.
+    pub fn pinner_table(&self) -> String {
+        if !self.has_forensics() {
+            return String::from(
+                "no forensics data in trace (run with forensics enabled)\n",
+            );
+        }
+        let pinned = self.pinned_now();
+        let last_sweep = pinned.first().map_or(0, |a| a.sweep);
+        // Per-site aggregation over the live ledger; hits joined from the
+        // same sweep's PinEdge records by entry base.
+        let mut sites: Vec<(u32, u64, u64, u64)> = Vec::new(); // site, entries, bytes, hits
+        for a in &pinned {
+            let hits: u64 = self
+                .pins
+                .iter()
+                .filter(|p| p.sweep == a.sweep && p.base == a.base)
+                .map(|p| p.hits)
+                .sum();
+            match sites.iter_mut().find(|s| s.0 == a.site) {
+                Some(s) => {
+                    s.1 += 1;
+                    s.2 += a.bytes;
+                    s.3 += hits;
+                }
+                None => sites.push((a.site, 1, a.bytes, hits)),
+            }
+        }
+        sites.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        let mut out = format!(
+            "pinned sites after sweep {last_sweep} (ranked by pinned bytes)\n\
+             site   entries  pinned_bytes  pin_hits\n"
+        );
+        for (site, entries, bytes, hits) in &sites {
+            out.push_str(&format!(
+                "{site:>5}  {entries:>7}  {bytes:>12}  {hits:>8}\n"
+            ));
+        }
+        let total_bytes: u64 = pinned.iter().map(|a| a.bytes).sum();
+        out.push_str(&format!(
+            "total  {:>7}  {total_bytes:>12}  (ledger: {} entries, {} fail events)\n",
+            pinned.len(),
+            self.last_ledger().map_or(0, |l| l.entries),
+            self.last_ledger().map_or(0, |l| l.fail_events),
+        ));
+        out
+    }
+
+    /// Renders the `--failed-frees` table: every currently pinned entry
+    /// with its ledger history, oldest residents first.
+    pub fn failed_free_detail_table(&self) -> String {
+        if !self.has_forensics() {
+            return String::from(
+                "no forensics data in trace (run with forensics enabled)\n",
+            );
+        }
+        let mut pinned = self.pinned_now();
+        pinned.sort_by(|a, b| {
+            b.survivals.cmp(&a.survivals).then(a.base.cmp(&b.base))
+        });
+        let mut out = String::from(
+            "base                site   bytes  first_failed  survivals  example_pinner\n",
+        );
+        for a in &pinned {
+            let src = self
+                .pins
+                .iter()
+                .filter(|p| p.sweep == a.sweep && p.base == a.base && p.src != 0)
+                .map(|p| p.src)
+                .next();
+            out.push_str(&format!(
+                "{:#018x}  {:>5}  {:>6}  {:>12}  {:>9}  {}\n",
+                a.base,
+                a.site,
+                a.bytes,
+                a.first_failed,
+                a.survivals,
+                src.map_or_else(|| String::from("-"), |s| format!("{s:#x}")),
+            ));
+        }
+        out.push_str(&format!("{} entries pinned\n", pinned.len()));
         out
     }
 }
@@ -391,7 +635,7 @@ mod tests {
                 },
             ),
             ev(32, EventKind::Purge { sweep: 1, purged_pages: 3 }),
-            ev(35, EventKind::SweepEnd { sweep: 1, wall_ns: 0 }),
+            ev(35, EventKind::SweepEnd { sweep: 1, wall_ns: 0, ledger: None }),
             ev(
                 50,
                 EventKind::SweepStart {
@@ -421,8 +665,205 @@ mod tests {
                     failed_frees: 0,
                 },
             ),
-            ev(75, EventKind::SweepEnd { sweep: 2, wall_ns: 0 }),
+            ev(75, EventKind::SweepEnd { sweep: 2, wall_ns: 0, ledger: None }),
         ]
+    }
+
+    /// A two-sweep forensics run: entry A (site 3) fails both sweeps,
+    /// entry B (site 5) fails sweep 1 and is released in sweep 2.
+    fn forensic_run() -> Vec<Event> {
+        vec![
+            ev(
+                10,
+                EventKind::SweepStart {
+                    sweep: 1,
+                    trigger: Trigger::Proportional,
+                    quarantine_bytes: 512,
+                    quarantine_entries: 2,
+                },
+            ),
+            ev(
+                20,
+                EventKind::PinEdge {
+                    sweep: 1,
+                    site: 3,
+                    base: 0x1000,
+                    bytes: 64,
+                    hits: 4,
+                    src: 0x9008,
+                },
+            ),
+            ev(
+                20,
+                EventKind::PinEdge {
+                    sweep: 1,
+                    site: 5,
+                    base: 0x2000,
+                    bytes: 128,
+                    hits: 1,
+                    src: 0x9010,
+                },
+            ),
+            ev(
+                20,
+                EventKind::FailedFreeAged {
+                    sweep: 1,
+                    site: 3,
+                    base: 0x1000,
+                    bytes: 64,
+                    survivals: 1,
+                    first_failed: 1,
+                },
+            ),
+            ev(
+                20,
+                EventKind::FailedFreeAged {
+                    sweep: 1,
+                    site: 5,
+                    base: 0x2000,
+                    bytes: 128,
+                    survivals: 1,
+                    first_failed: 1,
+                },
+            ),
+            ev(
+                21,
+                EventKind::Release {
+                    sweep: 1,
+                    released: 0,
+                    released_bytes: 0,
+                    failed_frees: 2,
+                },
+            ),
+            ev(
+                22,
+                EventKind::SweepEnd {
+                    sweep: 1,
+                    wall_ns: 0,
+                    ledger: Some(LedgerTotals {
+                        entries: 2,
+                        bytes: 192,
+                        fail_events: 2,
+                    }),
+                },
+            ),
+            ev(
+                30,
+                EventKind::SweepStart {
+                    sweep: 2,
+                    trigger: Trigger::Manual,
+                    quarantine_bytes: 192,
+                    quarantine_entries: 2,
+                },
+            ),
+            ev(
+                40,
+                EventKind::PinEdge {
+                    sweep: 2,
+                    site: 3,
+                    base: 0x1000,
+                    bytes: 64,
+                    hits: 2,
+                    src: 0x9008,
+                },
+            ),
+            ev(
+                40,
+                EventKind::FailedFreeAged {
+                    sweep: 2,
+                    site: 3,
+                    base: 0x1000,
+                    bytes: 64,
+                    survivals: 2,
+                    first_failed: 1,
+                },
+            ),
+            ev(
+                41,
+                EventKind::Release {
+                    sweep: 2,
+                    released: 1,
+                    released_bytes: 128,
+                    failed_frees: 1,
+                },
+            ),
+            ev(
+                42,
+                EventKind::SweepEnd {
+                    sweep: 2,
+                    wall_ns: 0,
+                    ledger: Some(LedgerTotals {
+                        entries: 1,
+                        bytes: 64,
+                        fail_events: 3,
+                    }),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn forensic_events_fold_into_pins_and_ledger() {
+        let report = RunReport::from_events(&forensic_run());
+        assert!(report.has_forensics());
+        assert_eq!(report.total_pin_hits(), 7);
+        assert_eq!(report.sweeps[0].pin_hits, 5);
+        assert_eq!(report.sweeps[0].aged_entries, 2);
+        assert_eq!(report.sweeps[1].pin_hits, 2);
+        assert_eq!(
+            report.last_ledger(),
+            Some(LedgerTotals { entries: 1, bytes: 64, fail_events: 3 })
+        );
+        let pinned = report.pinned_now();
+        assert_eq!(pinned.len(), 1, "only the site-3 entry survives");
+        assert_eq!((pinned[0].base, pinned[0].survivals), (0x1000, 2));
+    }
+
+    #[test]
+    fn forensic_tables_rank_sites_and_entries() {
+        let report = RunReport::from_events(&forensic_run());
+        let p = report.pinner_table();
+        assert!(p.contains("pinned sites after sweep 2"), "{p}");
+        assert!(p.contains("ledger: 1 entries, 3 fail events"), "{p}");
+        let site_row = p.lines().nth(2).unwrap();
+        assert!(site_row.trim_start().starts_with('3'), "site 3 ranked first: {p}");
+        let d = report.failed_free_detail_table();
+        assert!(d.contains("0x0000000000001000"), "{d}");
+        assert!(d.contains("1 entries pinned"), "{d}");
+        assert!(d.contains("0x9008"), "example pinner shown: {d}");
+
+        let bare = RunReport::from_events(&sample_run());
+        assert!(bare.pinner_table().contains("no forensics data"));
+        assert!(bare.failed_free_detail_table().contains("no forensics data"));
+    }
+
+    #[test]
+    fn reconcile_checks_forensic_invariants() {
+        let report = RunReport::from_events(&forensic_run());
+        let reg = crate::registry::Registry::new();
+        reg.counter("layer", "sweeps").add(2);
+        reg.counter("layer", "released").add(1);
+        reg.counter("layer", "released_bytes").add(128);
+        reg.counter("layer", "failed_frees").add(3);
+        reg.counter("layer", "pin_edges").add(7);
+        reg.counter("layer", "ledger_bytes_in").add(192);
+        reg.counter("layer", "ledger_bytes_out").add(128);
+        report.reconcile(&reg.snapshot()).expect("forensic totals must match");
+
+        reg.counter("layer", "ledger_bytes_out").add(64);
+        let err = report.reconcile(&reg.snapshot()).unwrap_err();
+        assert!(err.contains("ledger_bytes"), "{err}");
+
+        let reg2 = crate::registry::Registry::new();
+        reg2.counter("layer", "sweeps").add(2);
+        reg2.counter("layer", "released").add(1);
+        reg2.counter("layer", "released_bytes").add(128);
+        reg2.counter("layer", "failed_frees").add(3);
+        reg2.counter("layer", "pin_edges").add(6); // one hit short
+        reg2.counter("layer", "ledger_bytes_in").add(192);
+        reg2.counter("layer", "ledger_bytes_out").add(128);
+        let err = report.reconcile(&reg2.snapshot()).unwrap_err();
+        assert!(err.contains("pin_edges"), "{err}");
     }
 
     #[test]

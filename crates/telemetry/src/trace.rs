@@ -46,6 +46,20 @@ impl Trigger {
     }
 }
 
+/// Failed-free ledger totals as of a sweep's end, carried in
+/// [`EventKind::SweepEnd`] when forensics is enabled. `bytes` must equal
+/// the quarantine's failed bytes at the same instant (byte conservation)
+/// and `fail_events` the cumulative `failed_frees` counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct LedgerTotals {
+    /// Entries currently in the failed-free ledger.
+    pub entries: u64,
+    /// Swept bytes those entries pin in quarantine.
+    pub bytes: u64,
+    /// Cumulative failed-free decisions recorded by the ledger.
+    pub fail_events: u64,
+}
+
 /// A typed sweep-lifecycle event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EventKind {
@@ -112,6 +126,43 @@ pub enum EventKind {
         /// Entries flushed.
         entries: u64,
     },
+    /// Forensics: aggregated provenance edges discovered by one sweep for
+    /// one quarantined candidate (who points at quarantine). Emitted only
+    /// when the `forensics` knob is on and the sweep recorded at least one
+    /// edge into the entry.
+    PinEdge {
+        /// Sweep number.
+        sweep: u64,
+        /// Allocation-site id of the pinned quarantine entry.
+        site: u32,
+        /// Base address of the pinned entry.
+        base: u64,
+        /// Swept bytes the entry pins.
+        bytes: u64,
+        /// Edges recorded into the entry this sweep (post-sampling).
+        hits: u64,
+        /// Example source address of one recorded edge (page-granular for
+        /// cache-replayed words; 0 when unknown).
+        src: u64,
+    },
+    /// Forensics: a quarantined entry failed its sweep (again). Emitted on
+    /// every failed-free decision while forensics is on, so per-sweep event
+    /// counts reconcile exactly with [`EventKind::Release`]'s
+    /// `failed_frees`.
+    FailedFreeAged {
+        /// Sweep number.
+        sweep: u64,
+        /// Allocation-site id of the failed entry.
+        site: u32,
+        /// Base address of the failed entry.
+        base: u64,
+        /// Swept bytes the entry pins.
+        bytes: u64,
+        /// Consecutive sweeps the entry has failed (1 on first failure).
+        survivals: u64,
+        /// Sweep number of the first failure.
+        first_failed: u64,
+    },
     /// A sweep finished end to end.
     SweepEnd {
         /// Sweep number.
@@ -119,6 +170,10 @@ pub enum EventKind {
         /// Wall-clock sweep duration in nanoseconds (0 in deterministic
         /// mode).
         wall_ns: u64,
+        /// Failed-free ledger totals at sweep end; `None` when forensics
+        /// is off (the JSON then omits the ledger keys, so pre-forensics
+        /// traces parse unchanged).
+        ledger: Option<LedgerTotals>,
     },
 }
 
@@ -177,9 +232,29 @@ impl Event {
             EventKind::QuarantineFlush { entries } => {
                 format!("\"type\": \"quarantine_flush\", \"entries\": {entries}")
             }
-            EventKind::SweepEnd { sweep, wall_ns } => {
-                format!("\"type\": \"sweep_end\", \"sweep\": {sweep}, \"wall_ns\": {wall_ns}")
+            EventKind::PinEdge { sweep, site, base, bytes, hits, src } => {
+                format!(
+                    "\"type\": \"pin_edge\", \"sweep\": {sweep}, \"site\": {site}, \
+                     \"base\": {base}, \"bytes\": {bytes}, \"hits\": {hits}, \"src\": {src}"
+                )
             }
+            EventKind::FailedFreeAged { sweep, site, base, bytes, survivals, first_failed } => {
+                format!(
+                    "\"type\": \"failed_free_aged\", \"sweep\": {sweep}, \"site\": {site}, \
+                     \"base\": {base}, \"bytes\": {bytes}, \"survivals\": {survivals}, \
+                     \"first_failed\": {first_failed}"
+                )
+            }
+            EventKind::SweepEnd { sweep, wall_ns, ledger } => match ledger {
+                None => format!(
+                    "\"type\": \"sweep_end\", \"sweep\": {sweep}, \"wall_ns\": {wall_ns}"
+                ),
+                Some(l) => format!(
+                    "\"type\": \"sweep_end\", \"sweep\": {sweep}, \"wall_ns\": {wall_ns}, \
+                     \"ledger_entries\": {}, \"ledger_bytes\": {}, \"ledger_fail_events\": {}",
+                    l.entries, l.bytes, l.fail_events
+                ),
+            },
         };
         format!("{head}, {body}}}")
     }
@@ -239,8 +314,34 @@ impl Event {
                 purged_pages: num("purged_pages")?,
             },
             "quarantine_flush" => EventKind::QuarantineFlush { entries: num("entries")? },
+            "pin_edge" => EventKind::PinEdge {
+                sweep: num("sweep")?,
+                site: num("site")? as u32,
+                base: num("base")?,
+                bytes: num("bytes")?,
+                hits: num("hits")?,
+                src: num("src")?,
+            },
+            "failed_free_aged" => EventKind::FailedFreeAged {
+                sweep: num("sweep")?,
+                site: num("site")? as u32,
+                base: num("base")?,
+                bytes: num("bytes")?,
+                survivals: num("survivals")?,
+                first_failed: num("first_failed")?,
+            },
             "sweep_end" => {
-                EventKind::SweepEnd { sweep: num("sweep")?, wall_ns: num("wall_ns")? }
+                // The ledger keys are optional: pre-forensics traces (and
+                // forensics-off runs) omit them.
+                let ledger = match v.get("ledger_entries") {
+                    None => None,
+                    Some(_) => Some(LedgerTotals {
+                        entries: num("ledger_entries")?,
+                        bytes: num("ledger_bytes")?,
+                        fail_events: num("ledger_fail_events")?,
+                    }),
+                };
+                EventKind::SweepEnd { sweep: num("sweep")?, wall_ns: num("wall_ns")?, ledger }
             }
             other => return Err(JsonError::new(format!("unknown event type {other:?}"))),
         };
@@ -504,7 +605,28 @@ mod tests {
             EventKind::Release { sweep: 1, released: 2, released_bytes: 128, failed_frees: 1 },
             EventKind::Purge { sweep: 1, purged_pages: 9 },
             EventKind::QuarantineFlush { entries: 64 },
-            EventKind::SweepEnd { sweep: 1, wall_ns: u64::MAX },
+            EventKind::PinEdge {
+                sweep: 1,
+                site: 42,
+                base: 0x1_0000_2000,
+                bytes: 320,
+                hits: 3,
+                src: 0x7f_0000_0008,
+            },
+            EventKind::FailedFreeAged {
+                sweep: 1,
+                site: 42,
+                base: 0x1_0000_2000,
+                bytes: 320,
+                survivals: 2,
+                first_failed: 1,
+            },
+            EventKind::SweepEnd { sweep: 1, wall_ns: u64::MAX, ledger: None },
+            EventKind::SweepEnd {
+                sweep: 2,
+                wall_ns: 0,
+                ledger: Some(LedgerTotals { entries: 1, bytes: 320, fail_events: 2 }),
+            },
         ]
     }
 
@@ -516,6 +638,16 @@ mod tests {
             let parsed = Event::from_json(&line).unwrap();
             assert_eq!(parsed, e, "round-trip failed for {line}");
         }
+    }
+
+    #[test]
+    fn pre_forensics_sweep_end_lines_still_parse() {
+        // Wire back-compat: traces written before the forensics schema
+        // carry no ledger keys and must parse to `ledger: None`.
+        let old = "{\"seq\": 6, \"vnow\": 10000, \"type\": \"sweep_end\", \"sweep\": 1, \"wall_ns\": 0}";
+        let e = Event::from_json(old).unwrap();
+        assert_eq!(e.kind, EventKind::SweepEnd { sweep: 1, wall_ns: 0, ledger: None });
+        assert_eq!(e.to_json(), old, "ledger-free events serialise without ledger keys");
     }
 
     #[test]

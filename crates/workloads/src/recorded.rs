@@ -7,7 +7,8 @@
 //! ```text
 //! # minesweeper-sim trace v1
 //! W 500        # work: 500 cycles of mutator compute
-//! A 0 64       # alloc: object id 0, 64 bytes
+//! A 0 64       # alloc: object id 0, 64 bytes (site 0)
+//! A 1 64 17    # alloc with an explicit allocation-site id
 //! F 0          # free: object id 0
 //! T            # teardown marker (optional; bulk frees follow)
 //! ```
@@ -42,7 +43,12 @@ pub fn write_trace(ops: impl IntoIterator<Item = Op>) -> String {
     for op in ops {
         match op {
             Op::Work(c) => writeln!(out, "W {c}").expect("string write"),
-            Op::Alloc { id, size } => writeln!(out, "A {id} {size}").expect("string write"),
+            Op::Alloc { id, size, site: 0 } => {
+                writeln!(out, "A {id} {size}").expect("string write");
+            }
+            Op::Alloc { id, size, site } => {
+                writeln!(out, "A {id} {size} {site}").expect("string write");
+            }
             Op::Free { id } => writeln!(out, "F {id}").expect("string write"),
             Op::Teardown => out.push_str("T\n"),
         }
@@ -87,7 +93,15 @@ pub fn read_trace(text: &str) -> Result<Vec<Op>, TraceParseError> {
                 if !allocated.insert(id) {
                     return Err(err(line_no, format!("duplicate allocation id {id}")));
                 }
-                ops.push(Op::Alloc { id, size });
+                // Optional third field: allocation-site id (0 = unknown,
+                // what two-field pre-forensics traces mean).
+                let site = match parts.next() {
+                    Some(tok) => tok
+                        .parse::<u32>()
+                        .map_err(|_| err(line_no, format!("bad site: {tok}")))?,
+                    None => 0,
+                };
+                ops.push(Op::Alloc { id, size, site });
             }
             "F" => {
                 let id = next_u64("id")?;
@@ -151,8 +165,25 @@ mod tests {
         let ops = read_trace("# header\n\nW 10 # trailing comment\nA 1 64\nF 1\n").unwrap();
         assert_eq!(
             ops,
-            vec![Op::Work(10), Op::Alloc { id: 1, size: 64 }, Op::Free { id: 1 }]
+            vec![
+                Op::Work(10),
+                Op::Alloc { id: 1, size: 64, site: 0 },
+                Op::Free { id: 1 }
+            ]
         );
+    }
+
+    #[test]
+    fn site_field_roundtrips_and_defaults_to_zero() {
+        let ops = read_trace("A 1 64 17\nA 2 32\nF 1\nF 2\n").unwrap();
+        assert_eq!(ops[0], Op::Alloc { id: 1, size: 64, site: 17 });
+        assert_eq!(ops[1], Op::Alloc { id: 2, size: 32, site: 0 });
+        let text = write_trace(ops.clone());
+        assert!(text.contains("A 1 64 17\n"), "{text}");
+        assert!(text.contains("A 2 32\n"), "site 0 stays two-field: {text}");
+        assert_eq!(read_trace(&text).unwrap(), ops);
+        let e = read_trace("A 1 64 banana\n").unwrap_err();
+        assert!(e.message.contains("bad site"), "{e}");
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub enum Op {
         id: u64,
         /// Requested size in bytes.
         size: u64,
+        /// Synthetic allocation-site id: lifetime class (0 short-lived,
+        /// 1 phase-bound, 2 permanent, 3 straggler) × 16 + log₂ size
+        /// bucket. Forensics attributes failed frees back to these.
+        site: u32,
     },
     /// Free object `id`.
     Free {
@@ -137,22 +141,44 @@ impl TraceGen {
         self.pending.push_back(Op::Work(work));
         let id = self.next_id;
         let size = self.size_dist.sample(&mut self.rng);
-        self.pending.push_back(Op::Alloc { id, size });
+        // Classify before queueing the alloc so its site id can carry the
+        // lifetime class (rng call order is unchanged: size → straggler
+        // chance → phase chance → lifetime sample, with the same
+        // short-circuits — streams stay identical to pre-site traces).
         // Small stragglers become permanent regardless of the lifetime
         // distribution (see Profile::straggler_rate).
         let straggler = size <= 512 && self.rng.chance(self.straggler_rate);
-        if !straggler && self.rng.chance(self.phase_frac) {
+        let class = if !straggler && self.rng.chance(self.phase_frac) {
             self.phase_objects.push(id);
+            1 // phase-bound
         } else {
             match if straggler { None } else { self.lifetime.sample(&mut self.rng) } {
                 Some(life) => {
                     self.due.push(Reverse((self.next_id + 1 + life, id)));
+                    0 // short-lived
                 }
-                None => self.permanents.push(id),
+                None => {
+                    self.permanents.push(id);
+                    if straggler {
+                        3
+                    } else {
+                        2 // permanent
+                    }
+                }
             }
-        }
+        };
+        self.pending.push_back(Op::Alloc { id, size, site: site_id(class, size) });
         self.next_id += 1;
     }
+}
+
+/// Derives a synthetic allocation-site id from a lifetime class and a
+/// size: `class * 16 + log2-size-bucket` (bucket capped at 15). Distinct
+/// enough that forensics attribution is meaningful, small enough that
+/// per-site tables stay readable.
+fn site_id(class: u32, size: u64) -> u32 {
+    let bucket = (64 - size.max(1).leading_zeros()).min(15);
+    class * 16 + bucket
 }
 
 impl Iterator for TraceGen {
@@ -236,6 +262,24 @@ mod tests {
                 assert!(matches!(w[0], Op::Work(_)), "alloc without preceding work");
             }
         }
+    }
+
+    #[test]
+    fn site_ids_encode_lifetime_class_and_size_bucket() {
+        // tiny_profile has no phases or stragglers: every site is class 0
+        // (short-lived) or class 2 (permanent), with a log2 size bucket
+        // consistent with the op's own size.
+        let mut classes = HashSet::new();
+        for op in TraceGen::new(&tiny_profile(), 13) {
+            if let Op::Alloc { size, site, .. } = op {
+                let class = site / 16;
+                let bucket = site % 16;
+                assert!(class == 0 || class == 2, "unexpected class {class}");
+                assert_eq!(bucket, (64 - size.max(1).leading_zeros()).min(15));
+                classes.insert(class);
+            }
+        }
+        assert_eq!(classes.len(), 2, "both lifetime classes appear");
     }
 
     #[test]

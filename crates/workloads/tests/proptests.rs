@@ -57,7 +57,7 @@ proptest! {
         let mut freed = 0u64;
         for op in &ops {
             match op {
-                Op::Alloc { id, size } => {
+                Op::Alloc { id, size, .. } => {
                     prop_assert!(*size > 0);
                     prop_assert!(allocated.insert(*id), "duplicate id");
                     prop_assert!(live.insert(*id));

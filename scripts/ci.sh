@@ -31,6 +31,31 @@ cargo run -q --release -p ms-cli --bin ms-report -- "$smoke_dir/run.jsonl" \
     | grep -q "reconcile: trace totals match metrics counters" \
     || { echo "trace/metrics reconciliation failed"; exit 1; }
 
+echo "== forensics trace smoke-test =="
+# The same run with forensics on: the trace must carry the forensic event
+# schema (pin edges, ledger snapshots), the pinner view must render, and
+# the extended --check must reconcile the ledger against the counters.
+cargo run -q --release -p ms-cli --bin minesweeper-sim -- run demo \
+    --system ms --forensics full --trace-out "$smoke_dir/forensic.jsonl" \
+    --metrics-out "$smoke_dir/forensic_metrics.json" > /dev/null
+grep -q '"ledger_entries"' "$smoke_dir/forensic.jsonl" \
+    || { echo "forensic trace missing ledger snapshots"; exit 1; }
+cargo run -q --release -p ms-cli --bin ms-report -- "$smoke_dir/forensic.jsonl" \
+    --metrics "$smoke_dir/forensic_metrics.json" --pinners --failed-frees --check \
+    > "$smoke_dir/forensic_report.txt" \
+    || { echo "forensic report failed"; exit 1; }
+grep -q "pinned sites" "$smoke_dir/forensic_report.txt" \
+    || { echo "forensic report missing pinner table"; exit 1; }
+grep -q "reconcile: trace totals match metrics counters" \
+    "$smoke_dir/forensic_report.txt" \
+    || { echo "forensic reconciliation failed"; exit 1; }
+
+echo "== golden trace fixtures =="
+# The JSONL wire format (plain and forensic) must stay byte-identical to
+# the committed fixtures; regenerate intentionally with UPDATE_GOLDEN=1.
+cargo test -q -p minesweeper --test golden_trace > /dev/null \
+    || { echo "golden trace fixtures drifted"; exit 1; }
+
 echo "== sweep bench smoke-run =="
 # One rep on the small fixture: asserts the bench runs end to end and the
 # JSON carries the expected schema (including the incremental-sweep and
@@ -39,7 +64,8 @@ cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
     --quick --reps 1 --out "$smoke_dir/bench.json" \
     --metrics-out "$smoke_dir/bench_metrics.json" > /dev/null
 for key in requested_helpers effective_helpers dirty_pct incremental_d5 \
-    incremental_filtered_d5 words_per_sec; do
+    incremental_filtered_d5 words_per_sec forensics_off forensics_sampled_s8 \
+    forensics_full; do
     grep -q "$key" "$smoke_dir/bench.json" \
         || { echo "bench JSON missing $key"; exit 1; }
 done
