@@ -35,9 +35,9 @@ fn bench_sweep(c: &mut Criterion) {
     group.bench_function("serial_marker", |b| {
         let layout = *space.layout();
         b.iter(|| {
-            let shadow = ShadowMap::new();
+            let mut shadow = ShadowMap::new();
             let mut marker = Marker::new(plan.clone());
-            marker.run_to_end(&mut space, &layout, &shadow);
+            marker.run_to_end(&mut space, &layout, &mut shadow);
             black_box(shadow.marked_count())
         })
     });

@@ -119,6 +119,7 @@ struct ActiveSweep {
     mark_bytes: u64,
     mark_words: u64,
     mark_skipped_bytes: u64,
+    mark_filter_rejects: u64,
     mark_wall_ns: u64,
     /// Wall clock for the whole sweep (inert when tracing is off).
     stopwatch: Stopwatch,
@@ -216,6 +217,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             pages_skipped: c.pages_skipped.get(),
             pages_replayed: c.pages_replayed.get(),
             filter_rejects: c.filter_rejects.get(),
+            heap_words: c.heap_words.get(),
             double_free_reports: self.double_free_reports.clone(),
         }
     }
@@ -527,6 +529,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             mark_bytes: 0,
             mark_words: 0,
             mark_skipped_bytes: 0,
+            mark_filter_rejects: 0,
             mark_wall_ns: 0,
             stopwatch,
             filter,
@@ -552,11 +555,14 @@ impl<B: HeapBackend> MineSweeper<B> {
             cache,
             qgen: active.qgen,
             forensics: active.recorder.as_ref(),
+            tier: None,
         };
-        let r = active.marker.step_accel(space, &layout, &self.shadow, word_budget, &mut accel);
+        let r =
+            active.marker.step_accel(space, &layout, &mut self.shadow, word_budget, &mut accel);
         active.mark_bytes += r.bytes;
         active.mark_words += r.words;
         active.mark_skipped_bytes += r.skipped_bytes;
+        active.mark_filter_rejects += r.filter_rejects;
         active.mark_wall_ns += sw.elapsed_ns();
         self.absorb_mark_counters(&r);
         r
@@ -566,6 +572,7 @@ impl<B: HeapBackend> MineSweeper<B> {
     fn absorb_mark_counters(&self, r: &StepResult) {
         self.counters.swept_bytes.add(r.bytes);
         self.counters.skipped_bytes.add(r.skipped_bytes);
+        self.counters.heap_words.add(r.heap_words);
         self.counters.pages_skipped.add(r.pages_skipped);
         self.counters.pages_replayed.add(r.pages_replayed);
         self.counters.filter_rejects.add(r.filter_rejects);
@@ -596,13 +603,15 @@ impl<B: HeapBackend> MineSweeper<B> {
                 cache,
                 qgen: active.qgen,
                 forensics: active.recorder.as_ref(),
+                tier: None,
             };
-            active.marker.run_to_end_accel(space, &layout, &self.shadow, &mut accel)
+            active.marker.run_to_end_accel(space, &layout, &mut self.shadow, &mut accel)
         };
         report.marked_words += drained.words;
         active.mark_bytes += drained.bytes;
         active.mark_words += drained.words;
         active.mark_skipped_bytes += drained.skipped_bytes;
+        active.mark_filter_rejects += drained.filter_rejects;
         active.mark_wall_ns += sw.elapsed_ns();
         self.absorb_mark_counters(&drained);
         report.skipped_bytes = active.mark_skipped_bytes;
@@ -612,6 +621,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             bytes: active.mark_bytes,
             words: active.mark_words,
             skipped_bytes: active.mark_skipped_bytes,
+            filter_rejects: active.mark_filter_rejects,
             marked_granules,
             wall_ns: active.mark_wall_ns,
         });
@@ -620,7 +630,7 @@ impl<B: HeapBackend> MineSweeper<B> {
         if self.cfg.mode == SweepMode::MostlyConcurrent && self.cfg.marking {
             let mut stw_words = 0;
             for page in space.soft_dirty_pages() {
-                stw_words += mark_page(space, &layout, &self.shadow, page);
+                stw_words += mark_page(space, &layout, &mut self.shadow, page);
                 report.stw_pages += 1;
             }
             report.marked_words += stw_words;
@@ -799,6 +809,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             bytes: 0,
             words: 0,
             skipped_bytes: 0,
+            filter_rejects: 0,
             marked_granules,
             wall_ns: 0,
         });

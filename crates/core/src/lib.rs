@@ -65,6 +65,7 @@ mod mte;
 mod pagecache;
 mod quarantine;
 mod shadow;
+pub mod simd;
 mod stats;
 mod sweep;
 mod telem;
@@ -79,9 +80,10 @@ pub use pagecache::PageCache;
 pub use quarantine::{QEntry, Quarantine};
 pub use shadow::{NaiveShadowMap, ShadowMap, ShadowWriter, MAX_SHADOWED};
 pub use stats::MsStats;
+pub use simd::ScanTier;
 pub use sweep::{
-    effective_helper_count, parallel_mark, parallel_mark_accel, MarkAccel, Marker, StepResult,
-    SweepPlan,
+    effective_helper_count, parallel_mark, parallel_mark_accel, parallel_mark_opts, MarkAccel,
+    Marker, ParallelMarkOpts, ParallelMarkStats, StepResult, SweepPlan, PARALLEL_CHUNK_PAGES,
 };
 pub use telem::{MsCounters, LAYER_SUBSYSTEM};
 

@@ -13,16 +13,28 @@
 //! and erased behind it* during the sweep is missed — §4.3 footnote 5) and
 //! the mostly-concurrent mode's soft-dirty stop-the-world fix.
 //!
-//! Marking writes through `&ShadowMap` (the map is atomic — see
-//! [`crate::shadow`]), so [`parallel_mark`] threads share **one** map with
-//! no per-thread maps and no union barrier (§4.4).
+//! The shadow map is atomic (see [`crate::shadow`]), so [`parallel_mark`]
+//! threads share **one** map with no per-thread maps and no union barrier
+//! (§4.4). Parallel marking schedules by **work stealing**: an atomic
+//! cursor over fixed page-range chunks, so helpers never idle behind an
+//! unlucky static share. The *serial* paths ([`Marker`], [`mark_page`])
+//! instead take `&mut ShadowMap` and mark through the exclusive
+//! store-only [`ShadowWriter`](crate::shadow::ShadowMap::writer_mut) —
+//! no locked RMW per 1 KiB window.
+//!
+//! Every scanned word — serial, parallel, STW re-mark or forensic — goes
+//! through the single [`scan_words`] inner loop, whose classify pass is
+//! the runtime-dispatched SIMD kernel in [`crate::simd`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use vmem::{Addr, AddrSpace, Layout, MemError, PageIdx, Segment, PAGE_SIZE, WORD_SIZE};
 
 use crate::filter::CandidateFilter;
 use crate::forensics::EdgeRecorder;
 use crate::pagecache::PageCache;
-use crate::shadow::ShadowMap;
+use crate::shadow::{ShadowMap, ShadowWriter};
+use crate::simd::{self, ScanTier};
 
 /// The memory ranges one sweep will examine: active heap extents plus the
 /// committed pages of the globals and stack segments.
@@ -96,6 +108,10 @@ pub struct StepResult {
     /// Bytes advanced without reading: clean pages replayed from the
     /// page-summary cache plus protected/unmapped page skips.
     pub skipped_bytes: u64,
+    /// Scanned words that passed the heap range test (survivors of the
+    /// SIMD classify pass, pre-filter). Cache-replayed digests are not
+    /// counted — replays are charged per page, not per word.
+    pub heap_words: u64,
     /// Clean pages whose 512-word re-read was skipped via the cache.
     pub pages_skipped: u64,
     /// Skipped pages whose non-empty digest was replayed into the shadow
@@ -119,6 +135,7 @@ impl StepResult {
         self.words += r.words;
         self.bytes += r.bytes;
         self.skipped_bytes += r.skipped_bytes;
+        self.heap_words += r.heap_words;
         self.pages_skipped += r.pages_skipped;
         self.pages_replayed += r.pages_replayed;
         self.filter_rejects += r.filter_rejects;
@@ -144,10 +161,14 @@ pub struct MarkAccel<'a> {
     pub qgen: u64,
     /// Forensics edge recorder: when present, words that hit a
     /// quarantined candidate also record a provenance edge (source
-    /// address → quarantine entry). `None` keeps the mark loop on the
-    /// plain [`scan_words`] path — the disabled cost is one branch per
-    /// chunk, not per word.
+    /// address → quarantine entry). `None` keeps the recorder dispatch
+    /// out of the survivors tail — the disabled cost is one branch per
+    /// surviving word, never per scanned word.
     pub forensics: Option<&'a EdgeRecorder>,
+    /// Scan-kernel tier override; `None` uses [`simd::active_tier`].
+    /// Every tier produces bit-identical marks, digests and counts — the
+    /// override exists for benchmarks and differential tests.
+    pub tier: Option<ScanTier>,
 }
 
 /// Scan disposition of one page.
@@ -227,7 +248,7 @@ impl Marker {
         &mut self,
         space: &mut AddrSpace,
         layout: &Layout,
-        shadow: &ShadowMap,
+        shadow: &mut ShadowMap,
         word_budget: u64,
     ) -> StepResult {
         self.step_accel(space, layout, shadow, word_budget, &mut MarkAccel::default())
@@ -250,14 +271,17 @@ impl Marker {
         &mut self,
         space: &mut AddrSpace,
         layout: &Layout,
-        shadow: &ShadowMap,
+        shadow: &mut ShadowMap,
         word_budget: u64,
         accel: &mut MarkAccel<'_>,
     ) -> StepResult {
-        let mut writer = shadow.writer();
+        // The serial cursor owns its map for the duration of the step, so
+        // it gets the exclusive writer's store-only flush.
+        let mut writer = shadow.writer_mut();
         let mut r = StepResult::default();
         let start_bytes = self.done_bytes;
         let edges_before = accel.forensics.map_or(0, EdgeRecorder::recorded);
+        let tier = accel.tier.unwrap_or_else(simd::active_tier);
         while r.words < word_budget && self.idx < self.plan.ranges.len() {
             let (base, len) = self.plan.ranges[self.idx];
             if self.off >= len {
@@ -336,26 +360,18 @@ impl Marker {
                         .filter(|_| digest_active)
                         .map(|(_, v)| v);
                     let slice = &words[start_word..start_word + chunk_words as usize];
-                    match accel.forensics {
-                        Some(rec) => scan_words_forensic(
-                            slice,
-                            addr,
-                            layout,
-                            &mut writer,
-                            accel.filter,
-                            digest,
-                            &mut r.filter_rejects,
-                            rec,
-                        ),
-                        None => scan_words(
-                            slice,
-                            layout,
-                            &mut writer,
-                            accel.filter,
-                            digest,
-                            &mut r.filter_rejects,
-                        ),
-                    }
+                    scan_words(
+                        tier,
+                        slice,
+                        addr,
+                        layout,
+                        &mut writer,
+                        accel.filter,
+                        digest,
+                        &mut r.heap_words,
+                        &mut r.filter_rejects,
+                        accel.forensics,
+                    );
                     PageState::Committed
                 }
                 Ok(None) => PageState::Unbacked,
@@ -409,7 +425,7 @@ impl Marker {
         &mut self,
         space: &mut AddrSpace,
         layout: &Layout,
-        shadow: &ShadowMap,
+        shadow: &mut ShadowMap,
     ) -> u64 {
         let mut total = 0;
         loop {
@@ -427,7 +443,7 @@ impl Marker {
         &mut self,
         space: &mut AddrSpace,
         layout: &Layout,
-        shadow: &ShadowMap,
+        shadow: &mut ShadowMap,
         accel: &mut MarkAccel<'_>,
     ) -> StepResult {
         let mut total = StepResult::default();
@@ -441,62 +457,53 @@ impl Marker {
     }
 }
 
-/// The shared inner mark loop: zero fast path, heap range check, optional
-/// digest capture (pre-filter), optional candidate filter, shadow write.
-#[inline]
-fn scan_words(
-    words: &[u64],
-    layout: &Layout,
-    writer: &mut crate::shadow::ShadowWriter<'_>,
-    filter: Option<&CandidateFilter>,
-    mut digest: Option<&mut Vec<u64>>,
-    filter_rejects: &mut u64,
-) {
-    for &value in words {
-        // Zero-on-free (§4.1) makes zero by far the most common swept
-        // word: one compare and on to the next word.
-        if value == 0 {
-            continue;
-        }
-        let target = Addr::new(value);
-        if !layout.heap_contains(target) {
-            continue;
-        }
-        if let Some(d) = digest.as_deref_mut() {
-            d.push(value);
-        }
-        match filter {
-            Some(f) if !f.allows(target) => *filter_rejects += 1,
-            _ => {
-                writer.mark(target);
-            }
-        }
-    }
-}
-
-/// [`scan_words`] with forensic edge recording: identical mark/filter
-/// decisions, plus a [`EdgeRecorder::note`] per shadow write. Kept as a
-/// separate function so the non-forensic loop carries no per-word branch
-/// or address arithmetic. `base` is the address of `words[0]`.
+/// **The one inner mark loop.** Every scanned word — serial, parallel,
+/// stop-the-world or forensic — goes through this function.
+///
+/// The hot classify pass is the chunked [`simd`] kernel: 8 words per
+/// iteration, lane-OR zero early-out (zero-on-free makes all-zero chunks
+/// the common case, §4.1), branch-free heap-range test, tier dispatched
+/// at runtime (AVX2 / SSE2 / portable SWAR). Words that survive — the
+/// rare heap-range hits — reach the compacted tail closure below, where
+/// digest capture, the [`CandidateFilter`], the shadow write and forensic
+/// edge recording all live. Keeping those behind the compaction means the
+/// optional features cost a branch per *survivor*, never per scanned
+/// word, and there is exactly one classify loop to test and optimise.
+/// The tail is instantiated twice: a bare shadow-write-only closure for
+/// the steady-state sweep, and the full-featured one when any of digest /
+/// filter / forensics is active.
+///
+/// `base` is the address of `words[0]` (forensic edge provenance);
+/// `heap_words` counts survivors (pre-filter).
 #[allow(clippy::too_many_arguments)]
-fn scan_words_forensic(
+fn scan_words(
+    tier: ScanTier,
     words: &[u64],
     base: Addr,
     layout: &Layout,
-    writer: &mut crate::shadow::ShadowWriter<'_>,
+    writer: &mut ShadowWriter<'_>,
     filter: Option<&CandidateFilter>,
     mut digest: Option<&mut Vec<u64>>,
+    heap_words: &mut u64,
     filter_rejects: &mut u64,
-    rec: &EdgeRecorder,
+    rec: Option<&EdgeRecorder>,
 ) {
-    for (i, &value) in words.iter().enumerate() {
-        if value == 0 {
-            continue;
-        }
+    let lo = layout.segment_base(Segment::Heap).raw();
+    let hi = layout.segment_end(Segment::Heap).raw();
+    // Same kernel either way; only the survivor tail is instantiated
+    // twice. The bare configuration (no digest, no filter, no forensics)
+    // is the steady-state production sweep, and its tail shrinks to the
+    // shadow write alone — `heap_words` comes from the kernel's
+    // survivor-mask popcount rather than a per-survivor increment, and
+    // the `Option` checks vanish instead of running on every survivor.
+    if digest.is_none() && filter.is_none() && rec.is_none() {
+        *heap_words += simd::for_each_in_range(tier, words, lo, hi, |_, value| {
+            writer.mark(Addr::new(value));
+        });
+        return;
+    }
+    *heap_words += simd::for_each_in_range(tier, words, lo, hi, |i, value| {
         let target = Addr::new(value);
-        if !layout.heap_contains(target) {
-            continue;
-        }
         if let Some(d) = digest.as_deref_mut() {
             d.push(value);
         }
@@ -504,45 +511,58 @@ fn scan_words_forensic(
             Some(f) if !f.allows(target) => *filter_rejects += 1,
             _ => {
                 writer.mark(target);
-                rec.note(base.add_bytes(i as u64 * WORD_SIZE as u64), target);
+                if let Some(rec) = rec {
+                    rec.note(base.add_bytes(i as u64 * WORD_SIZE as u64), target);
+                }
             }
         }
-    }
+    });
 }
 
 /// Re-marks a single page (stop-the-world pass over soft-dirty pages,
-/// §4.3). Returns words examined; protected/unmapped pages contribute zero.
+/// §4.3). Runs the same [`scan_words`] kernel as the concurrent phase, so
+/// the STW pass gets the zero fast path and SIMD classify too — a
+/// soft-dirty page that was freed-and-zeroed since the snapshot costs one
+/// lane-OR per cache line, not 512 range tests. Returns words examined;
+/// protected/unmapped pages contribute zero.
 pub fn mark_page(
     space: &mut AddrSpace,
     layout: &Layout,
-    shadow: &ShadowMap,
+    shadow: &mut ShadowMap,
     page: PageIdx,
 ) -> u64 {
     match space.scan_page(page) {
         Ok(Some(words)) => {
-            let mut writer = shadow.writer();
-            for &value in words.iter() {
-                if layout.heap_contains(Addr::new(value)) {
-                    writer.mark(Addr::new(value));
-                }
-            }
+            let mut writer = shadow.writer_mut();
+            let (mut heap_words, mut rejects) = (0u64, 0u64);
+            scan_words(
+                simd::active_tier(),
+                words,
+                page.base(),
+                layout,
+                &mut writer,
+                None,
+                None,
+                &mut heap_words,
+                &mut rejects,
+                None,
+            );
             (PAGE_SIZE / WORD_SIZE) as u64
         }
         _ => 0,
     }
 }
 
+/// Default work-queue chunk size for [`parallel_mark_opts`], in pages.
+/// 64 pages (256 KiB) is small enough that a straggler finishing its last
+/// chunk idles the other threads for at most ~a quarter-millisecond of
+/// scanning, and large enough that the atomic cursor claim (one
+/// `fetch_add` per chunk) is amortised over 32 K words.
+pub const PARALLEL_CHUNK_PAGES: u64 = 64;
+
 /// One-shot parallel marking with real OS threads (§4.4: "a main sweeper
-/// thread and some helpers ... divides up the memory to sweep equally").
-///
-/// The plan's ranges are partitioned into `1 + helper_threads` contiguous
-/// byte shares; every thread marks its share **directly into one shared
-/// atomic shadow map** via side-effect-free reads
-/// ([`AddrSpace::scan_page`], with unbacked pages skipped — they read as
-/// zero, never a heap pointer). There are no per-thread maps to allocate
-/// and no union barrier to pay at the end; each thread's
-/// [`ShadowWriter`](crate::shadow::ShadowWriter) keeps the hot loop off
-/// the radix walk.
+/// thread and some helpers"). Work-stealing wrapper over
+/// [`parallel_mark_opts`] — see there for the scheduling story.
 ///
 /// This is the library-facing sweep used when no discrete-event engine is
 /// orchestrating virtual time (examples, tests, raw-bandwidth benches).
@@ -556,7 +576,222 @@ pub fn parallel_mark(
     layout: &Layout,
     helper_threads: usize,
 ) -> ShadowMap {
-    parallel_mark_accel(space, plan, layout, helper_threads, None, None, None)
+    parallel_mark_accel(space, plan, layout, helper_threads, None, None, None).0
+}
+
+/// Aggregated counters from one parallel mark. Every field is
+/// **deterministic**: each chunk of the work queue is claimed exactly
+/// once and every word is classified exactly once, so the totals are
+/// independent of helper count, chunk size and claim order (the
+/// work-stealing determinism proptests pin this down).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ParallelMarkStats {
+    /// Words read and classified (excludes cache-replayed pages).
+    pub words: u64,
+    /// Scanned words that passed the heap range test (pre-filter).
+    pub heap_words: u64,
+    /// Heap-pointing words suppressed by the candidate filter — scan and
+    /// replay combined, exactly as the serial [`StepResult`] counts them.
+    pub filter_rejects: u64,
+    /// Clean pages whose 512-word re-read was skipped via the cache.
+    pub pages_skipped: u64,
+    /// Skipped pages whose non-empty digest was replayed (subset of
+    /// `pages_skipped`).
+    pub pages_replayed: u64,
+    /// Chunks in the work queue (claims performed, not per-thread).
+    pub chunks: u64,
+    /// Helper threads actually spawned after the hardware clamp.
+    pub effective_helpers: usize,
+}
+
+/// Options for [`parallel_mark_opts`]. `Default` reproduces
+/// [`parallel_mark`]: no filter, no cache, no forensics, auto-dispatched
+/// scan tier, [`PARALLEL_CHUNK_PAGES`]-page chunks, zero helpers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelMarkOpts<'a> {
+    /// Helper threads requested (clamped via [`effective_helper_count`]).
+    pub helper_threads: usize,
+    /// Candidate filter gating shadow writes.
+    pub filter: Option<&'a CandidateFilter>,
+    /// Read-only page-summary cache; clean fully-covered pages replay
+    /// their digest instead of being re-read. Helper threads never record
+    /// fresh digests (recording needs `&mut` and a coherent full-page
+    /// scan; the incremental [`Marker`] owns that path).
+    pub cache: Option<&'a PageCache>,
+    /// Forensics recorder shared by all threads (its counters are
+    /// atomic).
+    pub forensics: Option<&'a EdgeRecorder>,
+    /// Scan-kernel tier override; `None` uses [`simd::active_tier`].
+    pub tier: Option<ScanTier>,
+    /// Work-queue chunk size in pages; `None` uses
+    /// [`PARALLEL_CHUNK_PAGES`]. Exposed so the determinism tests can
+    /// vary claim granularity; results are identical for every value.
+    pub chunk_pages: Option<u64>,
+}
+
+/// [`parallel_mark`] with every knob exposed — the full work-stealing
+/// marker.
+///
+/// The plan is cut into fixed page-range chunks (~[`PARALLEL_CHUNK_PAGES`]
+/// pages) at chunk-aligned absolute addresses, queued behind one atomic
+/// cursor. Every thread — the main sweeper and each helper — claims the
+/// next chunk with a relaxed `fetch_add` and routes it through the same
+/// [`scan_words`] SIMD kernel as the serial path. Compared to the static
+/// contiguous byte shares this replaced, no thread can idle behind an
+/// unlucky share: a thread that drew dense, cache-cold or demand-paged
+/// chunks simply claims fewer of them, and the queue drains when the last
+/// chunk does.
+///
+/// All threads mark **directly into one shared atomic shadow map** via
+/// side-effect-free reads ([`AddrSpace::scan_page`], with unbacked pages
+/// skipped — they read as zero, never a heap pointer). There are no
+/// per-thread maps and no union barrier; each thread's
+/// [`ShadowWriter`] keeps the hot loop off the radix walk. Per-thread
+/// counters are folded into the returned [`ParallelMarkStats`] with one
+/// atomic add per thread at join time.
+pub fn parallel_mark_opts(
+    space: &AddrSpace,
+    plan: &SweepPlan,
+    layout: &Layout,
+    opts: &ParallelMarkOpts<'_>,
+) -> (ShadowMap, ParallelMarkStats) {
+    let helpers = effective_helper_count(opts.helper_threads);
+    let threads = helpers + 1;
+    let tier = opts.tier.unwrap_or_else(simd::active_tier);
+    let chunk_bytes =
+        opts.chunk_pages.unwrap_or(PARALLEL_CHUNK_PAGES).max(1) * PAGE_SIZE as u64;
+    // Cut at chunk-aligned *absolute* addresses: steady-state chunk
+    // boundaries are then page boundaries regardless of where a range
+    // starts, so the clean-page replay fast path keeps seeing whole
+    // pages and the chunk list for a given plan is identical for every
+    // thread count.
+    let mut chunks: Vec<(Addr, u64)> = Vec::new();
+    for &(base, len) in plan.ranges() {
+        let mut off = 0;
+        while off < len {
+            let addr = base.add_bytes(off);
+            let next = (addr.raw() / chunk_bytes + 1) * chunk_bytes;
+            let take = (next - addr.raw()).min(len - off);
+            chunks.push((addr, take));
+            off += take;
+        }
+    }
+
+    let shadow = ShadowMap::new();
+    let cursor = AtomicUsize::new(0);
+    let words = AtomicU64::new(0);
+    let heap_words = AtomicU64::new(0);
+    let filter_rejects = AtomicU64::new(0);
+    let pages_skipped = AtomicU64::new(0);
+    let pages_replayed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (shadow, chunks, cursor) = (&shadow, &chunks, &cursor);
+                let (words, heap_words) = (&words, &heap_words);
+                let (filter_rejects, pages_skipped, pages_replayed) =
+                    (&filter_rejects, &pages_skipped, &pages_replayed);
+                let opts = *opts;
+                scope.spawn(move || {
+                    let mut writer = shadow.writer();
+                    let mut local = ParallelMarkStats::default();
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(base, len)) = chunks.get(k) else { break };
+                        mark_chunk(space, layout, tier, &opts, base, len, &mut writer, &mut local);
+                    }
+                    drop(writer);
+                    words.fetch_add(local.words, Ordering::Relaxed);
+                    heap_words.fetch_add(local.heap_words, Ordering::Relaxed);
+                    filter_rejects.fetch_add(local.filter_rejects, Ordering::Relaxed);
+                    pages_skipped.fetch_add(local.pages_skipped, Ordering::Relaxed);
+                    pages_replayed.fetch_add(local.pages_replayed, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("marker thread panicked");
+        }
+    });
+    let stats = ParallelMarkStats {
+        words: words.into_inner(),
+        heap_words: heap_words.into_inner(),
+        filter_rejects: filter_rejects.into_inner(),
+        pages_skipped: pages_skipped.into_inner(),
+        pages_replayed: pages_replayed.into_inner(),
+        chunks: chunks.len() as u64,
+        effective_helpers: helpers,
+    };
+    (shadow, stats)
+}
+
+/// Marks one work-queue chunk: per-page slices through the shared
+/// [`scan_words`] kernel, with the clean-page digest replay fast path for
+/// fully-covered cached pages. Mirrors the serial [`Marker::step_accel`]
+/// accounting (replay rejects count, `pages_replayed` means "replay
+/// marked something").
+#[allow(clippy::too_many_arguments)]
+fn mark_chunk(
+    space: &AddrSpace,
+    layout: &Layout,
+    tier: ScanTier,
+    opts: &ParallelMarkOpts<'_>,
+    base: Addr,
+    len: u64,
+    writer: &mut ShadowWriter<'_>,
+    local: &mut ParallelMarkStats,
+) {
+    let mut off = 0;
+    while off < len {
+        let addr = base.add_bytes(off);
+        let page_end = addr.page().next().base().offset_from(base).min(len);
+        // Clean-page replay: only when this chunk piece covers the whole
+        // page (a partial replay would mark words outside the chunk).
+        if addr.is_aligned(PAGE_SIZE as u64) && page_end - off == PAGE_SIZE as u64 {
+            if let Some(targets) = opts.cache.and_then(|c| c.lookup(addr.page())) {
+                let mut marked_any = false;
+                for &value in targets {
+                    let target = Addr::new(value);
+                    match opts.filter {
+                        Some(f) if !f.allows(target) => local.filter_rejects += 1,
+                        _ => {
+                            writer.mark(target);
+                            marked_any = true;
+                            // Replayed digests lost the word offset:
+                            // attribute the edge to the page.
+                            if let Some(rec) = opts.forensics {
+                                rec.note(addr, target);
+                            }
+                        }
+                    }
+                }
+                local.pages_skipped += 1;
+                local.pages_replayed += u64::from(marked_any);
+                off = page_end;
+                continue;
+            }
+        }
+        let chunk_words = (page_end - off) / WORD_SIZE as u64;
+        if let Ok(Some(page)) = space.scan_page(addr.page()) {
+            let w0 = addr.word_in_page();
+            scan_words(
+                tier,
+                &page[w0..w0 + chunk_words as usize],
+                addr,
+                layout,
+                writer,
+                opts.filter,
+                None,
+                &mut local.heap_words,
+                &mut local.filter_rejects,
+                opts.forensics,
+            );
+            local.words += chunk_words;
+        }
+        // Unbacked pages read as zero; protected pages are skipped —
+        // neither marks anything.
+        off = page_end;
+    }
 }
 
 /// Clamps a requested helper-thread count to the hardware: at most
@@ -571,15 +806,11 @@ pub fn effective_helper_count(requested: usize) -> usize {
 /// [`parallel_mark`] with the incremental-sweep accelerations: an optional
 /// candidate `filter` gating shadow-map writes and an optional read-only
 /// page `cache` whose digests are replayed (through the current filter)
-/// for clean, fully-share-covered pages instead of re-reading them.
-///
-/// The cache is consulted read-only — helper threads never record fresh
-/// digests (recording needs `&mut` and a coherent full-page scan; the
-/// incremental [`Marker`] owns that path).
-///
-/// A `forensics` recorder is shared by all helper threads (its counters
-/// are atomic); the recorded total is read off the recorder afterwards,
-/// not returned here.
+/// for clean, fully-chunk-covered pages instead of re-reading them.
+/// Convenience shape of [`parallel_mark_opts`] with auto tier and default
+/// chunking; the returned [`ParallelMarkStats`] carries the atomically
+/// aggregated per-thread counters (notably `filter_rejects`, which the
+/// telemetry reconcile checks against the trace).
 pub fn parallel_mark_accel(
     space: &AddrSpace,
     plan: &SweepPlan,
@@ -588,112 +819,13 @@ pub fn parallel_mark_accel(
     filter: Option<&CandidateFilter>,
     cache: Option<&PageCache>,
     forensics: Option<&EdgeRecorder>,
-) -> ShadowMap {
-    let threads = effective_helper_count(helper_threads) + 1;
-    // Split ranges into per-thread shares of roughly equal byte counts.
-    let share = plan
-        .total_bytes()
-        .div_ceil(threads as u64)
-        .next_multiple_of(WORD_SIZE as u64)
-        .max(WORD_SIZE as u64);
-    let mut shares: Vec<Vec<(Addr, u64)>> = vec![Vec::new(); threads];
-    let mut t = 0;
-    let mut filled = 0u64;
-    for &(base, len) in plan.ranges() {
-        let mut base = base;
-        let mut len = len;
-        while len > 0 {
-            let room = share.saturating_sub(filled);
-            if room == 0 {
-                t = (t + 1).min(threads - 1);
-                filled = 0;
-                continue;
-            }
-            let take = len.min(room);
-            shares[t].push((base, take));
-            base = base.add_bytes(take);
-            len -= take;
-            filled += take;
-        }
-    }
-
-    let shadow = ShadowMap::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = shares
-            .iter()
-            .map(|share| {
-                let shadow = &shadow;
-                scope.spawn(move || {
-                    let mut writer = shadow.writer();
-                    for &(base, len) in share {
-                        let mut off = 0;
-                        while off < len {
-                            let addr = base.add_bytes(off);
-                            let page_end =
-                                addr.page().next().base().offset_from(base).min(len);
-                            // Clean-page replay: only when this share piece
-                            // covers the whole page (a partial replay would
-                            // mark words outside the share).
-                            if addr.is_aligned(PAGE_SIZE as u64)
-                                && page_end - off == PAGE_SIZE as u64
-                            {
-                                if let Some(targets) =
-                                    cache.and_then(|c| c.lookup(addr.page()))
-                                {
-                                    for &value in targets {
-                                        let target = Addr::new(value);
-                                        if filter.is_none_or(|f| f.allows(target)) {
-                                            writer.mark(target);
-                                            if let Some(rec) = forensics {
-                                                rec.note(addr, target);
-                                            }
-                                        }
-                                    }
-                                    off = page_end;
-                                    continue;
-                                }
-                            }
-                            let chunk = (page_end - off) as usize / WORD_SIZE;
-                            if let Ok(Some(page)) = space.scan_page(addr.page()) {
-                                let w0 = addr.word_in_page();
-                                for (i, &value) in
-                                    page[w0..w0 + chunk].iter().enumerate()
-                                {
-                                    if value == 0 {
-                                        continue;
-                                    }
-                                    let target = Addr::new(value);
-                                    if layout.heap_contains(target)
-                                        && filter.is_none_or(|f| f.allows(target))
-                                    {
-                                        writer.mark(target);
-                                        // Marks are rare relative to words
-                                        // scanned — the disabled check here
-                                        // stays off the zero fast path.
-                                        if let Some(rec) = forensics {
-                                            rec.note(
-                                                addr.add_bytes(
-                                                    i as u64 * WORD_SIZE as u64,
-                                                ),
-                                                target,
-                                            );
-                                        }
-                                    }
-                                }
-                            }
-                            // Unbacked pages read as zero; protected pages
-                            // are skipped — neither marks anything.
-                            off = page_end;
-                        }
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("marker thread panicked");
-        }
-    });
-    shadow
+) -> (ShadowMap, ParallelMarkStats) {
+    parallel_mark_opts(
+        space,
+        plan,
+        layout,
+        &ParallelMarkOpts { helper_threads, filter, cache, forensics, ..Default::default() },
+    )
 }
 
 #[cfg(test)]
@@ -745,10 +877,10 @@ mod tests {
         let src = heap(&mut space, 1);
         space.write_word(src, target.raw()).unwrap(); // a real pointer
         space.write_word(src + 8, 42).unwrap(); // plain data
-        let shadow = ShadowMap::new();
+        let mut shadow = ShadowMap::new();
         let mut marker =
             Marker::new(SweepPlan::from_ranges(vec![(src, PAGE_SIZE as u64)]));
-        marker.run_to_end(&mut space, &layout, &shadow);
+        marker.run_to_end(&mut space, &layout, &mut shadow);
         assert!(shadow.is_marked(target));
         assert_eq!(shadow.marked_count(), 1, "42 is not a heap pointer");
     }
@@ -759,10 +891,10 @@ mod tests {
         let layout = *space.layout();
         let src = heap(&mut space, 1);
         space.commit(vmem::PageRange::spanning(src, PAGE_SIZE as u64)).unwrap();
-        let shadow = ShadowMap::new();
+        let mut shadow = ShadowMap::new();
         let mut marker =
             Marker::new(SweepPlan::from_ranges(vec![(src, PAGE_SIZE as u64)]));
-        let r = marker.step(&mut space, &layout, &shadow, 100);
+        let r = marker.step(&mut space, &layout, &mut shadow, 100);
         assert_eq!(r.words, 100);
         assert!(!r.finished);
         assert_eq!(marker.remaining_bytes(), PAGE_SIZE as u64 - 800);
@@ -786,20 +918,20 @@ mod tests {
             (hi, PAGE_SIZE as u64),
             (lo, PAGE_SIZE as u64),
         ]);
-        let shadow = ShadowMap::new();
+        let mut shadow = ShadowMap::new();
         let mut marker = Marker::new(plan);
         assert!(!marker.has_passed(hi));
         assert!(!marker.has_passed(lo));
         assert!(!marker.has_passed(Addr::new(lo.raw() - 8)), "below every range");
         assert!(!marker.has_passed(hi + PAGE_SIZE as u64), "above every range");
         // Step through `hi` plus 10 words of `lo`.
-        marker.step(&mut space, &layout, &shadow, 512 + 10);
+        marker.step(&mut space, &layout, &mut shadow, 512 + 10);
         assert!(marker.has_passed(hi));
         assert!(marker.has_passed(hi + 8 * 511));
         assert!(marker.has_passed(lo + 72));
         assert!(!marker.has_passed(lo + 80));
         // Finish: everything in-plan is passed, out-of-plan never is.
-        marker.step(&mut space, &layout, &shadow, u64::MAX);
+        marker.step(&mut space, &layout, &mut shadow, u64::MAX);
         assert!(marker.has_passed(lo + (PAGE_SIZE as u64 - 8)));
         assert!(!marker.has_passed(hi + PAGE_SIZE as u64));
     }
@@ -814,10 +946,10 @@ mod tests {
             .protect(vmem::PageRange::spanning(a, PAGE_SIZE as u64), Protection::None)
             .unwrap();
         space.write_word(a + PAGE_SIZE as u64, 7).unwrap();
-        let shadow = ShadowMap::new();
+        let mut shadow = ShadowMap::new();
         let mut marker =
             Marker::new(SweepPlan::from_ranges(vec![(a, 2 * PAGE_SIZE as u64)]));
-        let words = marker.run_to_end(&mut space, &layout, &shadow);
+        let words = marker.run_to_end(&mut space, &layout, &mut shadow);
         assert_eq!(words, 512, "only the unprotected page is read");
     }
 
@@ -830,9 +962,9 @@ mod tests {
         space.write_word(a, 1).unwrap();
         space.decommit(vmem::PageRange::spanning(a, PAGE_SIZE as u64)).unwrap();
         assert_eq!(space.rss_bytes(), 0);
-        let shadow = ShadowMap::new();
+        let mut shadow = ShadowMap::new();
         let mut marker = Marker::new(SweepPlan::from_ranges(vec![(a, PAGE_SIZE as u64)]));
-        marker.run_to_end(&mut space, &layout, &shadow);
+        marker.run_to_end(&mut space, &layout, &mut shadow);
         assert_eq!(space.rss_bytes(), PAGE_SIZE as u64, "sweep faulted the page back");
     }
 
@@ -843,8 +975,8 @@ mod tests {
         let target = heap(&mut space, 1);
         let src = heap(&mut space, 1);
         space.write_word(src + 64, target.raw()).unwrap();
-        let shadow = ShadowMap::new();
-        let words = mark_page(&mut space, &layout, &shadow, src.page());
+        let mut shadow = ShadowMap::new();
+        let words = mark_page(&mut space, &layout, &mut shadow, src.page());
         assert_eq!(words, 512);
         assert!(shadow.is_marked(target));
     }
@@ -869,9 +1001,9 @@ mod tests {
         let layout = *space.layout();
         let (targets, plan) = scatter_fixture(&mut space);
 
-        let serial = ShadowMap::new();
+        let mut serial = ShadowMap::new();
         let mut marker = Marker::new(plan.clone());
-        marker.run_to_end(&mut space, &layout, &serial);
+        marker.run_to_end(&mut space, &layout, &mut serial);
 
         // The seed's naive map, driven by the same plan via direct page
         // reads, is the oracle both implementations must agree with.
@@ -921,8 +1053,8 @@ mod tests {
             }
         }
         let plan = SweepPlan::from_ranges(vec![(src, 8 * PAGE_SIZE as u64)]);
-        let serial = ShadowMap::new();
-        Marker::new(plan.clone()).run_to_end(&mut space, &layout, &serial);
+        let mut serial = ShadowMap::new();
+        Marker::new(plan.clone()).run_to_end(&mut space, &layout, &mut serial);
         for threads in [0, 1, 3, 6] {
             let parallel = parallel_mark(&space, &plan, &layout, threads);
             assert_eq!(parallel.marked_count(), serial.marked_count());
@@ -975,11 +1107,11 @@ mod tests {
         ));
         cache.begin_sweep(&plan, &dirty, 1);
         space.clear_soft_dirty();
-        let full = ShadowMap::new();
+        let mut full = ShadowMap::new();
         let r1 = Marker::new(plan.clone()).run_to_end_accel(
             &mut space,
             &layout,
-            &full,
+            &mut full,
             &mut MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() },
         );
         assert_eq!(r1.pages_skipped, 0, "cold cache skips nothing");
@@ -994,11 +1126,11 @@ mod tests {
         ));
         assert!(dirty.is_empty(), "nothing written since the clear");
         cache.begin_sweep(&plan, &dirty, 2);
-        let inc = ShadowMap::new();
+        let mut inc = ShadowMap::new();
         let r2 = Marker::new(plan.clone()).run_to_end_accel(
             &mut space,
             &layout,
-            &inc,
+            &mut inc,
             &mut MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() },
         );
         assert_eq!(r2.pages_skipped, 2);
@@ -1018,11 +1150,11 @@ mod tests {
         assert_eq!(dirty, vec![src.page()]);
         cache.begin_sweep(&plan, &dirty, 3);
         space.clear_soft_dirty();
-        let inc2 = ShadowMap::new();
+        let mut inc2 = ShadowMap::new();
         let r3 = Marker::new(plan).run_to_end_accel(
             &mut space,
             &layout,
-            &inc2,
+            &mut inc2,
             &mut MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() },
         );
         assert_eq!(r3.pages_skipped, 1, "only the clean page skips");
@@ -1040,11 +1172,11 @@ mod tests {
         let mut cache = PageCache::new();
         cache.begin_sweep(&plan, &[], 1);
         space.clear_soft_dirty();
-        let full = ShadowMap::new();
+        let mut full = ShadowMap::new();
         let mut marker = Marker::new(plan.clone());
         let mut accel = MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() };
         loop {
-            if marker.step_accel(&mut space, &layout, &full, 100, &mut accel).finished {
+            if marker.step_accel(&mut space, &layout, &mut full, 100, &mut accel).finished {
                 break;
             }
         }
@@ -1055,11 +1187,11 @@ mod tests {
             2 * PAGE_SIZE as u64,
         ));
         cache.begin_sweep(&plan, &dirty, 2);
-        let inc = ShadowMap::new();
+        let mut inc = ShadowMap::new();
         let r = Marker::new(plan).run_to_end_accel(
             &mut space,
             &layout,
-            &inc,
+            &mut inc,
             &mut MarkAccel { cache: Some(&mut cache), ..MarkAccel::default() },
         );
         assert_eq!(r.pages_skipped, 2);
@@ -1074,11 +1206,11 @@ mod tests {
 
         // Only t1's page is a quarantine candidate.
         let filter = CandidateFilter::build([(t1, 64)]);
-        let shadow = ShadowMap::new();
+        let mut shadow = ShadowMap::new();
         let r = Marker::new(plan).run_to_end_accel(
             &mut space,
             &layout,
-            &shadow,
+            &mut shadow,
             &mut MarkAccel { filter: Some(&filter), ..MarkAccel::default() },
         );
         assert!(shadow.is_marked(t1), "candidate marks preserved");
@@ -1097,11 +1229,11 @@ mod tests {
         cache.begin_sweep(&plan, &[], 1);
         space.clear_soft_dirty();
         let f1 = CandidateFilter::build([(t1, 64)]);
-        let s1 = ShadowMap::new();
+        let mut s1 = ShadowMap::new();
         Marker::new(plan.clone()).run_to_end_accel(
             &mut space,
             &layout,
-            &s1,
+            &mut s1,
             &mut MarkAccel {
                 filter: Some(&f1),
                 cache: Some(&mut cache),
@@ -1119,11 +1251,11 @@ mod tests {
         ));
         cache.begin_sweep(&plan, &dirty, 2);
         let f2 = CandidateFilter::build([(t0, 64)]);
-        let s2 = ShadowMap::new();
+        let mut s2 = ShadowMap::new();
         let r = Marker::new(plan).run_to_end_accel(
             &mut space,
             &layout,
-            &s2,
+            &mut s2,
             &mut MarkAccel {
                 filter: Some(&f2),
                 cache: Some(&mut cache),
@@ -1146,13 +1278,13 @@ mod tests {
         space
             .protect(vmem::PageRange::spanning(a, PAGE_SIZE as u64), Protection::None)
             .unwrap();
-        let shadow = ShadowMap::new();
+        let mut shadow = ShadowMap::new();
         let mut marker =
             Marker::new(SweepPlan::from_ranges(vec![(a, 2 * PAGE_SIZE as u64)]));
         let r = marker.run_to_end_accel(
             &mut space,
             &layout,
-            &shadow,
+            &mut shadow,
             &mut MarkAccel::default(),
         );
         assert_eq!(r.words, 512);
@@ -1182,11 +1314,11 @@ mod tests {
         let mut cache = PageCache::new();
         cache.begin_sweep(&plan, &[], 1);
         space.clear_soft_dirty();
-        let serial = ShadowMap::new();
+        let mut serial = ShadowMap::new();
         Marker::new(plan.clone()).run_to_end_accel(
             &mut space,
             &layout,
-            &serial,
+            &mut serial,
             &mut MarkAccel {
                 filter: Some(&filter),
                 cache: Some(&mut cache),
@@ -1200,7 +1332,7 @@ mod tests {
         ));
         cache.begin_sweep(&plan, &dirty, 2);
         for threads in [0, 1, 3] {
-            let parallel = parallel_mark_accel(
+            let (parallel, _) = parallel_mark_accel(
                 &space,
                 &plan,
                 &layout,
@@ -1238,20 +1370,20 @@ mod tests {
             })
             .collect();
 
-        let plain = ShadowMap::new();
+        let mut plain = ShadowMap::new();
         let r_plain = Marker::new(plan.clone()).run_to_end_accel(
             &mut space,
             &layout,
-            &plain,
+            &mut plain,
             &mut MarkAccel::default(),
         );
 
         let rec = EdgeRecorder::new(&entries, ForensicsMode::Full).unwrap();
-        let forensic = ShadowMap::new();
+        let mut forensic = ShadowMap::new();
         let r_forensic = Marker::new(plan.clone()).run_to_end_accel(
             &mut space,
             &layout,
-            &forensic,
+            &mut forensic,
             &mut MarkAccel { forensics: Some(&rec), ..MarkAccel::default() },
         );
 
@@ -1270,10 +1402,124 @@ mod tests {
 
         // The parallel marker shares the same recorder semantics.
         let rec_par = EdgeRecorder::new(&entries, ForensicsMode::Full).unwrap();
-        let parallel =
+        let (parallel, _) =
             parallel_mark_accel(&space, &plan, &layout, 3, None, None, Some(&rec_par));
         assert_eq!(parallel.marked_count(), plain.marked_count());
         assert_eq!(rec_par.recorded(), rec.recorded());
+    }
+
+    #[test]
+    fn parallel_stats_match_serial_step_result() {
+        // The work-stealing totals must agree with the serial cursor's
+        // accounting word for word: same filter_rejects, heap_words and
+        // scanned words — that is what lets the layer's reconcile treat
+        // the two paths interchangeably.
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (targets, plan) = scatter_fixture(&mut space);
+        let filter =
+            CandidateFilter::build(targets.iter().take(3).map(|&t| (t, PAGE_SIZE as u64)));
+        let mut serial = ShadowMap::new();
+        let r = Marker::new(plan.clone()).run_to_end_accel(
+            &mut space,
+            &layout,
+            &mut serial,
+            &mut MarkAccel { filter: Some(&filter), ..MarkAccel::default() },
+        );
+        assert!(r.filter_rejects > 0 && r.heap_words > r.filter_rejects);
+        for helpers in [0, 2, 5] {
+            let (map, stats) = parallel_mark_accel(
+                &space,
+                &plan,
+                &layout,
+                helpers,
+                Some(&filter),
+                None,
+                None,
+            );
+            assert_eq!(map.marked_count(), serial.marked_count());
+            assert_eq!(stats.filter_rejects, r.filter_rejects, "helpers={helpers}");
+            assert_eq!(stats.heap_words, r.heap_words);
+            assert_eq!(stats.words, r.words);
+            assert_eq!(stats.effective_helpers, effective_helper_count(helpers));
+        }
+    }
+
+    #[test]
+    fn work_stealing_is_deterministic_across_chunking() {
+        // Chunk size changes claim granularity and order; helper count
+        // changes interleaving. Neither may change the mark set or the
+        // aggregated counters. An unaligned range start exercises the
+        // mid-page chunk head.
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (targets, plan) = scatter_fixture(&mut space);
+        let (base, len) = plan.ranges()[0];
+        let ragged =
+            SweepPlan::from_ranges(vec![(base.add_bytes(24), len - 24 - 64), (base, 24)]);
+        let filter =
+            CandidateFilter::build(targets.iter().map(|&t| (t, PAGE_SIZE as u64)));
+        let reference = parallel_mark_opts(
+            &space,
+            &ragged,
+            &layout,
+            &ParallelMarkOpts { filter: Some(&filter), ..Default::default() },
+        );
+        for chunk_pages in [1, 2, 64, 1 << 20] {
+            for helpers in [0, 1, 3, 7] {
+                let (map, stats) = parallel_mark_opts(
+                    &space,
+                    &ragged,
+                    &layout,
+                    &ParallelMarkOpts {
+                        helper_threads: helpers,
+                        filter: Some(&filter),
+                        chunk_pages: Some(chunk_pages),
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    map.marked_count(),
+                    reference.0.marked_count(),
+                    "chunk_pages={chunk_pages} helpers={helpers}"
+                );
+                for t in &targets {
+                    assert_eq!(map.is_marked(*t), reference.0.is_marked(*t));
+                }
+                assert_eq!(stats.words, reference.1.words);
+                assert_eq!(stats.heap_words, reference.1.heap_words);
+                assert_eq!(stats.filter_rejects, reference.1.filter_rejects);
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier_produces_identical_step_results() {
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (targets, plan) = scatter_fixture(&mut space);
+        let filter =
+            CandidateFilter::build(targets.iter().take(2).map(|&t| (t, PAGE_SIZE as u64)));
+        let mut results = Vec::new();
+        for &tier in crate::simd::available_tiers() {
+            let mut shadow = ShadowMap::new();
+            let r = Marker::new(plan.clone()).run_to_end_accel(
+                &mut space,
+                &layout,
+                &mut shadow,
+                &mut MarkAccel {
+                    filter: Some(&filter),
+                    tier: Some(tier),
+                    ..MarkAccel::default()
+                },
+            );
+            results.push((tier, r, shadow.marked_count()));
+        }
+        let (_, r0, m0) = results[0];
+        for &(tier, r, m) in &results[1..] {
+            assert_eq!(r, r0, "{tier:?} StepResult diverged");
+            assert_eq!(m, m0, "{tier:?} mark set diverged");
+        }
     }
 
     #[test]
@@ -1285,9 +1531,9 @@ mod tests {
         let victim = heap(&mut space, 1);
         let src = heap(&mut space, 1);
         space.write_word(src, victim.raw()).unwrap(); // "just an integer"
-        let shadow = ShadowMap::new();
+        let mut shadow = ShadowMap::new();
         let mut marker = Marker::new(SweepPlan::from_ranges(vec![(src, PAGE_SIZE as u64)]));
-        marker.run_to_end(&mut space, &layout, &shadow);
+        marker.run_to_end(&mut space, &layout, &mut shadow);
         assert!(shadow.range_marked(victim, 64), "false pointers retain allocations");
     }
 }

@@ -54,6 +54,9 @@ pub struct MsCounters {
     pub pages_replayed: Counter,
     /// Heap-pointing words suppressed by the candidate filter.
     pub filter_rejects: Counter,
+    /// Scanned words that passed the heap range test (pre-filter
+    /// survivors of the SIMD classify pass; excludes cache replays).
+    pub heap_words: Counter,
     /// Provenance edges recorded by the forensics layer (post-sampling;
     /// zero with forensics off).
     pub pin_edges: Counter,
@@ -89,6 +92,7 @@ impl MsCounters {
             pages_skipped: c("pages_skipped"),
             pages_replayed: c("pages_replayed"),
             filter_rejects: c("filter_rejects"),
+            heap_words: c("heap_words"),
             pin_edges: c("pin_edges"),
             ledger_bytes_in: c("ledger_bytes_in"),
             ledger_bytes_out: c("ledger_bytes_out"),

@@ -11,8 +11,12 @@ use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
 use minesweeper::telemetry::{RingSink, RunReport};
-use minesweeper::{FreeOutcome, MineSweeper, MsConfig, NaiveShadowMap, ShadowMap};
-use vmem::{Addr, AddrSpace, Segment};
+use minesweeper::{
+    parallel_mark_opts, CandidateFilter, EdgeRecorder, ForensicsMode, FreeOutcome, MarkAccel,
+    Marker, MineSweeper, MsConfig, NaiveShadowMap, PageCache, ParallelMarkOpts, QEntry, ShadowMap,
+    SweepPlan,
+};
+use vmem::{Addr, AddrSpace, Segment, PAGE_SIZE};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -574,5 +578,265 @@ proptest! {
         let n = mapped_history.len();
         prop_assert_eq!(mapped_history[n - 1], mapped_history[n - 2],
             "mapped footprint must converge: {:?}", mapped_history);
+    }
+}
+
+/// Builds one scan fixture for the differential kernel tests: `pages`
+/// mapped source pages whose words are an LCG-driven mix of zeros, heap
+/// pointers into a two-page target window, and junk — including the
+/// exact heap boundary values (`lo - 8`, `hi - 8`, `hi`) every scan tier
+/// must classify identically. The returned plan starts `start_off` words
+/// in and stops `end_trim` words early, so the kernel's 32-word group
+/// alignment, head scalar-up and tail remainder are all arbitrary.
+fn scan_fixture(
+    space: &mut AddrSpace,
+    seed: u64,
+    pages: u64,
+    start_off: u64,
+    end_trim: u64,
+    zero_pct: u64,
+    ptr_pct: u64,
+) -> (SweepPlan, Addr) {
+    let tbase = {
+        let a = space.reserve_heap(2);
+        space.map(a, 2).unwrap();
+        a
+    };
+    let src = {
+        let a = space.reserve_heap(pages);
+        space.map(a, pages).unwrap();
+        a
+    };
+    let layout = *space.layout();
+    let lo = layout.segment_base(Segment::Heap).raw();
+    let hi = layout.segment_end(Segment::Heap).raw();
+    let mut r = seed | 1;
+    let mut lcg = move || {
+        r = r.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        r >> 11
+    };
+    for i in 0..pages * 512 {
+        let roll = lcg() % 100;
+        let v = if roll < zero_pct {
+            0
+        } else if roll < zero_pct + ptr_pct {
+            tbase.raw() + lcg() % (2 * PAGE_SIZE as u64)
+        } else {
+            match lcg() % 8 {
+                0 => lo.wrapping_sub(8), // just below the heap: rejected
+                1 => hi,                 // one past the heap: rejected
+                2 => hi - 8,             // last heap word: survivor
+                3 => lo,                 // first heap word: survivor
+                4 => 1,
+                5 => u64::MAX,
+                _ => lcg(), // arbitrary 53-bit junk
+            }
+        };
+        space.write_word(src + i * 8, v).unwrap();
+    }
+    let total = pages * 512;
+    let words = (total - start_off.min(total - 1)).saturating_sub(end_trim).max(1);
+    (SweepPlan::from_ranges(vec![(src + start_off * 8, words * 8)]), tbase)
+}
+
+/// Folds a full accelerated mark of `plan` under one tier into a
+/// comparable digest: the summed step counters, the shadow map's count
+/// and granule-by-granule contents over the target window, the page
+/// cache's recorded digests, and the forensic edge aggregates.
+#[allow(clippy::type_complexity)]
+fn run_tier(
+    space: &mut AddrSpace,
+    plan: &SweepPlan,
+    tier: minesweeper::ScanTier,
+    budget: u64,
+    filter: Option<&CandidateFilter>,
+    entries: Option<&[QEntry]>,
+    tbase: Addr,
+) -> ((u64, u64, u64, u64, u64, u64), u64, Vec<bool>, Vec<Option<Vec<u64>>>, u64, Vec<(u64, u64, u64)>) {
+    let layout = *space.layout();
+    let mut shadow = ShadowMap::new();
+    let mut cache = PageCache::new();
+    cache.begin_sweep(plan, &[], 1);
+    let rec = entries.and_then(|e| EdgeRecorder::new(e, ForensicsMode::Full));
+    let mut marker = Marker::new(plan.clone());
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    loop {
+        let mut accel = MarkAccel {
+            filter,
+            cache: Some(&mut cache),
+            qgen: 1,
+            forensics: rec.as_ref(),
+            tier: Some(tier),
+        };
+        let r = marker.step_accel(space, &layout, &mut shadow, budget, &mut accel);
+        totals.0 += r.words;
+        totals.1 += r.bytes;
+        totals.2 += r.heap_words;
+        totals.3 += r.filter_rejects;
+        totals.4 += r.skipped_bytes;
+        totals.5 += r.pin_edges;
+        if r.finished {
+            break;
+        }
+    }
+    let window: Vec<bool> = (0..2 * PAGE_SIZE as u64 / 16)
+        .map(|g| shadow.is_marked(tbase + g * 16))
+        .collect();
+    let digests: Vec<Option<Vec<u64>>> = plan
+        .ranges()
+        .iter()
+        .flat_map(|&(base, len)| {
+            (0..len.div_ceil(PAGE_SIZE as u64))
+                .map(move |k| base.add_bytes(k * PAGE_SIZE as u64).page())
+        })
+        .map(|pg| cache.lookup(pg).map(<[u64]>::to_vec))
+        .collect();
+    let (recorded, mut aggs) = rec
+        .map(|r| {
+            let a = r
+                .aggregates()
+                .into_iter()
+                .map(|(base, agg)| (base, agg.hits, agg.src))
+                .collect::<Vec<_>>();
+            (r.recorded(), a)
+        })
+        .unwrap_or_default();
+    aggs.sort_unstable();
+    (totals, shadow.marked_count(), window, digests, recorded, aggs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scan_tiers_are_bit_identical_through_the_full_pipeline(
+        seed in any::<u64>(),
+        pages in 1u64..4,
+        start_off in 0u64..70,
+        end_trim in 0u64..70,
+        zero_pct in 0u64..80,
+        ptr_pct in 0u64..20,
+        budget in 16u64..3000,
+        filter_on in any::<bool>(),
+        forensics_on in any::<bool>(),
+    ) {
+        // Differential test for the SIMD kernel (the tentpole): every
+        // available tier — AVX2, SSE2, portable SWAR — must produce
+        // bit-identical shadow maps, step counters, page digests,
+        // filter-reject counts and forensic edges over arbitrary word
+        // soup, arbitrary (unaligned) plan starts/ends and arbitrary
+        // step budgets. SWAR is the reference; it contains no
+        // platform-specific code.
+        let mut space = AddrSpace::new();
+        let (plan, tbase) =
+            scan_fixture(&mut space, seed, pages, start_off, end_trim, zero_pct, ptr_pct);
+        // Candidate region: the second target page only, so the filter
+        // rejects roughly half the in-window pointers.
+        let filter = CandidateFilter::build([(tbase + PAGE_SIZE as u64, PAGE_SIZE as u64)]);
+        let filter = filter_on.then_some(&filter);
+        let entries = [QEntry::new(tbase + PAGE_SIZE as u64, PAGE_SIZE as u64)];
+        let entries = forensics_on.then_some(&entries[..]);
+
+        let tiers = minesweeper::simd::available_tiers();
+        let reference = run_tier(&mut space, &plan, tiers[tiers.len() - 1], budget, filter, entries, tbase);
+        prop_assert_eq!(tiers[tiers.len() - 1], minesweeper::ScanTier::Swar);
+        for &tier in &tiers[..tiers.len() - 1] {
+            let got = run_tier(&mut space, &plan, tier, budget, filter, entries, tbase);
+            prop_assert_eq!(&got, &reference, "tier {} diverges from swar", tier.as_str());
+        }
+    }
+
+    #[test]
+    fn work_stealing_mark_is_deterministic(
+        seed in any::<u64>(),
+        pages in 1u64..5,
+        zero_pct in 0u64..80,
+        ptr_pct in 0u64..20,
+        helpers in 0usize..5,
+        chunk_pages in 1u64..4,
+        filter_on in any::<bool>(),
+    ) {
+        // The work-stealing queue must not change *what* is computed:
+        // for any helper count (including counts the hardware clamps)
+        // and any chunk granularity, the aggregated stats and the shadow
+        // map equal the serial marker's, claim order notwithstanding.
+        let mut space = AddrSpace::new();
+        let (plan, tbase) = scan_fixture(&mut space, seed, pages, 0, 0, zero_pct, ptr_pct);
+        let layout = *space.layout();
+        let filter = CandidateFilter::build([(tbase, PAGE_SIZE as u64)]);
+        let filter = filter_on.then_some(&filter);
+
+        let mut serial_map = ShadowMap::new();
+        let serial = Marker::new(plan.clone()).run_to_end_accel(
+            &mut space,
+            &layout,
+            &mut serial_map,
+            &mut MarkAccel { filter, ..MarkAccel::default() },
+        );
+
+        let (map, stats) = parallel_mark_opts(
+            &space,
+            &plan,
+            &layout,
+            &ParallelMarkOpts {
+                helper_threads: helpers,
+                filter,
+                chunk_pages: Some(chunk_pages),
+                ..ParallelMarkOpts::default()
+            },
+        );
+        prop_assert_eq!(stats.words, serial.words);
+        prop_assert_eq!(stats.heap_words, serial.heap_words);
+        prop_assert_eq!(stats.filter_rejects, serial.filter_rejects);
+        prop_assert_eq!(map.marked_count(), serial_map.marked_count());
+        for g in 0..2 * PAGE_SIZE as u64 / 16 {
+            prop_assert_eq!(
+                map.is_marked(tbase + g * 16),
+                serial_map.is_marked(tbase + g * 16),
+                "granule {} disagrees", g
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_writer_matches_naive_on_runs_and_jumps(
+        segs in proptest::collection::vec(
+            (0u64..(1u64 << 30), 1u64..96), 1..40),
+        use_shared in any::<bool>(),
+    ) {
+        // The write-combining window is adaptive: sequential granule
+        // runs open it, isolated marks take the direct path, and chunk /
+        // line boundaries force flushes. Mark-by-mark "newly set"
+        // verdicts and the final count must match the naive reference
+        // for any interleaving of runs and jumps — including re-marking
+        // granules a previous run already set.
+        let fast = ShadowMap::new();
+        let mut slow = NaiveShadowMap::new();
+        let mut drive = |w: &mut dyn FnMut(Addr) -> bool| {
+            for &(base, run) in &segs {
+                for k in 0..run {
+                    let a = Addr::new(base * 16 + k * 16);
+                    assert_eq!(w(a), slow.mark(a), "verdict diverges at {a}");
+                }
+            }
+        };
+        if use_shared {
+            let mut w = fast.writer();
+            drive(&mut |a| w.mark(a));
+        } else {
+            let mut fast2 = ShadowMap::new();
+            {
+                let mut w = fast2.writer_mut();
+                drive(&mut |a| w.mark(a));
+            }
+            prop_assert_eq!(fast2.marked_count(), slow.marked_count());
+            return Ok(());
+        }
+        prop_assert_eq!(fast.marked_count(), slow.marked_count());
+        for &(base, run) in &segs {
+            for k in 0..run {
+                prop_assert!(fast.is_marked(Addr::new(base * 16 + k * 16)));
+            }
+        }
     }
 }

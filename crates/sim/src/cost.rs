@@ -28,9 +28,22 @@ pub struct CostModel {
     pub unmap_syscall: u64,
     /// Restoring protection on release of an unmapped entry.
     pub remap_syscall: u64,
-    /// Bytes of memory one sweeper thread marks per cycle (linear,
-    /// prefetch-friendly: one 8-byte word per cycle).
+    /// Bytes of memory one sweeper thread streams per cycle with the
+    /// *scalar* word-at-a-time loop (one 8-byte word per cycle). Still
+    /// used for MarkUs's transitive mark, which is a dependent pointer
+    /// chase the SIMD kernel cannot help.
     pub sweep_bytes_per_cycle: u64,
+    /// Words per SIMD classify chunk (one 256-bit group iteration handles
+    /// this many 8-byte words through the zero-test / range-test lanes).
+    pub sweep_chunk_words: u64,
+    /// Cycles per SIMD classify chunk: load + or-tree zero test + two
+    /// compares + movemask, pipelined — the §4.3 linear sweep streams at
+    /// several words per cycle when memory keeps up.
+    pub sweep_chunk_cycles: u64,
+    /// Extra cycles per *survivor* (a scanned word that passed the heap
+    /// range test): tzcnt extraction plus the shadow-map mark. Survivors
+    /// leave the branch-free kernel, so they are the expensive minority.
+    pub sweep_survivor_cycles: u64,
     /// Skipping one provably-clean page during an incremental sweep:
     /// soft-dirty test + page-summary cache lookup + replaying the (few)
     /// cached heap-pointing words, instead of the 512-word re-read.
@@ -129,6 +142,9 @@ impl CostModel {
             unmap_syscall: 1_400,
             remap_syscall: 900,
             sweep_bytes_per_cycle: 8,
+            sweep_chunk_words: 8,
+            sweep_chunk_cycles: 2,
+            sweep_survivor_cycles: 4,
             sweep_skip_page: 40,
             stw_page: 800,
             release_entry: 70,
@@ -172,13 +188,26 @@ impl CostModel {
     }
 
     /// Cycles one sweeper thread spends marking a region where
-    /// `scanned_bytes` were read word-by-word and `skipped_bytes` were
-    /// advanced over without reading (incremental sweep: cache-replayed
-    /// clean pages and protected/unmapped skips pay only the flat
-    /// per-page [`sweep_skip_page`](Self::sweep_skip_page) cost).
-    pub fn mark_cost(&self, scanned_bytes: u64, skipped_bytes: u64) -> u64 {
-        scanned_bytes / self.sweep_bytes_per_cycle
+    /// `scanned_bytes` were classified by the SIMD kernel, `heap_words`
+    /// of them survived the range test (each paying the extraction +
+    /// shadow-mark tail), and `skipped_bytes` were advanced over without
+    /// reading (incremental sweep: cache-replayed clean pages and
+    /// protected/unmapped skips pay only the flat per-page
+    /// [`sweep_skip_page`](Self::sweep_skip_page) cost).
+    pub fn mark_cost(&self, scanned_bytes: u64, skipped_bytes: u64, heap_words: u64) -> u64 {
+        scanned_bytes / (vmem::WORD_SIZE as u64 * self.sweep_chunk_words)
+            * self.sweep_chunk_cycles
+            + heap_words * self.sweep_survivor_cycles
             + skipped_bytes / vmem::PAGE_SIZE as u64 * self.sweep_skip_page
+    }
+
+    /// Words the SIMD classify kernel advances per cycle when no
+    /// survivors interrupt it — the rate the engine uses to turn a wall
+    /// budget into a word budget for [`sweep_step`].
+    ///
+    /// [`sweep_step`]: minesweeper::MineSweeper::sweep_step
+    pub fn sweep_words_per_cycle(&self) -> u64 {
+        (self.sweep_chunk_words / self.sweep_chunk_cycles).max(1)
     }
 }
 
@@ -223,15 +252,32 @@ mod tests {
     fn skipping_a_page_beats_scanning_it() {
         let c = CostModel::desktop();
         let page = vmem::PAGE_SIZE as u64;
-        let scan = c.mark_cost(page, 0);
-        let skip = c.mark_cost(0, page);
-        assert_eq!(scan, page / c.sweep_bytes_per_cycle);
+        let scan = c.mark_cost(page, 0, 0);
+        let skip = c.mark_cost(0, page, 0);
+        assert_eq!(scan, page / 8 / c.sweep_chunk_words * c.sweep_chunk_cycles);
         assert_eq!(skip, c.sweep_skip_page);
-        assert!(skip * 4 < scan, "skip must be far cheaper than a re-read");
+        // The SIMD kernel narrowed the gap (a clean-page scan is 4x
+        // cheaper than scalar), but skipping still wins.
+        assert!(skip * 3 < scan, "skip must be far cheaper than a re-read");
         assert_eq!(
-            c.mark_cost(8192, 4096),
-            8192 / c.sweep_bytes_per_cycle + c.sweep_skip_page,
+            c.mark_cost(8192, 4096, 0),
+            8192 / 8 / c.sweep_chunk_words * c.sweep_chunk_cycles + c.sweep_skip_page,
             "mixed step splits cleanly"
         );
+    }
+
+    #[test]
+    fn survivors_dominate_pointer_dense_pages() {
+        let c = CostModel::desktop();
+        let page = vmem::PAGE_SIZE as u64;
+        let clean = c.mark_cost(page, 0, 0);
+        let dense = c.mark_cost(page, 0, 512);
+        assert_eq!(dense - clean, 512 * c.sweep_survivor_cycles);
+        assert!(
+            dense > page / c.sweep_bytes_per_cycle,
+            "an all-pointer page costs more than the old scalar stream: \
+             every word leaves the branch-free kernel"
+        );
+        assert!(c.sweep_words_per_cycle() >= 4, "SIMD classify beats 1 word/cycle");
     }
 }

@@ -977,7 +977,7 @@ fn progress_one<B: HeapBackend>(
     let helpers = ms.config().helper_threads as u64 + 1;
     let spare = cores.saturating_sub(mutator_threads).max(1);
     let threads = helpers.min(spare).max(1);
-    let budget_words = wall * cost.sweep_bytes_per_cycle * threads / WORD_SIZE as u64;
+    let budget_words = wall * cost.sweep_words_per_cycle() * threads;
     if budget_words == 0 {
         return false;
     }
@@ -987,7 +987,7 @@ fn progress_one<B: HeapBackend>(
     metrics.sweep_demand_commits += dcs;
     // Skipped pages (incremental sweep) advance the cursor without the
     // word-by-word re-read; they cost a flat per-page lookup instead.
-    *background += cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes)
+    *background += cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes, r.heap_words)
         + r.pin_edges * cost.forensics_edge
         + dcs * cost.demand_commit;
     r.finished
@@ -1015,7 +1015,7 @@ fn fast_forward_one<B: HeapBackend>(
     // Derive the wall time from what the drain actually did: skipped
     // pages (incremental sweep) cost a flat per-page lookup, not the
     // streaming re-read.
-    let wall = (cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes)
+    let wall = (cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes, r.heap_words)
         + r.pin_edges * cost.forensics_edge)
         / threads.max(1);
     (wall, space.stats().demand_commits - dc0)

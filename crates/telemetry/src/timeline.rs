@@ -69,6 +69,9 @@ pub struct SweepRecord {
     pub mark_skipped_bytes: u64,
     /// Shadow-map granules marked.
     pub marked_granules: u64,
+    /// Heap-pointing words the candidate filter suppressed during
+    /// marking (serial steps and parallel helpers combined).
+    pub mark_filter_rejects: u64,
     /// Wall-clock marking time (ns; 0 in deterministic traces).
     pub mark_wall_ns: u64,
     /// Pages re-checked by the stop-the-world pass.
@@ -167,6 +170,7 @@ impl RunReport {
                     words,
                     skipped_bytes,
                     marked_granules,
+                    filter_rejects,
                     wall_ns,
                 } => {
                     let r = report.record_mut(*sweep);
@@ -174,6 +178,7 @@ impl RunReport {
                     r.mark_words += words;
                     r.mark_skipped_bytes += skipped_bytes;
                     r.marked_granules = *marked_granules;
+                    r.mark_filter_rejects += filter_rejects;
                     r.mark_wall_ns += wall_ns;
                 }
                 EventKind::StwPass { sweep, pages, words } => {
@@ -301,6 +306,11 @@ impl RunReport {
         self.sweeps.iter().map(|r| r.stw_pages).sum()
     }
 
+    /// Total filter-rejected heap words across all sweeps' mark phases.
+    pub fn total_mark_filter_rejects(&self) -> u64 {
+        self.sweeps.iter().map(|r| r.mark_filter_rejects).sum()
+    }
+
     /// Total provenance-edge hits recorded across all sweeps.
     pub fn total_pin_hits(&self) -> u64 {
         self.sweeps.iter().map(|r| r.pin_hits).sum()
@@ -373,6 +383,7 @@ impl RunReport {
         check("swept_bytes", self.total_mark_bytes());
         check("skipped_bytes", self.total_mark_skipped_bytes());
         check("stw_pages", self.total_stw_pages());
+        check("filter_rejects", self.total_mark_filter_rejects());
         check("tl_flushes", self.flushes);
         check("tl_flushed_entries", self.flushed_entries);
         check("pin_edges", self.total_pin_hits());
@@ -621,6 +632,7 @@ mod tests {
                     words: 512,
                     skipped_bytes: 0,
                     marked_granules: 4,
+                    filter_rejects: 3,
                     wall_ns: 0,
                 },
             ),
@@ -653,6 +665,7 @@ mod tests {
                     words: 512,
                     skipped_bytes: 4096,
                     marked_granules: 0,
+                    filter_rejects: 1,
                     wall_ns: 0,
                 },
             ),
@@ -917,6 +930,7 @@ mod tests {
         reg.counter("layer", "swept_bytes").add(4096 + 8192);
         reg.counter("layer", "skipped_bytes").add(4096);
         reg.counter("layer", "stw_pages").add(2);
+        reg.counter("layer", "filter_rejects").add(4);
         reg.counter("layer", "tl_flushes").add(1);
         reg.counter("layer", "tl_flushed_entries").add(32);
         report.reconcile(&reg.snapshot()).expect("totals must match");
@@ -924,6 +938,10 @@ mod tests {
         reg.counter("layer", "failed_frees").add(1);
         let err = report.reconcile(&reg.snapshot()).unwrap_err();
         assert!(err.contains("failed_frees"), "mismatch must be named: {err}");
+
+        let reg3 = crate::registry::Registry::new();
+        let err = RunReport::from_events(&sample_run()).reconcile(&reg3.snapshot()).unwrap_err();
+        assert!(err.contains("filter_rejects"), "filter rejects reconcile too: {err}");
     }
 
     #[test]

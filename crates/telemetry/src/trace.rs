@@ -89,6 +89,9 @@ pub enum EventKind {
         skipped_bytes: u64,
         /// Granules marked in the shadow map when marking finished.
         marked_granules: u64,
+        /// Heap-pointing words suppressed by the candidate filter during
+        /// marking (serial steps and parallel helpers combined).
+        filter_rejects: u64,
         /// Wall-clock marking time in nanoseconds (0 in deterministic
         /// mode).
         wall_ns: u64,
@@ -202,7 +205,15 @@ impl Event {
                     trigger.as_str()
                 )
             }
-            EventKind::MarkPhase { sweep, bytes, words, skipped_bytes, marked_granules, wall_ns } => {
+            EventKind::MarkPhase {
+                sweep,
+                bytes,
+                words,
+                skipped_bytes,
+                marked_granules,
+                filter_rejects,
+                wall_ns,
+            } => {
                 // skip_rate is derived (skipped_bytes / bytes), emitted for
                 // human consumers; parsing recomputes it from the integers.
                 let skip_rate = if *bytes == 0 {
@@ -214,7 +225,8 @@ impl Event {
                     "\"type\": \"mark_phase\", \"sweep\": {sweep}, \"bytes\": {bytes}, \
                      \"words\": {words}, \"skipped_bytes\": {skipped_bytes}, \
                      \"skip_rate\": {skip_rate:.4}, \
-                     \"marked_granules\": {marked_granules}, \"wall_ns\": {wall_ns}"
+                     \"marked_granules\": {marked_granules}, \
+                     \"filter_rejects\": {filter_rejects}, \"wall_ns\": {wall_ns}"
                 )
             }
             EventKind::StwPass { sweep, pages, words } => {
@@ -296,6 +308,9 @@ impl Event {
                 words: num("words")?,
                 skipped_bytes: num("skipped_bytes")?,
                 marked_granules: num("marked_granules")?,
+                // Optional for wire back-compat: traces written before the
+                // filter-reject accounting carry no such key.
+                filter_rejects: v.get("filter_rejects").and_then(Json::as_u64).unwrap_or(0),
                 wall_ns: num("wall_ns")?,
             },
             "stw_pass" => EventKind::StwPass {
@@ -599,6 +614,7 @@ mod tests {
                 words: 512,
                 skipped_bytes: 4096,
                 marked_granules: 7,
+                filter_rejects: 5,
                 wall_ns: 0,
             },
             EventKind::StwPass { sweep: 1, pages: 2, words: 1024 },
@@ -648,6 +664,28 @@ mod tests {
         let e = Event::from_json(old).unwrap();
         assert_eq!(e.kind, EventKind::SweepEnd { sweep: 1, wall_ns: 0, ledger: None });
         assert_eq!(e.to_json(), old, "ledger-free events serialise without ledger keys");
+    }
+
+    #[test]
+    fn pre_filter_reject_mark_phase_lines_still_parse() {
+        // Wire back-compat: traces written before filter-reject accounting
+        // carry no filter_rejects key and must parse to 0.
+        let old = "{\"seq\": 1, \"vnow\": 0, \"type\": \"mark_phase\", \"sweep\": 1, \
+                   \"bytes\": 8192, \"words\": 1024, \"skipped_bytes\": 0, \
+                   \"skip_rate\": 0.0000, \"marked_granules\": 3, \"wall_ns\": 0}";
+        let e = Event::from_json(old).unwrap();
+        assert_eq!(
+            e.kind,
+            EventKind::MarkPhase {
+                sweep: 1,
+                bytes: 8192,
+                words: 1024,
+                skipped_bytes: 0,
+                marked_granules: 3,
+                filter_rejects: 0,
+                wall_ns: 0,
+            }
+        );
     }
 
     #[test]

@@ -467,8 +467,20 @@ impl AddrSpace {
     ///
     /// [`MemError::Unmapped`] or [`MemError::Protected`].
     pub fn scan_page(&self, page: PageIdx) -> Result<Option<&[u64; 512]>, MemError> {
-        let storage = self.resolve_storage(page.raw(), page.base())?;
-        Ok(self.pages.get(&storage).expect("resolved").data.as_deref())
+        // One hash lookup for directly-backed pages (the overwhelmingly
+        // common case on the sweep's hot path); only aliases chase the
+        // frame with a second lookup.
+        let slot = self.pages.get(&page.raw()).ok_or(MemError::Unmapped(page.base()))?;
+        if slot.prot == Protection::None {
+            return Err(MemError::Protected(page.base()));
+        }
+        match slot.alias_of {
+            None => Ok(slot.data.as_deref()),
+            Some(frame) => match self.pages.get(&frame) {
+                Some(s) => Ok(s.data.as_deref()),
+                None => Err(MemError::Unmapped(page.base())),
+            },
+        }
     }
 
     /// Demand-commits a mapped, readable page as an actual read access

@@ -16,6 +16,13 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test --workspace -q
 
+echo "== forced-SWAR kernel tests =="
+# The portable SWAR tier is what non-x86 targets run. Pinning the
+# dispatcher to it re-runs the whole core suite — including the
+# tier-differential proptests — without any platform SIMD.
+MS_SCAN_TIER=swar cargo test -q -p minesweeper > /dev/null \
+    || { echo "core tests fail under the SWAR scan tier"; exit 1; }
+
 echo "== telemetry trace smoke-test =="
 # A small traced run must produce JSONL that parses and whose aggregated
 # totals reconcile exactly with the exported metrics counters.
@@ -63,12 +70,21 @@ echo "== sweep bench smoke-run =="
 cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
     --quick --reps 1 --out "$smoke_dir/bench.json" \
     --metrics-out "$smoke_dir/bench_metrics.json" > /dev/null
-for key in requested_helpers effective_helpers dirty_pct incremental_d5 \
-    incremental_filtered_d5 words_per_sec forensics_off forensics_sampled_s8 \
-    forensics_full; do
+for key in requested_helpers effective_helpers degraded dirty_pct \
+    incremental_d5 incremental_filtered_d5 words_per_sec forensics_off \
+    forensics_sampled_s8 forensics_full simd_serial swar_serial \
+    steal_parallel share_parallel simd_vs_scalar; do
     grep -q "$key" "$smoke_dir/bench.json" \
         || { echo "bench JSON missing $key"; exit 1; }
 done
+# Honesty gate: a parallel row the hardware clamped to zero helpers ran
+# serially and must say so — its JSON line carries "degraded": true.
+if grep '"requested_helpers": [1-9]' "$smoke_dir/bench.json" \
+    | grep '"effective_helpers": 0' \
+    | grep -qv '"degraded": true'; then
+    echo "bench rows with zero effective helpers must be flagged degraded"
+    exit 1
+fi
 test -s "$smoke_dir/bench_metrics.json" || { echo "empty bench metrics"; exit 1; }
 
 echo "== clippy (deny warnings) =="
