@@ -54,7 +54,8 @@
 //! table and written as JSON (default `BENCH_sweep.json`, `--out PATH`).
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::OnceLock;
+use std::time::{Instant, SystemTime};
 
 use minesweeper::telemetry::{
     EventKind, Histogram, NullSink, Registry, Tracer, SNAPSHOT_SCHEMA_VERSION,
@@ -62,12 +63,61 @@ use minesweeper::telemetry::{
 use minesweeper::{
     effective_helper_count, parallel_mark_opts, CandidateFilter, EdgeRecorder, ForensicsMode,
     MarkAccel, Marker, NaiveShadowMap, PageCache, ParallelMarkOpts, QEntry, ScanTier, ShadowMap,
-    SweepPlan,
+    SweepPlan, SweepProf,
 };
 use vmem::{Addr, AddrSpace, Layout, PageIdx, PAGE_SIZE, WORD_SIZE};
 
 /// Subsystem label for the bench's own instruments.
 const BENCH_SUBSYSTEM: &str = "bench";
+
+/// Schema version of `BENCH_trajectory.jsonl` lines.
+const TRAJECTORY_SCHEMA: u32 = 1;
+
+/// `--handicap NAME:FACTOR` multipliers, applied to each measured rep of
+/// the matching config. Exists so CI can inject a synthetic regression
+/// and prove the `ms-report --compare` gate actually rejects it.
+static HANDICAPS: OnceLock<Vec<(String, f64)>> = OnceLock::new();
+
+fn handicap_for(name: &str) -> f64 {
+    HANDICAPS
+        .get()
+        .and_then(|h| h.iter().find(|(n, _)| n == name))
+        .map_or(1.0, |&(_, f)| f)
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// checkout (the trajectory line must never fail the bench).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// UTC timestamp (`YYYY-MM-DDTHH:MM:SSZ`) from the system clock — no
+/// chrono dependency; civil-from-days per Howard Hinnant's algorithm.
+fn utc_now() -> String {
+    let secs = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (days, rem) = (secs / 86_400, secs % 86_400);
+    let (h, m, s) = (rem / 3600, rem % 3600 / 60, rem % 60);
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mo = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mo <= 2 { y + 1 } else { y };
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
 
 /// The default fixture: a heap in the zero-on-free steady state the
 /// sweep actually runs against (§4.1). Memory is modelled as 64-word
@@ -247,12 +297,13 @@ fn measure(
     // Per-rep durations land in a log2 histogram, so the exported metrics
     // carry the whole distribution, not just the best-of statistic.
     let rep_us: Histogram = registry.histogram(BENCH_SUBSYSTEM, &format!("{name}_us"));
+    let handicap = handicap_for(name);
     let mut best = f64::INFINITY;
     let mut marked = 0;
     for _ in 0..reps {
         let t0 = Instant::now();
         marked = run();
-        let secs = t0.elapsed().as_secs_f64();
+        let secs = t0.elapsed().as_secs_f64() * handicap;
         rep_us.record((secs * 1e6) as u64);
         best = best.min(secs);
     }
@@ -274,6 +325,9 @@ fn main() {
     let mut reps = 5u32;
     let mut out_path = "BENCH_sweep.json".to_string();
     let mut metrics_path = "BENCH_sweep_metrics.json".to_string();
+    let mut trajectory_path: Option<String> = None;
+    let mut profiler = false;
+    let mut handicaps: Vec<(String, f64)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -281,6 +335,15 @@ fn main() {
             "--reps" => reps = args.next().expect("--reps N").parse().expect("number"),
             "--out" => out_path = args.next().expect("--out PATH"),
             "--metrics-out" => metrics_path = args.next().expect("--metrics-out PATH"),
+            "--trajectory" => trajectory_path = Some(args.next().expect("--trajectory PATH")),
+            "--profiler" => profiler = true,
+            "--handicap" => {
+                let spec = args.next().expect("--handicap NAME:FACTOR");
+                let (name, factor) = spec.split_once(':').expect("--handicap NAME:FACTOR");
+                let factor: f64 = factor.parse().expect("handicap factor");
+                assert!(factor >= 1.0, "handicap must slow down, not speed up");
+                handicaps.push((name.to_string(), factor));
+            }
             "--quick" => {
                 pages = 256;
                 reps = 2;
@@ -288,13 +351,21 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: sweep_bandwidth [--pages N] [--reps N] [--out PATH] \
-                     [--metrics-out PATH] [--quick]"
+                     [--metrics-out PATH] [--trajectory PATH] [--profiler] \
+                     [--handicap NAME:FACTOR] [--quick]"
                 );
                 panic!("unknown argument {other:?}");
             }
         }
     }
+    HANDICAPS.set(handicaps).expect("set once");
     let registry = Registry::new();
+    // `--profiler`: attribute the production rows (simd_serial and the
+    // work-stealing parallel marks) through the sweep profiler. The off
+    // default leaves `prof: None` — the exact single-branch production
+    // path — so an off-vs-on run pair measures the enabled overhead.
+    let sweep_prof = profiler.then(|| SweepProf::register(&registry));
+    let prof = sweep_prof.as_ref();
     let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     if cpus <= 1 {
         eprintln!(
@@ -356,7 +427,8 @@ fn main() {
     // auto-dispatched tier, and forced down to the portable SWAR tier.
     samples.push(measure("simd_serial", 0, total_words, reps, &registry, || {
         let mut shadow = ShadowMap::new();
-        Marker::new(plan.clone()).run_to_end(&mut space, &layout, &mut shadow);
+        let mut accel = MarkAccel { prof, ..MarkAccel::default() };
+        Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &mut shadow, &mut accel);
         shadow.marked_count()
     }));
     samples.push(measure("swar_serial", 0, total_words, reps, &registry, || {
@@ -367,6 +439,7 @@ fn main() {
             qgen: 0,
             forensics: None,
             tier: Some(ScanTier::Swar),
+            prof: None,
         };
         Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &mut shadow, &mut accel);
         shadow.marked_count()
@@ -391,6 +464,7 @@ fn main() {
             marked_granules: marked,
             filter_rejects: 0,
             wall_ns: sw.elapsed_ns(),
+            prof: None,
         });
         marked
     }));
@@ -401,7 +475,8 @@ fn main() {
     // the stealing-off comparison point.
     for &h in &helper_counts {
         samples.push(measure(&format!("steal_parallel_h{h}"), h, total_words, reps, &registry, || {
-            let opts = ParallelMarkOpts { helper_threads: h, ..ParallelMarkOpts::default() };
+            let opts =
+                ParallelMarkOpts { helper_threads: h, prof, ..ParallelMarkOpts::default() };
             parallel_mark_opts(&space, &plan, &layout, &opts).0.marked_count()
         }));
     }
@@ -437,7 +512,7 @@ fn main() {
         {
             let mut shadow = ShadowMap::new();
             let mut accel =
-                MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0, forensics: None, tier };
+                MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0, forensics: None, tier, prof: None };
             Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &mut shadow, &mut accel);
         }
         let name = match tier {
@@ -449,7 +524,7 @@ fn main() {
             cache.begin_sweep(&plan, &dirty, epoch);
             let mut shadow = ShadowMap::new();
             let mut accel =
-                MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0, forensics: None, tier };
+                MarkAccel { filter: None, cache: Some(&mut cache), qgen: 0, forensics: None, tier, prof: None };
             Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &mut shadow, &mut accel);
             shadow.marked_count()
         });
@@ -473,6 +548,7 @@ fn main() {
             qgen: 0,
             forensics: None,
             tier: None,
+            prof: None,
         };
         Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &mut shadow, &mut accel);
         shadow.marked_count()
@@ -494,6 +570,7 @@ fn main() {
                 qgen: 0,
                 forensics: None,
                 tier: None,
+                prof: None,
             };
             Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &mut shadow, &mut accel);
         }
@@ -507,6 +584,7 @@ fn main() {
                 qgen: 0,
                 forensics: None,
                 tier: None,
+                prof: None,
             };
             Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &mut shadow, &mut accel);
             shadow.marked_count()
@@ -539,6 +617,7 @@ fn main() {
                 qgen: 0,
                 forensics: recorder.as_ref(),
                 tier: None,
+                prof: None,
             };
             Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &mut shadow, &mut accel);
             shadow.marked_count()
@@ -574,6 +653,7 @@ fn main() {
             qgen: 0,
             forensics: None,
             tier: Some(ScanTier::Swar),
+            prof: None,
         };
         Marker::new(sparse_plan.clone()).run_to_end_accel(
             &mut sparse_space,
@@ -632,15 +712,16 @@ fn main() {
             let t0 = Instant::now();
             let shadow = ShadowMap::new();
             let marked = scalar_mark(&space, &layout, &plan, &shadow);
-            let secs = t0.elapsed().as_secs_f64();
+            let secs = t0.elapsed().as_secs_f64() * handicap_for("atomic_serial");
             scalar_us.record((secs * 1e6) as u64);
             best_scalar = best_scalar.min(secs);
             assert_eq!(marked, expect);
 
             let t0 = Instant::now();
             let mut shadow = ShadowMap::new();
-            Marker::new(plan.clone()).run_to_end(&mut space, &layout, &mut shadow);
-            let secs = t0.elapsed().as_secs_f64();
+            let mut accel = MarkAccel { prof, ..MarkAccel::default() };
+            Marker::new(plan.clone()).run_to_end_accel(&mut space, &layout, &mut shadow, &mut accel);
+            let secs = t0.elapsed().as_secs_f64() * handicap_for("simd_serial");
             simd_us.record((secs * 1e6) as u64);
             best_simd = best_simd.min(secs);
             assert_eq!(shadow.marked_count(), expect);
@@ -651,6 +732,21 @@ fn main() {
                 s.best_secs = best;
                 s.words_per_sec = total_words as f64 / best;
             }
+        }
+    }
+
+    // Trajectory facts, registered once the best-of times are final
+    // (counters are monotonic, so these cannot be folded mid-measure).
+    // `ms-report --compare` keys on exactly these names.
+    let active_tier = minesweeper::simd::active_tier().as_str();
+    registry.counter(BENCH_SUBSYSTEM, "host_cpus").add(cpus as u64);
+    registry.counter(BENCH_SUBSYSTEM, &format!("scan_tier_{active_tier}")).inc();
+    for s in &samples {
+        registry
+            .counter(BENCH_SUBSYSTEM, &format!("{}_best_us", s.name))
+            .add((s.best_secs * 1e6) as u64);
+        if s.degraded {
+            registry.counter(BENCH_SUBSYSTEM, &format!("{}_degraded", s.name)).inc();
         }
     }
 
@@ -693,12 +789,18 @@ fn main() {
     let null_sink_ratio =
         by_name("simd_serial_nullsink").words_per_sec / by_name("simd_serial").words_per_sec;
 
+    let rev = git_rev();
+    let utc = utc_now();
+    let tier_env = std::env::var(minesweeper::simd::TIER_ENV).unwrap_or_default();
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"fixture\": {{ \"pages\": {pages}, \"total_words\": {total_words}, \"marked_granules\": {expect}, \"sparse_marked_granules\": {expect_sparse}, \"reps\": {reps}, \"cpus\": {cpus} }},");
     let _ = writeln!(
         json,
-        "  \"kernel\": {{ \"active_tier\": \"{}\", \"simd_vs_scalar\": {simd_ratio:.3}, \"simd_vs_scalar_dense\": {dense_ratio:.3} }},",
-        minesweeper::simd::active_tier().as_str()
+        "  \"host\": {{ \"cpus\": {cpus}, \"scan_tier\": \"{active_tier}\", \"scan_tier_env\": \"{tier_env}\", \"git_rev\": \"{rev}\", \"utc\": \"{utc}\", \"profiler\": {profiler} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel\": {{ \"active_tier\": \"{active_tier}\", \"simd_vs_scalar\": {simd_ratio:.3}, \"simd_vs_scalar_dense\": {dense_ratio:.3} }},"
     );
     let _ = writeln!(
         json,
@@ -726,4 +828,34 @@ fn main() {
     std::fs::write(&metrics_path, registry.snapshot().to_json())
         .expect("write metrics snapshot");
     println!("\nwrote {out_path} and {metrics_path}");
+
+    // Trajectory: one append-only JSONL line per run, so the repo keeps a
+    // history `ms-report --compare` can gate against.
+    if let Some(path) = trajectory_path {
+        use std::io::Write as _;
+        let mut line = format!(
+            "{{ \"schema\": {TRAJECTORY_SCHEMA}, \"utc\": \"{utc}\", \"git_rev\": \"{rev}\", \
+             \"host_cpus\": {cpus}, \"scan_tier\": \"{active_tier}\", \"pages\": {pages}, \
+             \"reps\": {reps}, \"profiler\": {profiler}, \"rows\": ["
+        );
+        for (i, s) in samples.iter().enumerate() {
+            let comma = if i + 1 < samples.len() { ", " } else { "" };
+            let _ = write!(
+                line,
+                "{{ \"name\": \"{}\", \"best_us\": {:.1}, \"words_per_sec\": {:.0}, \"degraded\": {} }}{comma}",
+                s.name,
+                s.best_secs * 1e6,
+                s.words_per_sec,
+                s.degraded
+            );
+        }
+        line.push_str("] }\n");
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .expect("append trajectory line");
+        println!("appended trajectory line to {path}");
+    }
 }

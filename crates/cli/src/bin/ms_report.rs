@@ -1,5 +1,7 @@
 //! `ms-report`: summarise a sweep-lifecycle trace (and optional metrics
-//! snapshot) produced by `minesweeper-sim run --trace-out/--metrics-out`.
+//! snapshot) produced by `minesweeper-sim run --trace-out/--metrics-out`,
+//! check a metrics snapshot against an SLO policy, or compare two bench
+//! metrics snapshots for regressions.
 
 use std::process::ExitCode;
 
@@ -11,6 +13,8 @@ ms-report — summarise MineSweeper sweep-lifecycle traces
 USAGE:
     ms-report <run.jsonl> [--metrics <metrics.json>] [--check]
               [--pinners] [--failed-frees]
+    ms-report --slo <spec> --metrics <metrics.json>
+    ms-report --compare <old.json> <new.json> [--threshold <pct>]
 
 Prints a per-sweep timeline plus failed-free and quarantine tables from
 the JSONL event stream; with --metrics also the engine's pause/STW/sweep
@@ -20,14 +24,31 @@ the failed-free ledger (both need a trace recorded with the `forensics`
 config knob on). --check reconciles the trace's aggregated totals —
 including the forensic ledger, when present — against the snapshot's
 counters and fails on any mismatch.
+
+--slo evaluates the snapshot against a comma-separated objective spec
+(stw=CYCLES,sweep=CYCLES,qratio=PERMILLE,util=PCT), prints a pass/fail
+table and exits 2 on any violation.
+
+--compare diffs two bench metrics snapshots (sweep_bandwidth
+--metrics-out) config by config, prints per-config best/mean deltas with
+the runs' measured noise, and exits 2 when a non-degraded config slowed
+beyond both --threshold (default 5%) and the noise on a same-host pair.
 ";
+
+/// Exit code for a failed gate (SLO breach or bench regression) —
+/// distinct from 1, which means bad input.
+const GATE_FAILED: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match report(&args) {
-        Ok(out) => {
+    match run(&args) {
+        Ok((out, gate_ok)) => {
             print!("{out}");
-            ExitCode::SUCCESS
+            if gate_ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(GATE_FAILED)
+            }
         }
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -36,20 +57,44 @@ fn main() -> ExitCode {
     }
 }
 
-fn report(args: &[String]) -> Result<String, CliError> {
+fn run(args: &[String]) -> Result<(String, bool), CliError> {
     let mut trace = None;
     let mut metrics = None;
+    let mut slo = None;
+    let mut compare: Option<(String, String)> = None;
+    let mut threshold = telemetry::DEFAULT_THRESHOLD_PCT;
     let mut opts = ReportOpts::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "-h" | "--help" => return Ok(USAGE.to_string()),
+            "-h" | "--help" => return Ok((USAGE.to_string(), true)),
             "--metrics" => {
                 metrics = Some(
                     it.next()
                         .ok_or_else(|| CliError("--metrics needs a value".into()))?
                         .clone(),
                 );
+            }
+            "--slo" => {
+                slo = Some(
+                    it.next().ok_or_else(|| CliError("--slo needs a spec".into()))?.clone(),
+                );
+            }
+            "--compare" => {
+                let old = it
+                    .next()
+                    .ok_or_else(|| CliError("--compare needs <old.json> <new.json>".into()))?;
+                let new = it
+                    .next()
+                    .ok_or_else(|| CliError("--compare needs <old.json> <new.json>".into()))?;
+                compare = Some((old.clone(), new.clone()));
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or_else(|| CliError("--threshold needs a percentage".into()))?
+                    .parse()
+                    .map_err(|_| CliError("--threshold must be a number".into()))?;
             }
             "--check" => opts.check = true,
             "--pinners" => opts.pinners = true,
@@ -64,15 +109,30 @@ fn report(args: &[String]) -> Result<String, CliError> {
             }
         }
     }
+
+    if let Some((old, new)) = compare {
+        let old_text = read(&old)?;
+        let new_text = read(&new)?;
+        let (out, regressed) = ms_cli::render_compare(&old_text, &new_text, threshold)?;
+        return Ok((out, !regressed));
+    }
+    if let Some(spec) = slo {
+        let metrics =
+            metrics.ok_or_else(|| CliError("--slo needs --metrics <file>".into()))?;
+        let (out, breached) = ms_cli::render_slo(&read(&metrics)?, &spec)?;
+        return Ok((out, !breached));
+    }
+
     let trace = trace.ok_or_else(|| CliError("ms-report needs a trace file".into()))?;
-    let trace_text = std::fs::read_to_string(&trace)
-        .map_err(|e| CliError(format!("cannot read {trace}: {e}")))?;
+    let trace_text = read(&trace)?;
     let metrics_text = match &metrics {
-        Some(path) => Some(
-            std::fs::read_to_string(path)
-                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?,
-        ),
+        Some(path) => Some(read(path)?),
         None => None,
     };
-    ms_cli::render_report_with(&trace_text, metrics_text.as_deref(), &opts)
+    let out = ms_cli::render_report_with(&trace_text, metrics_text.as_deref(), &opts)?;
+    Ok((out, true))
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))
 }

@@ -559,6 +559,56 @@ pub fn render_report(
     render_report_with(trace_text, metrics_text, &ReportOpts { check, ..ReportOpts::default() })
 }
 
+/// Evaluates an `ms-report --slo` policy spec against a metrics snapshot.
+/// Returns the pass/fail table and whether any objective was violated
+/// (the CLI exits nonzero on a breach).
+///
+/// # Errors
+///
+/// [`CliError`] on malformed metrics, a malformed spec, or an empty spec
+/// (a policy with nothing to check would vacuously pass).
+pub fn render_slo(metrics_text: &str, spec: &str) -> Result<(String, bool), CliError> {
+    let snap = Snapshot::from_json(metrics_text)
+        .map_err(|e| CliError(format!("bad metrics: {e}")))?;
+    let policy = telemetry::SloPolicy::parse(spec).map_err(CliError)?;
+    if policy.is_empty() {
+        return Err(CliError(
+            "--slo needs at least one objective (stw=N,sweep=N,qratio=N,util=N)".into(),
+        ));
+    }
+    let checks = telemetry::Watchdog::new(policy).evaluate(&snap);
+    let breached = checks.iter().any(|c| !c.pass);
+    Ok((telemetry::slo_table(&checks), breached))
+}
+
+/// Compares two bench metrics snapshots (`ms-report --compare`). Returns
+/// the rendered delta table and whether the regression gate should fail:
+/// at least one non-degraded config slowed beyond both the threshold and
+/// the runs' measured noise, on a like-for-like pair. Cross-host pairs
+/// (different CPU count or scan tier) downgrade regressions to warnings —
+/// those deltas are not actionable.
+///
+/// # Errors
+///
+/// [`CliError`] when either snapshot fails to parse.
+pub fn render_compare(
+    old_text: &str,
+    new_text: &str,
+    threshold_pct: f64,
+) -> Result<(String, bool), CliError> {
+    let old = Snapshot::from_json(old_text)
+        .map_err(|e| CliError(format!("bad old metrics: {e}")))?;
+    let new = Snapshot::from_json(new_text)
+        .map_err(|e| CliError(format!("bad new metrics: {e}")))?;
+    let report = telemetry::compare(&old, &new, threshold_pct);
+    let mut out = report.render();
+    let regressed = !report.regressions().is_empty();
+    if regressed && report.cross_host() {
+        out.push_str("warning: regressions found across different hosts — not gating\n");
+    }
+    Ok((out, regressed && !report.cross_host()))
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 minesweeper-sim — MineSweeper (ASPLOS'22) reproduction driver
@@ -877,5 +927,63 @@ mod tests {
 
     fn opts_no_check() -> ReportOpts {
         ReportOpts { check: false, pinners: true, failed_frees: true }
+    }
+
+    #[test]
+    fn slo_renderer_flags_breaches_and_rejects_empty_specs() {
+        let reg = telemetry::Registry::new();
+        reg.histogram("engine", "stw_cycles").record(5000);
+        let metrics = reg.snapshot().to_json();
+
+        let (table, breached) = render_slo(&metrics, "stw=100").unwrap();
+        assert!(breached);
+        assert!(table.contains("FAIL"), "{table}");
+
+        let (table, breached) = render_slo(&metrics, "stw=1000000,util=10").unwrap();
+        assert!(!breached, "{table}");
+        assert!(table.contains("PASS (unmeasured)"), "util never measured: {table}");
+
+        assert!(render_slo(&metrics, "").is_err(), "empty spec would vacuously pass");
+        assert!(render_slo(&metrics, "bogus=1").is_err());
+        assert!(render_slo("not json", "stw=1").is_err());
+    }
+
+    /// Bench-shaped metrics JSON: one config with the given rep times.
+    fn bench_metrics(reps: &[u64], cpus: u64) -> String {
+        let reg = telemetry::Registry::new();
+        reg.counter("bench", "host_cpus").add(cpus);
+        reg.counter("bench", "scan_tier_avx2").inc();
+        let h = reg.histogram("bench", "simd_serial_us");
+        for &r in reps {
+            h.record(r);
+        }
+        reg.counter("bench", "simd_serial_best_us")
+            .add(reps.iter().copied().min().unwrap_or(0));
+        reg.snapshot().to_json()
+    }
+
+    #[test]
+    fn compare_renderer_gates_same_host_regressions_only() {
+        let old = bench_metrics(&[1000, 1004], 4);
+
+        // A clean 20% slowdown on the same host: the gate fires.
+        let new = bench_metrics(&[1200, 1205], 4);
+        let (table, regressed) = render_compare(&old, &new, 5.0).unwrap();
+        assert!(regressed, "{table}");
+        assert!(table.contains("REGRESSED"), "{table}");
+
+        // The same slowdown across hosts: warning, no gate.
+        let new = bench_metrics(&[1200, 1205], 16);
+        let (table, regressed) = render_compare(&old, &new, 5.0).unwrap();
+        assert!(!regressed, "{table}");
+        assert!(table.contains("host mismatch"), "{table}");
+        assert!(table.contains("not gating"), "{table}");
+
+        // No movement: no gate, row rendered ok.
+        let (table, regressed) = render_compare(&old, &old, 5.0).unwrap();
+        assert!(!regressed);
+        assert!(table.contains("ok"), "{table}");
+
+        assert!(render_compare("junk", &old, 5.0).is_err());
     }
 }

@@ -112,6 +112,12 @@ pub struct MsConfig {
     /// ledger ([`crate::EdgeRecorder`], [`crate::FailedFreeLedger`]). Off
     /// by default; release decisions are identical in every mode.
     pub forensics: ForensicsMode,
+    /// Sweep profiler: sampled cycle attribution for the mark phase
+    /// (scan-time histograms, helper utilisation, write-combine and
+    /// chunk-cache counters) exported under the `sweep.*` registry
+    /// subsystem ([`crate::SweepProf`]). Off by default; when off the
+    /// scan path pays a single `Option` branch and registers nothing.
+    pub profiler: bool,
 }
 
 impl MsConfig {
@@ -137,6 +143,7 @@ impl MsConfig {
             page_cache: true,
             candidate_filter: true,
             forensics: ForensicsMode::Off,
+            profiler: false,
         }
     }
 
@@ -352,6 +359,12 @@ impl MsConfigBuilder {
         self
     }
 
+    /// Enables or disables the sweep profiler.
+    pub fn profiler(mut self, on: bool) -> Self {
+        self.cfg.profiler = on;
+        self
+    }
+
     /// Finalises the configuration.
     pub fn build(self) -> MsConfig {
         self.cfg
@@ -431,6 +444,14 @@ mod tests {
         assert!(ForensicsMode::Full.enabled());
         let c = MsConfig::builder().forensics(ForensicsMode::Sampled(8)).build();
         assert_eq!(c.forensics, ForensicsMode::Sampled(8));
+    }
+
+    #[test]
+    fn profiler_defaults_off_everywhere() {
+        assert!(!MsConfig::fully_concurrent().profiler);
+        assert!(!MsConfig::mostly_concurrent().profiler);
+        assert!(!MsConfig::ablation_unoptimised().profiler);
+        assert!(MsConfig::builder().profiler(true).build().profiler);
     }
 
     #[test]

@@ -94,6 +94,10 @@ pub struct MineSweeper<B: HeapBackend = JAlloc> {
     /// so an embedding engine or benchmark can snapshot one coherent set.
     registry: Registry,
     counters: MsCounters,
+    /// Sweep profiler handles ([`MsConfig::profiler`]); `None` keeps the
+    /// mark paths on their single-branch disabled gates and registers no
+    /// `sweep.*` metrics at all.
+    prof: Option<crate::telem::SweepProf>,
     tracer: Tracer,
     double_free_reports: Vec<Addr>,
     /// Sweeps started (numbers sweep-lifecycle trace events).
@@ -132,6 +136,18 @@ struct ActiveSweep {
     /// ([`MsConfig::forensics`]); `None` keeps the mark loop on its
     /// non-recording path.
     recorder: Option<EdgeRecorder>,
+    /// Profiler cell values at sweep start, so the `MarkPhase` event can
+    /// carry this sweep's deltas (the cells are cumulative).
+    prof_base: Option<ProfBase>,
+}
+
+/// Cumulative profiler readings captured at sweep start.
+#[derive(Clone, Copy, Debug)]
+struct ProfBase {
+    scan_ns: u64,
+    window_bits: u64,
+    direct: u64,
+    evictions: u64,
 }
 
 impl MineSweeper<JAlloc> {
@@ -161,6 +177,7 @@ impl<B: HeapBackend> MineSweeper<B> {
     pub fn with_backend(cfg: MsConfig, backend: B) -> Self {
         let registry = Registry::new();
         let counters = MsCounters::register(&registry);
+        let prof = cfg.profiler.then(|| crate::telem::SweepProf::register(&registry));
         let residency = registry.histogram(crate::telem::LAYER_SUBSYSTEM, "residency_sweeps");
         MineSweeper {
             quarantine: Quarantine::new(cfg.tl_buffer_capacity),
@@ -170,6 +187,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             shadow: ShadowMap::new(),
             registry,
             counters,
+            prof,
             tracer: Tracer::disabled(),
             double_free_reports: Vec::new(),
             next_sweep: 0,
@@ -522,6 +540,14 @@ impl<B: HeapBackend> MineSweeper<B> {
         } else {
             None
         };
+        // Profiler baselines: the sweep.* cells are cumulative, so the
+        // MarkPhase event reports deltas against sweep-start readings.
+        let prof_base = self.prof.as_ref().map(|p| ProfBase {
+            scan_ns: p.step_scan_ns.sum(),
+            window_bits: p.wc_window_bits.get(),
+            direct: p.wc_direct.get(),
+            evictions: p.chunk_cache_evictions.get(),
+        });
         self.active = Some(ActiveSweep {
             marker: Marker::new(plan),
             locked,
@@ -535,6 +561,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             filter,
             qgen: self.quarantine.generation(),
             recorder,
+            prof_base,
         });
     }
 
@@ -556,6 +583,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             qgen: active.qgen,
             forensics: active.recorder.as_ref(),
             tier: None,
+            prof: self.prof.as_ref(),
         };
         let r =
             active.marker.step_accel(space, &layout, &mut self.shadow, word_budget, &mut accel);
@@ -604,6 +632,7 @@ impl<B: HeapBackend> MineSweeper<B> {
                 qgen: active.qgen,
                 forensics: active.recorder.as_ref(),
                 tier: None,
+                prof: self.prof.as_ref(),
             };
             active.marker.run_to_end_accel(space, &layout, &mut self.shadow, &mut accel)
         };
@@ -616,6 +645,25 @@ impl<B: HeapBackend> MineSweeper<B> {
         self.absorb_mark_counters(&drained);
         report.skipped_bytes = active.mark_skipped_bytes;
         let marked_granules = self.shadow.marked_count();
+        // Profiler attribution for this sweep: deltas of the cumulative
+        // sweep.* cells against the sweep-start baselines. `None` (the
+        // default) keeps the event byte-identical to its pre-profiler
+        // shape.
+        let mark_prof = match (&self.prof, active.prof_base) {
+            (Some(p), Some(b)) => Some(telemetry::MarkProf {
+                // Deterministic traces zero wall-clock fields (the same
+                // contract as `wall_ns` via the inert stopwatch).
+                scan_ns: if self.tracer.deterministic() {
+                    0
+                } else {
+                    p.step_scan_ns.sum().saturating_sub(b.scan_ns)
+                },
+                wc_window_bits: p.wc_window_bits.get().saturating_sub(b.window_bits),
+                wc_direct: p.wc_direct.get().saturating_sub(b.direct),
+                cache_evictions: p.chunk_cache_evictions.get().saturating_sub(b.evictions),
+            }),
+            _ => None,
+        };
         self.tracer.emit(|| EventKind::MarkPhase {
             sweep: id,
             bytes: active.mark_bytes,
@@ -624,6 +672,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             filter_rejects: active.mark_filter_rejects,
             marked_granules,
             wall_ns: active.mark_wall_ns,
+            prof: mark_prof,
         });
 
         // Phase 2 (optional): stop the world, re-check modified pages.
@@ -812,6 +861,7 @@ impl<B: HeapBackend> MineSweeper<B> {
             filter_rejects: 0,
             marked_granules,
             wall_ns: 0,
+            prof: None,
         });
         // Caller-provided shadow map: marking ran elsewhere, so there is no
         // edge recorder — forensics still keeps the ledger from the release

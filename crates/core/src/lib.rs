@@ -78,14 +78,15 @@ pub use layer::{FreeOutcome, MineSweeper, SweepReport};
 pub use mte::{tag_ptr, untag_ptr, MteError, MteHeap, TagTable, QUARANTINE_TAG, TAG_GRANULE};
 pub use pagecache::PageCache;
 pub use quarantine::{QEntry, Quarantine};
-pub use shadow::{NaiveShadowMap, ShadowMap, ShadowWriter, MAX_SHADOWED};
+pub use shadow::{NaiveShadowMap, ShadowMap, ShadowWriter, WriterProf, MAX_SHADOWED};
 pub use stats::MsStats;
 pub use simd::ScanTier;
 pub use sweep::{
     effective_helper_count, parallel_mark, parallel_mark_accel, parallel_mark_opts, MarkAccel,
-    Marker, ParallelMarkOpts, ParallelMarkStats, StepResult, SweepPlan, PARALLEL_CHUNK_PAGES,
+    MarkProfile, Marker, ParallelMarkOpts, ParallelMarkStats, StepResult, SweepPlan,
+    PARALLEL_CHUNK_PAGES,
 };
-pub use telem::{MsCounters, LAYER_SUBSYSTEM};
+pub use telem::{MsCounters, SweepProf, LAYER_SUBSYSTEM, SWEEP_SUBSYSTEM};
 
 // The telemetry crate itself, re-exported so embedders can name sinks,
 // snapshots and events without a separate dependency.

@@ -27,6 +27,7 @@
 //! the runtime-dispatched SIMD kernel in [`crate::simd`].
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use vmem::{Addr, AddrSpace, Layout, MemError, PageIdx, Segment, PAGE_SIZE, WORD_SIZE};
 
@@ -35,6 +36,7 @@ use crate::forensics::EdgeRecorder;
 use crate::pagecache::PageCache;
 use crate::shadow::{ShadowMap, ShadowWriter};
 use crate::simd::{self, ScanTier};
+use crate::telem::SweepProf;
 
 /// The memory ranges one sweep will examine: active heap extents plus the
 /// committed pages of the globals and stack segments.
@@ -169,6 +171,11 @@ pub struct MarkAccel<'a> {
     /// Every tier produces bit-identical marks, digests and counts — the
     /// override exists for benchmarks and differential tests.
     pub tier: Option<ScanTier>,
+    /// Sweep profiler: when present, each step records its wall scan time
+    /// into `sweep/step_scan_ns` and folds the writer's write-combine /
+    /// chunk-cache counters into the shared cells. `None` costs exactly
+    /// one branch per step — no clock reads, no counter traffic.
+    pub prof: Option<&'a SweepProf>,
 }
 
 /// Scan disposition of one page.
@@ -278,6 +285,9 @@ impl Marker {
         // The serial cursor owns its map for the duration of the step, so
         // it gets the exclusive writer's store-only flush.
         let mut writer = shadow.writer_mut();
+        // Profiler gate: the disabled path is this one branch — no clock
+        // read, and the epilogue fold below is skipped entirely.
+        let scan_t0 = accel.prof.map(|_| Instant::now());
         let mut r = StepResult::default();
         let start_bytes = self.done_bytes;
         let edges_before = accel.forensics.map_or(0, EdgeRecorder::recorded);
@@ -417,6 +427,10 @@ impl Marker {
         r.finished = self.idx >= self.plan.ranges.len();
         r.pin_edges =
             accel.forensics.map_or(0, EdgeRecorder::recorded) - edges_before;
+        if let (Some(prof), Some(t0)) = (accel.prof, scan_t0) {
+            prof.step_scan_ns.record(t0.elapsed().as_nanos() as u64);
+            prof.fold_writer(&writer.take_prof());
+        }
         r
     }
 
@@ -579,11 +593,32 @@ pub fn parallel_mark(
     parallel_mark_accel(space, plan, layout, helper_threads, None, None, None).0
 }
 
+/// Wall-clock and scheduling attribution from one profiled parallel
+/// mark. Unlike the rest of [`ParallelMarkStats`] these fields are
+/// **nondeterministic** (clock reads and claim-order dependent), which is
+/// why they live behind [`ParallelMarkOpts::prof`]: with the profiler
+/// off every field stays zero and whole-struct stats comparisons remain
+/// exact.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MarkProfile {
+    /// Chunks claimed from the shared cursor (all threads).
+    pub chunks_claimed: u64,
+    /// Chunks claimed by helper threads (work the main sweeper would
+    /// otherwise have done — "stolen" in the §4.4 sense).
+    pub chunks_stolen: u64,
+    /// Summed per-thread busy nanoseconds (time inside chunk scans).
+    pub busy_ns: u64,
+    /// Wall nanoseconds for the whole mark (spawn to last join).
+    pub wall_ns: u64,
+}
+
 /// Aggregated counters from one parallel mark. Every field is
-/// **deterministic**: each chunk of the work queue is claimed exactly
+/// **deterministic** — each chunk of the work queue is claimed exactly
 /// once and every word is classified exactly once, so the totals are
 /// independent of helper count, chunk size and claim order (the
-/// work-stealing determinism proptests pin this down).
+/// work-stealing determinism proptests pin this down) — except the
+/// diagnostic [`MarkProfile`], which stays all-zero unless
+/// [`ParallelMarkOpts::prof`] is set.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ParallelMarkStats {
     /// Words read and classified (excludes cache-replayed pages).
@@ -602,6 +637,9 @@ pub struct ParallelMarkStats {
     pub chunks: u64,
     /// Helper threads actually spawned after the hardware clamp.
     pub effective_helpers: usize,
+    /// Profiler attribution; all-zero when [`ParallelMarkOpts::prof`] is
+    /// `None`.
+    pub prof: MarkProfile,
 }
 
 /// Options for [`parallel_mark_opts`]. `Default` reproduces
@@ -627,6 +665,12 @@ pub struct ParallelMarkOpts<'a> {
     /// [`PARALLEL_CHUNK_PAGES`]. Exposed so the determinism tests can
     /// vary claim granularity; results are identical for every value.
     pub chunk_pages: Option<u64>,
+    /// Sweep profiler: when present, per-chunk scan times, per-helper
+    /// utilisation and the writers' write-combine / chunk-cache counters
+    /// are recorded into the shared `sweep.*` cells and the returned
+    /// [`MarkProfile`]. `None` (default) costs one branch per thread —
+    /// no clock reads inside the claim loop.
+    pub prof: Option<&'a SweepProf>,
 }
 
 /// [`parallel_mark`] with every knob exposed — the full work-stealing
@@ -684,21 +728,53 @@ pub fn parallel_mark_opts(
     let filter_rejects = AtomicU64::new(0);
     let pages_skipped = AtomicU64::new(0);
     let pages_replayed = AtomicU64::new(0);
+    let prof_busy_ns = AtomicU64::new(0);
+    let prof_claimed = AtomicU64::new(0);
+    let prof_stolen = AtomicU64::new(0);
+    // Profiler gate: one branch per thread with `prof` unset — no clock
+    // reads in or around the claim loop.
+    let mark_t0 = opts.prof.map(|_| Instant::now());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|thread_idx| {
                 let (shadow, chunks, cursor) = (&shadow, &chunks, &cursor);
                 let (words, heap_words) = (&words, &heap_words);
                 let (filter_rejects, pages_skipped, pages_replayed) =
                     (&filter_rejects, &pages_skipped, &pages_replayed);
+                let (prof_busy_ns, prof_claimed, prof_stolen) =
+                    (&prof_busy_ns, &prof_claimed, &prof_stolen);
                 let opts = *opts;
                 scope.spawn(move || {
+                    let thread_t0 = opts.prof.map(|_| Instant::now());
                     let mut writer = shadow.writer();
                     let mut local = ParallelMarkStats::default();
+                    let (mut busy_ns, mut claimed) = (0u64, 0u64);
                     loop {
                         let k = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&(base, len)) = chunks.get(k) else { break };
+                        let chunk_t0 = opts.prof.map(|_| Instant::now());
                         mark_chunk(space, layout, tier, &opts, base, len, &mut writer, &mut local);
+                        if let (Some(p), Some(t0)) = (opts.prof, chunk_t0) {
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            p.chunk_scan_ns.record(ns);
+                            busy_ns += ns;
+                            claimed += 1;
+                        }
+                    }
+                    if let (Some(p), Some(t0)) = (opts.prof, thread_t0) {
+                        p.fold_writer(&writer.take_prof());
+                        let wall = t0.elapsed().as_nanos() as u64;
+                        p.helper_chunks.record(claimed);
+                        p.helper_busy_pct.record(
+                            (busy_ns * 100).checked_div(wall).map_or(100, |pct| pct.min(100)),
+                        );
+                        prof_busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+                        prof_claimed.fetch_add(claimed, Ordering::Relaxed);
+                        p.chunks_claimed.add(claimed);
+                        if thread_idx > 0 {
+                            prof_stolen.fetch_add(claimed, Ordering::Relaxed);
+                            p.chunks_stolen.add(claimed);
+                        }
                     }
                     drop(writer);
                     words.fetch_add(local.words, Ordering::Relaxed);
@@ -721,6 +797,12 @@ pub fn parallel_mark_opts(
         pages_replayed: pages_replayed.into_inner(),
         chunks: chunks.len() as u64,
         effective_helpers: helpers,
+        prof: MarkProfile {
+            chunks_claimed: prof_claimed.into_inner(),
+            chunks_stolen: prof_stolen.into_inner(),
+            busy_ns: prof_busy_ns.into_inner(),
+            wall_ns: mark_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
+        },
     };
     (shadow, stats)
 }
@@ -1491,6 +1573,80 @@ mod tests {
                 assert_eq!(stats.filter_rejects, reference.1.filter_rejects);
             }
         }
+    }
+
+    #[test]
+    fn profiler_attributes_without_changing_marks() {
+        use crate::telem::{SweepProf, SWEEP_SUBSYSTEM};
+        use telemetry::Registry;
+
+        let mut space = AddrSpace::new();
+        let layout = *space.layout();
+        let (targets, plan) = scatter_fixture(&mut space);
+
+        // Profiler off: the MarkProfile stays all-zero, so whole-struct
+        // stats comparisons (the determinism tests) remain exact.
+        let (plain, base) = parallel_mark_opts(
+            &space,
+            &plan,
+            &layout,
+            &ParallelMarkOpts::default(),
+        );
+        assert_eq!(base.prof, MarkProfile::default(), "off-mode profile must stay zero");
+
+        // Profiler on: same marks and deterministic counters, plus
+        // attribution in both the returned profile and the registry.
+        let reg = Registry::new();
+        let prof = SweepProf::register(&reg);
+        let (profiled, stats) = parallel_mark_opts(
+            &space,
+            &plan,
+            &layout,
+            &ParallelMarkOpts { helper_threads: 2, prof: Some(&prof), ..Default::default() },
+        );
+        assert_eq!(profiled.marked_count(), plain.marked_count());
+        assert_eq!(stats.words, base.words);
+        assert_eq!(stats.heap_words, base.heap_words);
+        assert_eq!(stats.prof.chunks_claimed, stats.chunks, "every chunk claimed once");
+        assert!(stats.prof.chunks_stolen <= stats.prof.chunks_claimed);
+        assert!(stats.prof.wall_ns > 0 && stats.prof.busy_ns > 0);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter(SWEEP_SUBSYSTEM, "chunks_claimed"),
+            Some(stats.chunks),
+            "registry cells mirror the returned profile"
+        );
+        let per_chunk = snap.histogram(SWEEP_SUBSYSTEM, "chunk_scan_ns").unwrap();
+        assert_eq!(per_chunk.count(), stats.chunks);
+        let busy = snap.histogram(SWEEP_SUBSYSTEM, "helper_busy_pct").unwrap();
+        assert_eq!(busy.count(), stats.effective_helpers as u64 + 1, "one sample per thread");
+        assert!(
+            snap.counter(SWEEP_SUBSYSTEM, "wc_direct").unwrap_or(0)
+                + snap.counter(SWEEP_SUBSYSTEM, "wc_window_bits").unwrap_or(0)
+                >= profiled.marked_count(),
+            "every mark left the writer via the direct or window path"
+        );
+
+        // Serial cursor: step timing lands in step_scan_ns and the writer
+        // counters fold on the same cells.
+        let reg2 = Registry::new();
+        let prof2 = SweepProf::register(&reg2);
+        let mut shadow = ShadowMap::new();
+        Marker::new(plan.clone()).run_to_end_accel(
+            &mut space,
+            &layout,
+            &mut shadow,
+            &mut MarkAccel { prof: Some(&prof2), ..MarkAccel::default() },
+        );
+        assert_eq!(shadow.marked_count(), plain.marked_count());
+        let snap2 = reg2.snapshot();
+        assert!(snap2.histogram(SWEEP_SUBSYSTEM, "step_scan_ns").unwrap().count() >= 1);
+        assert!(
+            snap2.counter(SWEEP_SUBSYSTEM, "wc_direct").unwrap_or(0)
+                + snap2.counter(SWEEP_SUBSYSTEM, "wc_window_bits").unwrap_or(0)
+                >= shadow.marked_count()
+        );
+        let _ = targets;
     }
 
     #[test]

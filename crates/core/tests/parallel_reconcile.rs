@@ -106,6 +106,7 @@ fn parallel_rejects_reconcile_across_both_telemetry_planes() {
                 marked_granules: shadow.marked_count(),
                 filter_rejects: stats.filter_rejects,
                 wall_ns: 0,
+                prof: None,
             },
         },
         Event { seq: 2, vnow: 3, kind: EventKind::SweepEnd { sweep: 1, wall_ns: 0, ledger: None } },

@@ -667,6 +667,7 @@ fn run_tier(
             qgen: 1,
             forensics: rec.as_ref(),
             tier: Some(tier),
+            prof: None,
         };
         let r = marker.step_accel(space, &layout, &mut shadow, budget, &mut accel);
         totals.0 += r.words;

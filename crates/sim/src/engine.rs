@@ -14,7 +14,7 @@ use baselines::{
 use jalloc::{JAlloc, JallocConfig};
 use minesweeper::{FreeOutcome, HeapBackend, MineSweeper, LAYER_SUBSYSTEM};
 use scudo::Scudo;
-use telemetry::{Histogram, Registry, Sink};
+use telemetry::{Histogram, Registry, Sink, SloPolicy, Watchdog};
 use vmem::{Addr, AddrSpace, Segment, PAGE_SIZE, WORD_SIZE};
 use workloads::{Op, Profile, Rng, TraceGen};
 
@@ -96,6 +96,17 @@ impl EngineTelem {
             sweep_start: 0,
         }
     }
+
+    /// Stamps the run's helper-thread demand vs. supply and the active
+    /// scan-kernel tier into the registry, so a trace from a degraded run
+    /// (1 spare core, SWAR fallback) is distinguishable from a genuinely
+    /// parallel one without out-of-band context.
+    fn stamp_environment(registry: &Registry, requested: u64, effective: u64) {
+        registry.counter(ENGINE_SUBSYSTEM, "requested_helpers").add(requested);
+        registry.counter(ENGINE_SUBSYSTEM, "effective_helpers").add(effective);
+        let tier = minesweeper::simd::active_tier().as_str();
+        registry.counter(ENGINE_SUBSYSTEM, &format!("scan_tier_{tier}")).inc();
+    }
 }
 
 /// Replays one `(profile, system, seed)` run. See the
@@ -127,6 +138,10 @@ pub struct Engine {
     seed: u64,
     /// Present for MineSweeper-layered systems (they own the registry).
     telem: Option<EngineTelem>,
+    /// Pause-budget SLO objectives checked at finalize
+    /// ([`Engine::set_slo_policy`]); breaches emit typed
+    /// [`telemetry::EventKind::SloViolation`] trace events.
+    slo: Option<SloPolicy>,
 }
 
 impl Engine {
@@ -172,6 +187,23 @@ impl Engine {
             Sys::MsScudo(ms) => Some(EngineTelem::register(ms.registry())),
             _ => None,
         };
+        // Mirror `sweeper_threads()`: requested = config helpers + main
+        // sweeper; effective = clamped by cores spared by the mutator.
+        if let Some(requested) = match &sys {
+            Sys::Ms(ms) => Some(ms.config().helper_threads as u64 + 1),
+            Sys::MsScudo(ms) => Some(ms.config().helper_threads as u64 + 1),
+            _ => None,
+        } {
+            let spare =
+                (cost.cores as u64).saturating_sub(profile.threads as u64).max(1);
+            let effective = requested.min(spare).max(1);
+            let registry = match &sys {
+                Sys::Ms(ms) => ms.registry(),
+                Sys::MsScudo(ms) => ms.registry(),
+                _ => unreachable!(),
+            };
+            EngineTelem::stamp_environment(registry, requested, effective);
+        }
         let sample_interval = (run_cycles / 256).max(10_000);
         let mut metrics = RunMetrics {
             benchmark: profile.name.to_string(),
@@ -202,7 +234,16 @@ impl Engine {
             next_sample: sample_interval,
             seed,
             telem,
+            slo: None,
         }
+    }
+
+    /// Arms the SLO watchdog: at finalize the run's registry snapshot is
+    /// evaluated against `policy` and every breached objective emits a
+    /// typed [`telemetry::EventKind::SloViolation`] through the attached
+    /// trace sink. No-op for systems without a registry (baselines).
+    pub fn set_slo_policy(&mut self, policy: SloPolicy) {
+        self.slo = Some(policy);
     }
 
     /// Attaches `sink` to the layered system's sweep tracer, so the run
@@ -940,12 +981,24 @@ impl Engine {
         // Export telemetry: flush any attached trace sink, snapshot the
         // shared registry, and derive the headline sweep metrics from the
         // layer's counters (single source of truth).
+        // SLO watchdog: evaluate the final snapshot before the flush so
+        // violation events land in the same trace as the sweeps they
+        // indict.
+        let watchdog = self.slo.take().map(Watchdog::new);
         let snap = match &mut self.sys {
             Sys::Ms(ms) => {
+                if let Some(w) = &watchdog {
+                    let checks = w.evaluate(&ms.registry().snapshot());
+                    Watchdog::emit_violations(ms.tracer_mut(), &checks);
+                }
                 ms.tracer_mut().flush();
                 Some(ms.registry().snapshot())
             }
             Sys::MsScudo(ms) => {
+                if let Some(w) = &watchdog {
+                    let checks = w.evaluate(&ms.registry().snapshot());
+                    Watchdog::emit_violations(ms.tracer_mut(), &checks);
+                }
                 ms.tracer_mut().flush();
                 Some(ms.registry().snapshot())
             }

@@ -16,22 +16,34 @@
 //!   stream into per-sweep records and paper-style summary tables, and
 //!   [`RunReport::reconcile`]s event-derived totals against the metric
 //!   counters so the two planes can never silently drift apart.
+//!
+//! On top of the three planes sit two evaluators: the [`Watchdog`]
+//! checks a snapshot (usually a delta) against SLO objectives and emits
+//! [`EventKind::SloViolation`] events for breaches, and
+//! [`compare::compare`] computes noise-aware per-config deltas between
+//! two bench metrics snapshots (the `ms-report --compare` gate).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
 pub mod json;
 pub mod registry;
 pub mod timeline;
 pub mod trace;
+pub mod watchdog;
 
+pub use compare::{compare, CompareReport, ConfigDelta, DEFAULT_THRESHOLD_PCT};
 pub use json::{Json, JsonError};
 pub use registry::{
     Counter, CounterSample, Histogram, HistogramSample, Registry, Snapshot,
     HISTOGRAM_BUCKETS, SNAPSHOT_MIN_SCHEMA_VERSION, SNAPSHOT_SCHEMA_VERSION,
 };
-pub use timeline::{pause_table, AgedRecord, PinRecord, RunReport, SweepRecord};
-pub use trace::{
-    Event, EventKind, JsonlSink, LedgerTotals, NullSink, RingSink, SharedBuf, Sink,
-    Stopwatch, Tracer, Trigger,
+pub use timeline::{
+    pause_table, AgedRecord, PinRecord, RunReport, SloRecord, SweepRecord,
 };
+pub use trace::{
+    Event, EventKind, JsonlSink, LedgerTotals, MarkProf, NullSink, RingSink, SharedBuf,
+    Sink, Stopwatch, Tracer, Trigger,
+};
+pub use watchdog::{slo_table, SloCheck, SloKind, SloPolicy, Watchdog};

@@ -431,10 +431,28 @@ impl Snapshot {
     /// (`ms_<subsystem>_<name>`; histograms as cumulative `_bucket{le=…}`
     /// series).
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled(&[])
+    }
+
+    /// [`Snapshot::to_prometheus`] with constant labels attached to every
+    /// series (e.g. `host`, `scan_tier`, `rev`). Label values are escaped
+    /// per the exposition format (`\` → `\\`, `"` → `\"`, newline →
+    /// `\n`); with no labels the output is byte-identical to
+    /// [`Snapshot::to_prometheus`].
+    pub fn to_prometheus_labeled(&self, labels: &[(&str, &str)]) -> String {
+        let base: String = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        // Suffix for plain series ("{k="v"}" or "") and the prefix inside
+        // an already-open brace ("k="v"," or "").
+        let plain = if base.is_empty() { String::new() } else { format!("{{{base}}}") };
+        let inner = if base.is_empty() { String::new() } else { format!("{base},") };
         let mut out = String::new();
         for c in &self.counters {
             let m = metric_name(&c.subsystem, &c.name);
-            out.push_str(&format!("# TYPE {m} counter\n{m} {}\n", c.value));
+            out.push_str(&format!("# TYPE {m} counter\n{m}{plain} {}\n", c.value));
         }
         for h in &self.histograms {
             let m = metric_name(&h.subsystem, &h.name);
@@ -443,13 +461,33 @@ impl Snapshot {
             for (i, count) in &h.buckets {
                 cumulative += count;
                 let bound = Histogram::bucket_bound(*i);
-                out.push_str(&format!("{m}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                out.push_str(&format!(
+                    "{m}_bucket{{{inner}le=\"{bound}\"}} {cumulative}\n"
+                ));
             }
-            out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-            out.push_str(&format!("{m}_sum {}\n{m}_count {cumulative}\n", h.sum));
+            out.push_str(&format!("{m}_bucket{{{inner}le=\"+Inf\"}} {cumulative}\n"));
+            out.push_str(&format!(
+                "{m}_sum{plain} {}\n{m}_count{plain} {cumulative}\n",
+                h.sum
+            ));
         }
         out
     }
+}
+
+/// Escapes a Prometheus label value (the exposition format's three escape
+/// sequences; everything else passes through, including UTF-8).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 fn metric_name(subsystem: &str, name: &str) -> String {
@@ -566,6 +604,67 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_delta_saturates_on_counter_reset() {
+        // A restarted process re-registers counters at 0; `after` then
+        // reads below `before` and the delta must clamp to 0 instead of
+        // wrapping to ~u64::MAX.
+        let mk = |sweeps: u64, pause: &[u64]| {
+            let reg = Registry::new();
+            reg.counter("layer", "sweeps").add(sweeps);
+            let h = reg.histogram("engine", "pause_cycles");
+            for &v in pause {
+                h.record(v);
+            }
+            reg.snapshot()
+        };
+        let before = mk(100, &[8, 8, 8]);
+        let after = mk(2, &[8]);
+        let d = after.delta(&before);
+        assert_eq!(d.counter("layer", "sweeps"), Some(0), "underflow saturates");
+        let dh = d.histogram("engine", "pause_cycles").unwrap();
+        assert_eq!(dh.count(), 0, "bucket underflow saturates");
+        assert_eq!(dh.sum, 0, "sum underflow saturates");
+
+        // Metrics absent from `before` pass through; metrics only in
+        // `before` are dropped.
+        let fresh = Registry::new();
+        fresh.counter("bench", "reps").add(7);
+        let d2 = fresh.snapshot().delta(&before);
+        assert_eq!(d2.counter("bench", "reps"), Some(7));
+        assert_eq!(d2.counter("layer", "sweeps"), None);
+    }
+
+    #[test]
+    fn snapshot_delta_partial_histogram_underflow() {
+        // Only some buckets ran backwards (torn/reset source): each bucket
+        // saturates independently and empty buckets are dropped.
+        let before = Snapshot {
+            counters: vec![],
+            histograms: vec![HistogramSample {
+                subsystem: "engine".into(),
+                name: "pause_cycles".into(),
+                buckets: vec![(3, 10), (5, 1)],
+                sum: 1000,
+            }],
+        };
+        let after = Snapshot {
+            counters: vec![],
+            histograms: vec![HistogramSample {
+                subsystem: "engine".into(),
+                name: "pause_cycles".into(),
+                buckets: vec![(3, 4), (5, 3)],
+                sum: 900,
+            }],
+        };
+        let d = after.delta(&before);
+        let dh = d.histogram("engine", "pause_cycles").unwrap();
+        assert_eq!(dh.bucket(3), 0);
+        assert_eq!(dh.bucket(5), 2);
+        assert_eq!(dh.buckets, vec![(5, 2)], "zeroed buckets drop out");
+        assert_eq!(dh.sum, 0);
+    }
+
+    #[test]
     fn snapshot_json_roundtrip() {
         let reg = Registry::new();
         reg.counter("layer", "sweeps").add(42);
@@ -611,6 +710,40 @@ mod tests {
         assert!(text.contains("ms_engine_pause_cycles_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("ms_engine_pause_cycles_sum 5"));
         assert!(text.contains("ms_engine_pause_cycles_count 1"));
+    }
+
+    #[test]
+    fn prometheus_labeled_exposition_escapes_values() {
+        let reg = Registry::new();
+        reg.counter("layer", "sweeps").add(2);
+        let h = reg.histogram("engine", "pause_cycles");
+        h.record(5);
+        let snap = reg.snapshot();
+
+        // No labels: byte-identical to the unlabeled exposition.
+        assert_eq!(snap.to_prometheus_labeled(&[]), snap.to_prometheus());
+
+        let hostile = "tier\"a\\b\nend";
+        let text = snap.to_prometheus_labeled(&[("host", "box1"), ("tier", hostile)]);
+        let escaped = "tier\\\"a\\\\b\\nend";
+        assert!(
+            text.contains(&format!("ms_layer_sweeps{{host=\"box1\",tier=\"{escaped}\"}} 2")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "ms_engine_pause_cycles_bucket{{host=\"box1\",tier=\"{escaped}\",le=\"7\"}} 1"
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "ms_engine_pause_cycles_sum{{host=\"box1\",tier=\"{escaped}\"}} 5"
+            )),
+            "{text}"
+        );
+        // The raw (unescaped) backslash-quote sequence must not appear.
+        assert!(!text.contains(hostile), "label values must be escaped: {text}");
     }
 
     #[test]

@@ -60,6 +60,23 @@ pub struct LedgerTotals {
     pub fail_events: u64,
 }
 
+/// Profiler attribution for one sweep's marking phase, carried in
+/// [`EventKind::MarkPhase`] when the sweep profiler is enabled. `None`
+/// keeps the event in its pre-profiler wire shape, so golden traces and
+/// old consumers are untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct MarkProf {
+    /// Nanoseconds spent inside the scan kernel (serial steps and
+    /// parallel chunks combined; 0 in deterministic mode).
+    pub scan_ns: u64,
+    /// Shadow-map marks published through the write-combine window.
+    pub wc_window_bits: u64,
+    /// Shadow-map marks stored directly (window closed: scattered marks).
+    pub wc_direct: u64,
+    /// Direct-mapped chunk-cache evictions in the shadow writer.
+    pub cache_evictions: u64,
+}
+
 /// A typed sweep-lifecycle event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EventKind {
@@ -95,6 +112,10 @@ pub enum EventKind {
         /// Wall-clock marking time in nanoseconds (0 in deterministic
         /// mode).
         wall_ns: u64,
+        /// Profiler attribution; `None` when the sweep profiler is off
+        /// (the JSON then omits the profiler keys, so pre-profiler traces
+        /// parse unchanged).
+        prof: Option<MarkProf>,
     },
     /// A stop-the-world soft-dirty re-check ran (mostly-concurrent mode).
     StwPass {
@@ -166,6 +187,17 @@ pub enum EventKind {
         /// Sweep number of the first failure.
         first_failed: u64,
     },
+    /// An SLO watchdog objective was breached: an observed value crossed
+    /// its configured limit. Emitted by [`crate::Watchdog`] evaluation
+    /// (e.g. the sim engine's end-of-run check).
+    SloViolation {
+        /// Stable objective name (`stw`, `sweep`, `qratio`, `util`).
+        objective: String,
+        /// The observed value (same unit as the limit).
+        observed: u64,
+        /// The configured limit it breached.
+        limit: u64,
+    },
     /// A sweep finished end to end.
     SweepEnd {
         /// Sweep number.
@@ -213,6 +245,7 @@ impl Event {
                 marked_granules,
                 filter_rejects,
                 wall_ns,
+                prof,
             } => {
                 // skip_rate is derived (skipped_bytes / bytes), emitted for
                 // human consumers; parsing recomputes it from the integers.
@@ -221,13 +254,21 @@ impl Event {
                 } else {
                     *skipped_bytes as f64 / *bytes as f64
                 };
-                format!(
+                let mut s = format!(
                     "\"type\": \"mark_phase\", \"sweep\": {sweep}, \"bytes\": {bytes}, \
                      \"words\": {words}, \"skipped_bytes\": {skipped_bytes}, \
                      \"skip_rate\": {skip_rate:.4}, \
                      \"marked_granules\": {marked_granules}, \
                      \"filter_rejects\": {filter_rejects}, \"wall_ns\": {wall_ns}"
-                )
+                );
+                if let Some(p) = prof {
+                    s.push_str(&format!(
+                        ", \"prof_scan_ns\": {}, \"wc_window_bits\": {}, \
+                         \"wc_direct\": {}, \"cache_evictions\": {}",
+                        p.scan_ns, p.wc_window_bits, p.wc_direct, p.cache_evictions
+                    ));
+                }
+                s
             }
             EventKind::StwPass { sweep, pages, words } => {
                 format!("\"type\": \"stw_pass\", \"sweep\": {sweep}, \"pages\": {pages}, \"words\": {words}")
@@ -255,6 +296,13 @@ impl Event {
                     "\"type\": \"failed_free_aged\", \"sweep\": {sweep}, \"site\": {site}, \
                      \"base\": {base}, \"bytes\": {bytes}, \"survivals\": {survivals}, \
                      \"first_failed\": {first_failed}"
+                )
+            }
+            EventKind::SloViolation { objective, observed, limit } => {
+                format!(
+                    "\"type\": \"slo_violation\", \"objective\": \"{}\", \
+                     \"observed\": {observed}, \"limit\": {limit}",
+                    crate::json::escape(objective)
                 )
             }
             EventKind::SweepEnd { sweep, wall_ns, ledger } => match ledger {
@@ -312,6 +360,17 @@ impl Event {
                 // filter-reject accounting carry no such key.
                 filter_rejects: v.get("filter_rejects").and_then(Json::as_u64).unwrap_or(0),
                 wall_ns: num("wall_ns")?,
+                // The profiler keys are optional: pre-profiler traces (and
+                // profiler-off runs) omit them.
+                prof: match v.get("prof_scan_ns") {
+                    None => None,
+                    Some(_) => Some(MarkProf {
+                        scan_ns: num("prof_scan_ns")?,
+                        wc_window_bits: num("wc_window_bits")?,
+                        wc_direct: num("wc_direct")?,
+                        cache_evictions: num("cache_evictions")?,
+                    }),
+                },
             },
             "stw_pass" => EventKind::StwPass {
                 sweep: num("sweep")?,
@@ -344,6 +403,15 @@ impl Event {
                 bytes: num("bytes")?,
                 survivals: num("survivals")?,
                 first_failed: num("first_failed")?,
+            },
+            "slo_violation" => EventKind::SloViolation {
+                objective: v
+                    .get("objective")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| JsonError::new("missing objective"))?
+                    .to_owned(),
+                observed: num("observed")?,
+                limit: num("limit")?,
             },
             "sweep_end" => {
                 // The ledger keys are optional: pre-forensics traces (and
@@ -558,6 +626,13 @@ impl Tracer {
         self.deterministic = on;
     }
 
+    /// Whether deterministic mode is on (event producers use this to zero
+    /// wall-clock fields the [`Stopwatch`] gate doesn't cover, e.g. the
+    /// profiler's `scan_ns`).
+    pub fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
     /// Sets the virtual clock stamped into subsequent events.
     pub fn set_virtual_now(&mut self, vnow: u64) {
         self.vnow = vnow;
@@ -616,6 +691,27 @@ mod tests {
                 marked_granules: 7,
                 filter_rejects: 5,
                 wall_ns: 0,
+                prof: None,
+            },
+            EventKind::MarkPhase {
+                sweep: 2,
+                bytes: 8192,
+                words: 512,
+                skipped_bytes: 4096,
+                marked_granules: 7,
+                filter_rejects: 5,
+                wall_ns: 120,
+                prof: Some(MarkProf {
+                    scan_ns: 90,
+                    wc_window_bits: 40,
+                    wc_direct: 3,
+                    cache_evictions: 1,
+                }),
+            },
+            EventKind::SloViolation {
+                objective: "stw".to_owned(),
+                observed: 9000,
+                limit: 4096,
             },
             EventKind::StwPass { sweep: 1, pages: 2, words: 1024 },
             EventKind::Release { sweep: 1, released: 2, released_bytes: 128, failed_frees: 1 },
@@ -684,8 +780,59 @@ mod tests {
                 marked_granules: 3,
                 filter_rejects: 0,
                 wall_ns: 0,
+                prof: None,
             }
         );
+    }
+
+    #[test]
+    fn profiler_free_mark_phase_serialises_without_prof_keys() {
+        // Profiler off keeps the wire shape byte-identical to pre-profiler
+        // traces (golden fixtures must not move).
+        let e = Event {
+            seq: 1,
+            vnow: 0,
+            kind: EventKind::MarkPhase {
+                sweep: 1,
+                bytes: 8192,
+                words: 1024,
+                skipped_bytes: 0,
+                marked_granules: 3,
+                filter_rejects: 0,
+                wall_ns: 0,
+                prof: None,
+            },
+        };
+        assert!(!e.to_json().contains("prof_scan_ns"));
+        let p = Event {
+            kind: EventKind::MarkPhase {
+                sweep: 1,
+                bytes: 8192,
+                words: 1024,
+                skipped_bytes: 0,
+                marked_granules: 3,
+                filter_rejects: 0,
+                wall_ns: 0,
+                prof: Some(MarkProf::default()),
+            },
+            ..e
+        };
+        assert!(p.to_json().contains("\"prof_scan_ns\": 0"));
+    }
+
+    #[test]
+    fn slo_violation_objective_is_escaped() {
+        let e = Event {
+            seq: 0,
+            vnow: 0,
+            kind: EventKind::SloViolation {
+                objective: "q\"ratio\\\n".to_owned(),
+                observed: 2,
+                limit: 1,
+            },
+        };
+        let line = e.to_json();
+        assert_eq!(Event::from_json(&line).unwrap(), e, "hostile objective must round-trip");
     }
 
     #[test]

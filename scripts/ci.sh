@@ -87,6 +87,65 @@ if grep '"requested_helpers": [1-9]' "$smoke_dir/bench.json" \
 fi
 test -s "$smoke_dir/bench_metrics.json" || { echo "empty bench metrics"; exit 1; }
 
+echo "== sweep profiler overhead pair =="
+# Off-vs-on bench pair over the same fixture: enabling the profiler must
+# not slow any non-degraded row beyond threshold + the pair's measured
+# noise (the disabled path is a single branch). The off run also appends
+# this CI run to the append-only bench trajectory.
+cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
+    --pages 256 --reps 8 --out "$smoke_dir/off.json" \
+    --metrics-out "$smoke_dir/off_metrics.json" \
+    --trajectory BENCH_trajectory.jsonl > /dev/null
+grep -q '"git_rev"' BENCH_trajectory.jsonl \
+    || { echo "trajectory line missing host metadata"; exit 1; }
+cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
+    --pages 256 --reps 8 --profiler --out "$smoke_dir/on.json" \
+    --metrics-out "$smoke_dir/on_metrics.json" > /dev/null
+grep -q '"profiler": true' "$smoke_dir/on.json" \
+    || { echo "bench JSON missing profiler host field"; exit 1; }
+cargo run -q --release -p ms-cli --bin ms-report -- \
+    --compare "$smoke_dir/off_metrics.json" "$smoke_dir/on_metrics.json" \
+    --threshold 10 > /dev/null \
+    || { echo "profiler-on bench regressed beyond noise vs profiler-off"; exit 1; }
+
+echo "== bench regression-gate self-test =="
+# Inject a synthetic 2x slowdown on a non-degraded row and prove the
+# compare gate actually rejects it (exit 2).
+cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
+    --pages 256 --reps 8 --handicap simd_serial:2.0 \
+    --out "$smoke_dir/slow.json" \
+    --metrics-out "$smoke_dir/slow_metrics.json" > /dev/null
+if cargo run -q --release -p ms-cli --bin ms-report -- \
+    --compare "$smoke_dir/off_metrics.json" "$smoke_dir/slow_metrics.json" \
+    > "$smoke_dir/gate.txt"; then
+    echo "compare gate failed to reject an injected 2x regression"
+    exit 1
+fi
+grep -q "REGRESSED" "$smoke_dir/gate.txt" \
+    || { echo "gate output missing the REGRESSED verdict"; exit 1; }
+
+echo "== bench baseline compare =="
+# Noise-aware deltas against the committed quick-fixture baseline.
+# Same-host regressions beyond 25% + noise gate the build; cross-host
+# pairs (different CPU count or scan tier) downgrade to warnings.
+cargo run -q --release -p ms-cli --bin ms-report -- \
+    --compare BENCH_baseline_metrics.json "$smoke_dir/off_metrics.json" \
+    --threshold 25 \
+    || { echo "bench regressed against the committed baseline"; exit 1; }
+
+echo "== SLO watchdog smoke =="
+# A generous policy over the telemetry smoke run passes; an impossible
+# sweep deadline must breach and exit nonzero.
+cargo run -q --release -p ms-cli --bin ms-report -- \
+    --slo stw=999999999999,sweep=999999999999,qratio=1000 \
+    --metrics "$smoke_dir/metrics.json" > /dev/null \
+    || { echo "generous SLO policy must pass"; exit 1; }
+if cargo run -q --release -p ms-cli --bin ms-report -- \
+    --slo sweep=1 --metrics "$smoke_dir/metrics.json" > /dev/null; then
+    echo "impossible SLO policy must breach"
+    exit 1
+fi
+
 echo "== clippy (deny warnings) =="
 cargo clippy -p ms-telemetry --all-targets -- -D warnings
 cargo clippy --workspace --all-targets -- -D warnings
