@@ -41,7 +41,15 @@
 //! * `*_dense` — scalar/SIMD serial rows over an all-nonzero strided
 //!   fixture: no zero chunks to skip (the kernel's worst case) and
 //!   perfectly predictable branches (the scalar loop's best case), so
-//!   this row isolates the vectorised range test alone.
+//!   this row isolates the vectorised range test alone;
+//! * `arenas_nK_{serial,barrier_h6,sched_h6}` — the default fixture cut
+//!   into K tenant mini-heaps (each its own address space and plan, the
+//!   sharded-quarantine shape). `serial` marks them one after another on
+//!   one thread; `barrier_h6` gives each arena its own 6-helper
+//!   [`parallel_mark_opts`] round, paying K join barriers; `sched_h6`
+//!   batches all K plans through **one** [`parallel_mark_pool`] round —
+//!   one work-stealing cursor, one join — which is exactly what the
+//!   sweep scheduler's coalesced rounds run.
 //!
 //! Helper counts are reported as requested *and* effective — the
 //! production path clamps to [`effective_helper_count`], and any parallel
@@ -61,9 +69,9 @@ use minesweeper::telemetry::{
     EventKind, Histogram, NullSink, Registry, Tracer, SNAPSHOT_SCHEMA_VERSION,
 };
 use minesweeper::{
-    effective_helper_count, parallel_mark_opts, CandidateFilter, EdgeRecorder, ForensicsMode,
-    MarkAccel, Marker, NaiveShadowMap, PageCache, ParallelMarkOpts, QEntry, ScanTier, ShadowMap,
-    SweepPlan, SweepProf,
+    effective_helper_count, parallel_mark_opts, parallel_mark_pool, CandidateFilter,
+    EdgeRecorder, ForensicsMode, MarkAccel, Marker, NaiveShadowMap, PageCache, ParallelMarkOpts,
+    PoolMarkJob, PoolMarkOpts, QEntry, ScanTier, ShadowMap, SweepPlan, SweepProf,
 };
 use vmem::{Addr, AddrSpace, Layout, PageIdx, PAGE_SIZE, WORD_SIZE};
 
@@ -681,9 +689,102 @@ fn main() {
         shadow.marked_count()
     }));
 
+    // Multi-tenant shape: the fixture budget cut into K mini-heaps, each
+    // its own address space and plan (disjoint tenant heaps, like the
+    // sharded quarantine). Three ways to mark all K:
+    //  * `serial`   — one thread, one arena after another: the naive
+    //                 baseline the scheduler replaces;
+    //  * `barrier_h6` — a 6-helper parallel round *per arena*, paying K
+    //                 spawn/join barriers on ever-smaller plans;
+    //  * `sched_h6` — all K plans batched through one
+    //                 `parallel_mark_pool` round: one work-stealing
+    //                 cursor, one join — a scheduler-coalesced round.
+    let arena_counts = [4u64, 16, 64];
+    let mut expect_arenas: Vec<(u64, u64)> = Vec::new();
+    for &k in &arena_counts {
+        let mini_pages = (pages / k).max(1);
+        let fixtures: Vec<(AddrSpace, SweepPlan)> =
+            (0..k).map(|_| sweep_fixture(mini_pages)).collect();
+        let arena_words = mini_pages * (PAGE_SIZE / WORD_SIZE) as u64 * k;
+        let expect_k: u64 = fixtures
+            .iter()
+            .map(|(sp, pl)| {
+                let shadow = ShadowMap::new();
+                scalar_mark(sp, sp.layout(), pl, &shadow)
+            })
+            .sum();
+        expect_arenas.push((k, expect_k));
+        samples.push(measure(
+            &format!("arenas_n{k}_serial"),
+            0,
+            arena_words,
+            reps,
+            &registry,
+            || {
+                fixtures
+                    .iter()
+                    .map(|(sp, pl)| {
+                        let opts = ParallelMarkOpts::default();
+                        parallel_mark_opts(sp, pl, sp.layout(), &opts).0.marked_count()
+                    })
+                    .sum()
+            },
+        ));
+        samples.push(measure(
+            &format!("arenas_n{k}_barrier_h6"),
+            6,
+            arena_words,
+            reps,
+            &registry,
+            || {
+                fixtures
+                    .iter()
+                    .map(|(sp, pl)| {
+                        let opts = ParallelMarkOpts {
+                            helper_threads: 6,
+                            ..ParallelMarkOpts::default()
+                        };
+                        parallel_mark_opts(sp, pl, sp.layout(), &opts).0.marked_count()
+                    })
+                    .sum()
+            },
+        ));
+        // Shadows live across reps and are cleared in place, as the
+        // arena pool keeps them between epochs — allocating 64 fresh
+        // radix maps per rep would measure allocator churn, not marking.
+        let mut pool_shadows: Vec<ShadowMap> = (0..k).map(|_| ShadowMap::new()).collect();
+        samples.push(measure(
+            &format!("arenas_n{k}_sched_h6"),
+            6,
+            arena_words,
+            reps,
+            &registry,
+            || {
+                for sh in &mut pool_shadows {
+                    sh.clear();
+                }
+                let jobs: Vec<PoolMarkJob> = fixtures
+                    .iter()
+                    .zip(&pool_shadows)
+                    .map(|((sp, pl), sh)| PoolMarkJob {
+                        space: sp,
+                        plan: pl,
+                        shadow: sh,
+                        filter: None,
+                        cache: None,
+                        forensics: None,
+                    })
+                    .collect();
+                let opts = PoolMarkOpts { helper_threads: 6, ..PoolMarkOpts::default() };
+                parallel_mark_pool(&jobs, &opts);
+                pool_shadows.iter().map(ShadowMap::marked_count).sum()
+            },
+        ));
+    }
+
     // Every full configuration must find the same mark set; filtered,
-    // sparse and dense configurations check against their own serial
-    // references.
+    // sparse, dense and multi-arena configurations check against their
+    // own serial references.
     let expect = samples[0].marked;
     for s in &samples {
         let want = if s.name.contains("filtered") {
@@ -692,6 +793,9 @@ fn main() {
             expect_sparse
         } else if s.name.ends_with("_dense") {
             expect_dense
+        } else if let Some(rest) = s.name.strip_prefix("arenas_n") {
+            let k: u64 = rest.split('_').next().unwrap().parse().unwrap();
+            expect_arenas.iter().find(|&&(kk, _)| kk == k).unwrap().1
         } else {
             expect
         };
@@ -785,6 +889,28 @@ fn main() {
     println!("\nsimd_serial vs atomic_serial (scalar reference): {simd_ratio:.2}x");
     println!("simd_serial_dense vs atomic_serial_dense (no-zero worst case): {dense_ratio:.2}x");
 
+    // The sharding headline: one scheduler-coalesced pooled round vs the
+    // naive one-arena-after-another serial loop (and vs per-arena
+    // parallel rounds, isolating the batching win from raw parallelism).
+    // Degraded rows print their ratio for transparency but a 1-CPU host
+    // cannot claim a scaling result.
+    let mut arena_ratio_json = String::new();
+    for &(k, _) in &expect_arenas {
+        let sched = by_name(&format!("arenas_n{k}_sched_h6"));
+        let vs_serial = sched.words_per_sec / by_name(&format!("arenas_n{k}_serial")).words_per_sec;
+        let vs_barrier =
+            sched.words_per_sec / by_name(&format!("arenas_n{k}_barrier_h6")).words_per_sec;
+        println!(
+            "arenas_n{k}_sched_h6 vs serial: {vs_serial:.2}x, vs per-arena barriers: {vs_barrier:.2}x{}",
+            if sched.degraded { "  [degraded: 0 helpers]" } else { "" }
+        );
+        let comma = if arena_ratio_json.is_empty() { "" } else { ", " };
+        let _ = write!(
+            arena_ratio_json,
+            "{comma}\"n{k}_sched_vs_serial\": {vs_serial:.3}, \"n{k}_sched_vs_barrier\": {vs_barrier:.3}"
+        );
+    }
+
     // Tracing-overhead ratio: traced (null sink) vs untraced SIMD serial.
     let null_sink_ratio =
         by_name("simd_serial_nullsink").words_per_sec / by_name("simd_serial").words_per_sec;
@@ -806,6 +932,7 @@ fn main() {
         json,
         "  \"telemetry\": {{ \"schema_version\": {SNAPSHOT_SCHEMA_VERSION}, \"null_sink_vs_untraced\": {null_sink_ratio:.3}, \"metrics_out\": \"{metrics_path}\" }},"
     );
+    let _ = writeln!(json, "  \"arenas\": {{ {arena_ratio_json} }},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };

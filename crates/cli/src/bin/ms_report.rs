@@ -13,6 +13,7 @@ ms-report — summarise MineSweeper sweep-lifecycle traces
 USAGE:
     ms-report <run.jsonl> [--metrics <metrics.json>] [--check]
               [--pinners] [--failed-frees]
+    ms-report --metrics <metrics.json> [--check]
     ms-report --slo <spec> --metrics <metrics.json>
     ms-report --compare <old.json> <new.json> [--threshold <pct>]
 
@@ -24,6 +25,12 @@ the failed-free ledger (both need a trace recorded with the `forensics`
 config knob on). --check reconciles the trace's aggregated totals —
 including the forensic ledger, when present — against the snapshot's
 counters and fails on any mismatch.
+
+Without a trace file, --metrics alone renders a multi-arena snapshot
+(minesweeper-sim run --arenas N --metrics-out): the per-arena shard
+table, the sweep-scheduler summary and each arena's pause histograms;
+--check then requires the sum of every shard's counters to equal the
+independently accumulated arena/total_* globals.
 
 --slo evaluates the snapshot against a comma-separated objective spec
 (stw=CYCLES,sweep=CYCLES,qratio=PERMILLE,util=PCT), prints a pass/fail
@@ -123,7 +130,19 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
         return Ok((out, !breached));
     }
 
-    let trace = trace.ok_or_else(|| CliError("ms-report needs a trace file".into()))?;
+    let Some(trace) = trace else {
+        // Metrics-only mode: a multi-arena snapshot report.
+        let metrics = metrics.ok_or_else(|| {
+            CliError("ms-report needs a trace file or --metrics <file>".into())
+        })?;
+        if opts.pinners || opts.failed_frees {
+            return Err(CliError(
+                "--pinners/--failed-frees need a trace file".into(),
+            ));
+        }
+        let out = ms_cli::render_metrics_report(&read(&metrics)?, opts.check)?;
+        return Ok((out, true));
+    };
     let trace_text = read(&trace)?;
     let metrics_text = match &metrics {
         Some(path) => Some(read(path)?),

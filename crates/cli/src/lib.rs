@@ -12,7 +12,7 @@
 //! ```
 
 use sim::report::{bytes, fx, table, telemetry_tables};
-use sim::{run, run_exploit, run_trace, Engine, System, ENGINE_SUBSYSTEM};
+use sim::{run, run_arenas, run_exploit, run_trace, Engine, System, ARENA_SUBSYSTEM, ENGINE_SUBSYSTEM};
 use telemetry::{pause_table, JsonlSink, RunReport, Snapshot};
 use workloads::exploit::figure2_attack;
 use workloads::{mimalloc_bench, recorded, spec2006, spec2017, Profile, TraceGen};
@@ -37,6 +37,10 @@ pub enum Command {
         /// Sweep-forensics mode label (`off`, `full`, `sampled:N`); only
         /// meaningful for minesweeper-layered systems.
         forensics: Option<String>,
+        /// Run the benchmark as N identically-shaped tenants over one
+        /// sharded [`minesweeper::ArenaPool`]; needs a minesweeper-layered
+        /// system.
+        arenas: Option<u32>,
     },
     /// Run one benchmark under every system and print the overhead table.
     Compare {
@@ -107,6 +111,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut trace_out = None;
             let mut metrics_out = None;
             let mut forensics = None;
+            let mut arenas = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--system" => {
@@ -163,6 +168,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         );
                     }
+                    "--arenas" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--arenas needs a value".into()))?;
+                        let n: u32 = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad arena count: {v}")))?;
+                        if n == 0 {
+                            return Err(CliError("--arenas needs at least one".into()));
+                        }
+                        arenas = Some(n);
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(CliError(format!("unknown flag: {flag}")));
                     }
@@ -177,10 +194,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 benchmark.clone().ok_or_else(|| CliError(format!("{what} needed")))
             };
             if cmd != "run"
-                && (trace_out.is_some() || metrics_out.is_some() || forensics.is_some())
+                && (trace_out.is_some()
+                    || metrics_out.is_some()
+                    || forensics.is_some()
+                    || arenas.is_some())
             {
                 return Err(CliError(
-                    "--trace-out/--metrics-out/--forensics are only valid with `run`"
+                    "--trace-out/--metrics-out/--forensics/--arenas are only valid \
+                     with `run`"
                         .into(),
                 ));
             }
@@ -192,6 +213,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     trace_out,
                     metrics_out,
                     forensics,
+                    arenas,
                 }),
                 "compare" => Ok(Command::Compare {
                     benchmark: positional("compare needs a benchmark name")?,
@@ -324,11 +346,50 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             out.push_str("  demo           (synthetic quick-run profile)\n");
             Ok(out)
         }
-        Command::Run { benchmark, system, seed, trace_out, metrics_out, forensics } => {
+        Command::Run { benchmark, system, seed, trace_out, metrics_out, forensics, arenas } => {
             let profile = profile_by_name(benchmark)?;
             let mut sys = system_by_label(system)?;
             if let Some(label) = forensics {
                 sys = apply_forensics(sys, label)?;
+            }
+            if let Some(n) = arenas {
+                if trace_out.is_some() {
+                    return Err(CliError(
+                        "--trace-out is not supported with --arenas (the pooled \
+                         runner has no per-arena trace sink yet)"
+                            .into(),
+                    ));
+                }
+                let cfg = sys.ms_config().ok_or_else(|| {
+                    CliError(format!(
+                        "--arenas needs a minesweeper-layered system, not {system}"
+                    ))
+                })?;
+                let m = run_arenas(&profile, *n, *seed, cfg);
+                if let Some(path) = metrics_out {
+                    let snap =
+                        m.telemetry.as_ref().expect("pooled runs always export telemetry");
+                    std::fs::write(path, snap.to_json())
+                        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                }
+                let rows = vec![
+                    vec!["metric".to_string(), "value".into()],
+                    vec!["benchmark".into(), m.benchmark.clone()],
+                    vec!["system".into(), m.system.clone()],
+                    vec!["arenas".into(), n.to_string()],
+                    vec!["virtual cycles".into(), m.mutator_cycles.to_string()],
+                    vec!["background cycles".into(), m.background_cycles.to_string()],
+                    vec!["avg RSS".into(), bytes(m.avg_rss() as u64)],
+                    vec!["peak RSS".into(), bytes(m.peak_rss)],
+                    vec!["sweeps".into(), m.sweeps.to_string()],
+                    vec!["failed frees".into(), m.failed_frees.to_string()],
+                    vec!["cpu utilisation".into(), fx(m.cpu_utilisation())],
+                ];
+                let mut out = table(&rows);
+                let snap = m.telemetry.as_ref().expect("pooled runs always export telemetry");
+                out.push('\n');
+                out.push_str(&arena_table(snap)?);
+                return Ok(out);
             }
             let m = if trace_out.is_some() || metrics_out.is_some() {
                 let mut eng = Engine::new(&profile, sys, *seed);
@@ -441,6 +502,112 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             ))
         }
     }
+}
+
+/// The counter keys every arena shard exports and the run re-accumulates
+/// globally — the reconciliation surface between the two paths.
+const ARENA_KEYS: [&str; 4] =
+    ["quarantined_bytes", "released_bytes", "failed_frees", "sweeps"];
+
+/// Renders the per-arena shard table (one row per tenant, a totals row
+/// from the independently accumulated `arena/total_*` counters) plus a
+/// scheduler summary line, from a multi-arena metrics snapshot.
+///
+/// # Errors
+///
+/// [`CliError`] when the snapshot has no `arena/arenas` counter (i.e. it
+/// did not come from a `run --arenas` / `run_arenas` invocation).
+fn arena_table(snap: &Snapshot) -> Result<String, CliError> {
+    let n = snap.counter(ARENA_SUBSYSTEM, "arenas").ok_or_else(|| {
+        CliError(
+            "metrics carry no arena shard counters (produced without --arenas?)".into(),
+        )
+    })?;
+    let mut rows = vec![vec![
+        "arena".to_string(),
+        "quar bytes".into(),
+        "released".into(),
+        "failed".into(),
+        "sweeps".into(),
+    ]];
+    let fmt = |key: &str, v: u64| {
+        if key.ends_with("bytes") {
+            bytes(v)
+        } else {
+            v.to_string()
+        }
+    };
+    for k in 0..n {
+        let label = format!("a{k}");
+        let mut row = vec![label.clone()];
+        for key in ARENA_KEYS {
+            let v = snap.counter(ARENA_SUBSYSTEM, &format!("{label}_{key}")).unwrap_or(0);
+            row.push(fmt(key, v));
+        }
+        rows.push(row);
+    }
+    let mut total_row = vec!["total".to_string()];
+    for key in ARENA_KEYS {
+        let v = snap.counter(ARENA_SUBSYSTEM, &format!("total_{key}")).unwrap_or(0);
+        total_row.push(fmt(key, v));
+    }
+    rows.push(total_row);
+    let mut out = table(&rows);
+    out.push_str(&format!(
+        "scheduler: {} rounds, {} arenas swept, {} coalesced\n",
+        snap.counter(ARENA_SUBSYSTEM, "sched_rounds").unwrap_or(0),
+        snap.counter(ARENA_SUBSYSTEM, "sched_scheduled").unwrap_or(0),
+        snap.counter(ARENA_SUBSYSTEM, "sched_coalesced").unwrap_or(0),
+    ));
+    Ok(out)
+}
+
+/// Renders an `ms-report` summary from a multi-arena metrics snapshot
+/// alone (no sweep trace): the per-arena shard table, the scheduler
+/// summary, and each arena's pause/STW/sweep histograms. With `check`,
+/// the sum of every shard's counters must equal the independently
+/// accumulated `arena/total_*` globals — a lost update in either
+/// accounting path is an error.
+///
+/// # Errors
+///
+/// [`CliError`] on malformed metrics, a snapshot without arena counters,
+/// or a reconciliation mismatch.
+pub fn render_metrics_report(metrics_text: &str, check: bool) -> Result<String, CliError> {
+    let snap = Snapshot::from_json(metrics_text)
+        .map_err(|e| CliError(format!("bad metrics: {e}")))?;
+    let mut out = arena_table(&snap)?;
+    let n = snap.counter(ARENA_SUBSYSTEM, "arenas").unwrap_or(0);
+    for k in 0..n {
+        for name in ["pause_cycles", "stw_cycles", "sweep_cycles"] {
+            if let Some(h) = snap.histogram(ARENA_SUBSYSTEM, &format!("a{k}_{name}")) {
+                if h.count() > 0 {
+                    out.push('\n');
+                    out.push_str(&format!("a{k} {name}:\n"));
+                    out.push_str(&pause_table(h, "cycles"));
+                }
+            }
+        }
+    }
+    if check {
+        for key in ARENA_KEYS {
+            let sum: u64 = (0..n)
+                .map(|k| {
+                    snap.counter(ARENA_SUBSYSTEM, &format!("a{k}_{key}")).unwrap_or(0)
+                })
+                .sum();
+            let total =
+                snap.counter(ARENA_SUBSYSTEM, &format!("total_{key}")).unwrap_or(0);
+            if sum != total {
+                return Err(CliError(format!(
+                    "arena reconcile failed: shard {key} sums to {sum}, global total \
+                     counted {total}"
+                )));
+            }
+        }
+        out.push_str("\nreconcile: arena shard counters match global totals\n");
+    }
+    Ok(out)
 }
 
 /// What an `ms-report` rendering should include beyond the base timeline.
@@ -617,7 +784,7 @@ USAGE:
     minesweeper-sim list
     minesweeper-sim run <benchmark> [--system <label>] [--seed <n>]
                         [--trace-out <run.jsonl>] [--metrics-out <metrics.json>]
-                        [--forensics <off|full|sampled:n>]
+                        [--forensics <off|full|sampled:n>] [--arenas <n>]
     minesweeper-sim compare <benchmark> [--seed <n>]
     minesweeper-sim exploit [--system <label>]
     minesweeper-sim record <benchmark> --out <file> [--seed <n>]
@@ -649,7 +816,8 @@ mod tests {
                 seed: 9,
                 trace_out: None,
                 metrics_out: None,
-                forensics: None
+                forensics: None,
+                arenas: None
             }
         );
     }
@@ -667,7 +835,8 @@ mod tests {
                 seed: 42,
                 trace_out: Some("/tmp/t.jsonl".into()),
                 metrics_out: Some("/tmp/m.json".into()),
-                forensics: None
+                forensics: None,
+                arenas: None
             }
         );
         assert!(parse(&argv("compare demo --trace-out /tmp/t.jsonl")).is_err());
@@ -685,7 +854,8 @@ mod tests {
                 seed: 42,
                 trace_out: None,
                 metrics_out: None,
-                forensics: None
+                forensics: None,
+                arenas: None
             }
         );
         assert_eq!(parse(&[]).unwrap(), Command::Help);
@@ -784,6 +954,7 @@ mod tests {
             trace_out: None,
             metrics_out: None,
             forensics: None,
+            arenas: None,
         })
         .unwrap();
         assert!(out.contains("sweeps"));
@@ -801,6 +972,7 @@ mod tests {
             trace_out: Some(dir.to_string_lossy().into_owned()),
             metrics_out: None,
             forensics: None,
+            arenas: None,
         })
         .unwrap_err();
         assert!(err.0.contains("layered"), "{err}");
@@ -818,6 +990,7 @@ mod tests {
             trace_out: Some(trace.to_string_lossy().into_owned()),
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             forensics: None,
+            arenas: None,
         })
         .unwrap();
         let trace_text = std::fs::read_to_string(&trace).unwrap();
@@ -852,7 +1025,8 @@ mod tests {
                 seed: 42,
                 trace_out: None,
                 metrics_out: None,
-                forensics: Some("sampled:8".into())
+                forensics: Some("sampled:8".into()),
+                arenas: None
             }
         );
         assert!(parse(&argv("compare demo --forensics full")).is_err());
@@ -882,6 +1056,7 @@ mod tests {
             trace_out: None,
             metrics_out: None,
             forensics: Some("full".into()),
+            arenas: None,
         })
         .unwrap_err();
         assert!(err.0.contains("layered"), "{err}");
@@ -898,6 +1073,7 @@ mod tests {
             trace_out: Some(trace.to_string_lossy().into_owned()),
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             forensics: Some("full".into()),
+            arenas: None,
         })
         .unwrap();
         let trace_text = std::fs::read_to_string(&trace).unwrap();
@@ -916,6 +1092,7 @@ mod tests {
             trace_out: Some(trace.to_string_lossy().into_owned()),
             metrics_out: None,
             forensics: None,
+            arenas: None,
         });
         plain.unwrap();
         let plain_text = std::fs::read_to_string(&trace).unwrap();
@@ -985,5 +1162,103 @@ mod tests {
         assert!(table.contains("ok"), "{table}");
 
         assert!(render_compare("junk", &old, 5.0).is_err());
+    }
+
+    #[test]
+    fn parse_arenas_flag() {
+        let cmd = parse(&argv("run demo --arenas 4")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                benchmark: "demo".into(),
+                system: "minesweeper".into(),
+                seed: 42,
+                trace_out: None,
+                metrics_out: None,
+                forensics: None,
+                arenas: Some(4)
+            }
+        );
+        assert!(parse(&argv("run demo --arenas 0")).is_err());
+        assert!(parse(&argv("run demo --arenas many")).is_err());
+        assert!(parse(&argv("run demo --arenas")).is_err());
+        assert!(parse(&argv("compare demo --arenas 2")).is_err());
+    }
+
+    #[test]
+    fn arenas_need_a_layered_system_and_no_trace_sink() {
+        let err = execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "baseline".into(),
+            seed: 1,
+            trace_out: None,
+            metrics_out: None,
+            forensics: None,
+            arenas: Some(2),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("layered"), "{err}");
+        let err = execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "ms".into(),
+            seed: 1,
+            trace_out: Some("/tmp/ms_cli_arena_trace.jsonl".into()),
+            metrics_out: None,
+            forensics: None,
+            arenas: Some(2),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("--trace-out"), "{err}");
+    }
+
+    #[test]
+    fn multi_arena_run_reports_shards_and_reconciles() {
+        let metrics = std::env::temp_dir().join("ms_cli_arena_test.json");
+        let out = execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "ms".into(),
+            seed: 7,
+            trace_out: None,
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            forensics: None,
+            arenas: Some(3),
+        })
+        .unwrap();
+        assert!(out.contains("minesweeper-arenas3"), "{out}");
+        assert!(out.contains("a2"), "per-shard rows:\n{out}");
+        assert!(out.contains("scheduler:"), "{out}");
+
+        // The snapshot round-trips through the metrics-only ms-report path
+        // and its two accounting paths reconcile.
+        let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+        let report = render_metrics_report(&metrics_text, true).unwrap();
+        assert!(
+            report.contains("reconcile: arena shard counters match global totals"),
+            "{report}"
+        );
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn metrics_report_rejects_unsharded_or_tampered_snapshots() {
+        // A single-arena engine snapshot has no arena counters.
+        let reg = telemetry::Registry::new();
+        reg.counter("layer", "sweeps").inc();
+        let err = render_metrics_report(&reg.snapshot().to_json(), false).unwrap_err();
+        assert!(err.0.contains("no arena shard counters"), "{err}");
+
+        // A shard counter that lost an update fails --check by name.
+        let reg = telemetry::Registry::new();
+        reg.counter("arena", "arenas").add(2);
+        reg.counter("arena", "a0_sweeps").add(3);
+        reg.counter("arena", "a1_sweeps").add(1);
+        reg.counter("arena", "total_sweeps").add(5);
+        let text = reg.snapshot().to_json();
+        assert!(render_metrics_report(&text, false).is_ok(), "table renders anyway");
+        let err = render_metrics_report(&text, true).unwrap_err();
+        assert!(err.0.contains("sweeps sums to 4"), "{err}");
+        assert!(err.0.contains("counted 5"), "{err}");
+
+        assert!(render_metrics_report("not json", false).is_err());
     }
 }

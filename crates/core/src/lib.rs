@@ -56,6 +56,7 @@
 //! assert_eq!(report.released, 1);
 //! ```
 
+mod arena;
 mod backend;
 mod config;
 mod filter;
@@ -70,7 +71,8 @@ mod stats;
 mod sweep;
 mod telem;
 
-pub use backend::HeapBackend;
+pub use arena::{Arena, ArenaId, ArenaPool, RoundReport, SchedPolicy, SweepScheduler};
+pub use backend::{ArenaBackend, HeapBackend};
 pub use config::{ForensicsMode, MsConfig, MsConfigBuilder, SweepMode};
 pub use filter::CandidateFilter;
 pub use forensics::{EdgeAgg, EdgeRecorder, FailedFreeLedger, LedgerEntry};
@@ -82,9 +84,9 @@ pub use shadow::{NaiveShadowMap, ShadowMap, ShadowWriter, WriterProf, MAX_SHADOW
 pub use stats::MsStats;
 pub use simd::ScanTier;
 pub use sweep::{
-    effective_helper_count, parallel_mark, parallel_mark_accel, parallel_mark_opts, MarkAccel,
-    MarkProfile, Marker, ParallelMarkOpts, ParallelMarkStats, StepResult, SweepPlan,
-    PARALLEL_CHUNK_PAGES,
+    effective_helper_count, parallel_mark, parallel_mark_accel, parallel_mark_opts,
+    parallel_mark_pool, MarkAccel, MarkProfile, Marker, ParallelMarkOpts, ParallelMarkStats,
+    PoolMarkJob, PoolMarkOpts, PoolMarkResult, StepResult, SweepPlan, PARALLEL_CHUNK_PAGES,
 };
 pub use telem::{MsCounters, SweepProf, LAYER_SUBSYSTEM, SWEEP_SUBSYSTEM};
 

@@ -225,6 +225,12 @@ impl Marker {
         self.plan.total_bytes - self.done_bytes
     }
 
+    /// The plan this cursor walks. Pooled sweeps borrow it to cut the
+    /// cross-arena chunk queue without consuming the marker.
+    pub fn plan(&self) -> &SweepPlan {
+        &self.plan
+    }
+
     /// Whether the cursor has passed `addr` (used by tests to position
     /// race scenarios relative to the sweep front). Binary search over the
     /// base-sorted range index; plan ranges never overlap.
@@ -753,7 +759,18 @@ pub fn parallel_mark_opts(
                         let k = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&(base, len)) = chunks.get(k) else { break };
                         let chunk_t0 = opts.prof.map(|_| Instant::now());
-                        mark_chunk(space, layout, tier, &opts, base, len, &mut writer, &mut local);
+                        mark_chunk(
+                            space,
+                            layout,
+                            tier,
+                            opts.filter,
+                            opts.cache,
+                            opts.forensics,
+                            base,
+                            len,
+                            &mut writer,
+                            &mut local,
+                        );
                         if let (Some(p), Some(t0)) = (opts.prof, chunk_t0) {
                             let ns = t0.elapsed().as_nanos() as u64;
                             p.chunk_scan_ns.record(ns);
@@ -817,7 +834,9 @@ fn mark_chunk(
     space: &AddrSpace,
     layout: &Layout,
     tier: ScanTier,
-    opts: &ParallelMarkOpts<'_>,
+    filter: Option<&CandidateFilter>,
+    cache: Option<&PageCache>,
+    forensics: Option<&EdgeRecorder>,
     base: Addr,
     len: u64,
     writer: &mut ShadowWriter<'_>,
@@ -830,18 +849,18 @@ fn mark_chunk(
         // Clean-page replay: only when this chunk piece covers the whole
         // page (a partial replay would mark words outside the chunk).
         if addr.is_aligned(PAGE_SIZE as u64) && page_end - off == PAGE_SIZE as u64 {
-            if let Some(targets) = opts.cache.and_then(|c| c.lookup(addr.page())) {
+            if let Some(targets) = cache.and_then(|c| c.lookup(addr.page())) {
                 let mut marked_any = false;
                 for &value in targets {
                     let target = Addr::new(value);
-                    match opts.filter {
+                    match filter {
                         Some(f) if !f.allows(target) => local.filter_rejects += 1,
                         _ => {
                             writer.mark(target);
                             marked_any = true;
                             // Replayed digests lost the word offset:
                             // attribute the edge to the page.
-                            if let Some(rec) = opts.forensics {
+                            if let Some(rec) = forensics {
                                 rec.note(addr, target);
                             }
                         }
@@ -862,17 +881,310 @@ fn mark_chunk(
                 addr,
                 layout,
                 writer,
-                opts.filter,
+                filter,
                 None,
                 &mut local.heap_words,
                 &mut local.filter_rejects,
-                opts.forensics,
+                forensics,
             );
             local.words += chunk_words;
         }
         // Unbacked pages read as zero; protected pages are skipped —
         // neither marks anything.
         off = page_end;
+    }
+}
+
+/// One arena's share of a pooled cross-arena mark: the arena's address
+/// space, its in-flight sweep plan, and the accelerators bound to that
+/// sweep. Borrow one per scheduled arena (see
+/// [`MineSweeper::pooled_mark_job`](crate::MineSweeper::pooled_mark_job))
+/// and hand the batch to [`parallel_mark_pool`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolMarkJob<'a> {
+    /// The arena's address space (read-only during marking).
+    pub space: &'a AddrSpace,
+    /// The arena's locked-in sweep plan.
+    pub plan: &'a SweepPlan,
+    /// The arena's shadow map (shared, atomic marking).
+    pub shadow: &'a ShadowMap,
+    /// Candidate filter over the arena's locked quarantine generation.
+    pub filter: Option<&'a CandidateFilter>,
+    /// Read-only page-summary cache (replay only, never records).
+    pub cache: Option<&'a PageCache>,
+    /// Forensics recorder over the arena's locked entries.
+    pub forensics: Option<&'a EdgeRecorder>,
+}
+
+/// Options for [`parallel_mark_pool`]. `Default`: zero helpers, auto
+/// tier, default chunking, shared roots on, no profiler.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolMarkOpts<'a> {
+    /// Helper threads requested (clamped via [`effective_helper_count`]).
+    pub helper_threads: usize,
+    /// Scan-kernel tier override; `None` uses [`simd::active_tier`].
+    pub tier: Option<ScanTier>,
+    /// Work-queue chunk size in pages; `None` uses
+    /// [`PARALLEL_CHUNK_PAGES`].
+    pub chunk_pages: Option<u64>,
+    /// Treat root-segment (stack/globals) chunks as *shared process
+    /// state*: each root chunk is scanned once per scheduled arena and
+    /// marked into every arena's shadow through that arena's own filter,
+    /// so a dangling root pointer in one arena pins quarantined blocks in
+    /// another. Heap chunks always mark only their owning arena (tenant
+    /// heaps are disjoint). Off reproduces N independent marks exactly.
+    pub shared_roots: bool,
+    /// Sweep profiler cells shared by all threads.
+    pub prof: Option<&'a SweepProf>,
+}
+
+impl Default for PoolMarkOpts<'_> {
+    fn default() -> Self {
+        PoolMarkOpts {
+            helper_threads: 0,
+            tier: None,
+            chunk_pages: None,
+            shared_roots: true,
+            prof: None,
+        }
+    }
+}
+
+/// Result of one pooled mark: per-job deterministic stats (index-aligned
+/// with the job slice) plus the aggregate nondeterministic profile.
+#[derive(Clone, Debug, Default)]
+pub struct PoolMarkResult {
+    /// Per-job stats; `chunks` counts the chunks the job *owns* and the
+    /// word/reject counters come from the owner's scan pass only (a
+    /// shared root chunk's words are charged once, to its owner), so each
+    /// job's accounting identity `plan bytes == words*8 + skipped` holds
+    /// independent of how many arenas were batched.
+    pub per_job: Vec<ParallelMarkStats>,
+    /// Aggregate wall/busy/steal attribution (all-zero without
+    /// [`PoolMarkOpts::prof`]).
+    pub profile: MarkProfile,
+}
+
+/// Whether `addr` lies in a root segment (globals or stack) of `layout`.
+fn in_root_segment(layout: &Layout, addr: Addr) -> bool {
+    [Segment::Globals, Segment::Stack].iter().any(|&seg| {
+        let base = layout.segment_base(seg);
+        let len = layout.segment_pages(seg) * PAGE_SIZE as u64;
+        addr >= base && addr.raw() < base.raw() + len
+    })
+}
+
+/// Per-job atomic fold targets for the pooled mark.
+#[derive(Default)]
+struct JobTotals {
+    words: AtomicU64,
+    heap_words: AtomicU64,
+    filter_rejects: AtomicU64,
+    pages_skipped: AtomicU64,
+    pages_replayed: AtomicU64,
+}
+
+/// The cross-arena generalisation of [`parallel_mark_opts`]: **one**
+/// work-stealing cursor drains the chunk queues of every scheduled
+/// arena's plan, so a helper pool that finishes one tenant's dense heap
+/// immediately steals chunks from the next instead of idling at a
+/// per-arena join barrier — that barrier is exactly what naive per-arena
+/// serial sweeping pays N times.
+///
+/// Chunks are cut per job exactly as [`parallel_mark_opts`] cuts them
+/// (chunk-aligned absolute addresses), then interleaved round-robin
+/// across jobs so early-claimed work spreads over all arenas. Each
+/// thread keeps one [`ShadowWriter`] per job; heap chunks mark only
+/// their owner's shadow, root chunks follow
+/// [`PoolMarkOpts::shared_roots`]. All deterministic guarantees of the
+/// single-arena marker carry over per job: the mark set and counters are
+/// independent of helper count, chunk size and claim order.
+pub fn parallel_mark_pool(
+    jobs: &[PoolMarkJob<'_>],
+    opts: &PoolMarkOpts<'_>,
+) -> PoolMarkResult {
+    let helpers = effective_helper_count(opts.helper_threads);
+    let threads = helpers + 1;
+    let tier = opts.tier.unwrap_or_else(simd::active_tier);
+    let chunk_bytes =
+        opts.chunk_pages.unwrap_or(PARALLEL_CHUNK_PAGES).max(1) * PAGE_SIZE as u64;
+
+    // Cut each job's plan into chunks, tagging root-segment chunks, then
+    // interleave the per-job lists so the shared cursor alternates
+    // between arenas from the first claim.
+    let mut per_job_chunks: Vec<Vec<(Addr, u64, bool)>> = jobs
+        .iter()
+        .map(|job| {
+            let layout = job.space.layout();
+            let mut out = Vec::new();
+            for &(base, len) in job.plan.ranges() {
+                let shared = in_root_segment(layout, base);
+                let mut off = 0;
+                while off < len {
+                    let addr = base.add_bytes(off);
+                    let next = (addr.raw() / chunk_bytes + 1) * chunk_bytes;
+                    let take = (next - addr.raw()).min(len - off);
+                    out.push((addr, take, shared));
+                    off += take;
+                }
+            }
+            out
+        })
+        .collect();
+    let mut chunks: Vec<(usize, Addr, u64, bool)> = Vec::new();
+    let mut round = 0;
+    loop {
+        let mut any = false;
+        for (j, list) in per_job_chunks.iter_mut().enumerate() {
+            if round < list.len() {
+                let (addr, len, shared) = list[round];
+                chunks.push((j, addr, len, shared));
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        round += 1;
+    }
+    let owned_chunks: Vec<u64> =
+        per_job_chunks.iter().map(|l| l.len() as u64).collect();
+
+    let totals: Vec<JobTotals> = jobs.iter().map(|_| JobTotals::default()).collect();
+    let cursor = AtomicUsize::new(0);
+    let prof_busy_ns = AtomicU64::new(0);
+    let prof_claimed = AtomicU64::new(0);
+    let prof_stolen = AtomicU64::new(0);
+    let mark_t0 = opts.prof.map(|_| Instant::now());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|thread_idx| {
+                let (chunks, cursor, totals) = (&chunks, &cursor, &totals);
+                let (prof_busy_ns, prof_claimed, prof_stolen) =
+                    (&prof_busy_ns, &prof_claimed, &prof_stolen);
+                let opts = *opts;
+                scope.spawn(move || {
+                    let thread_t0 = opts.prof.map(|_| Instant::now());
+                    let mut writers: Vec<ShadowWriter<'_>> =
+                        jobs.iter().map(|j| j.shadow.writer()).collect();
+                    let mut locals: Vec<ParallelMarkStats> =
+                        jobs.iter().map(|_| ParallelMarkStats::default()).collect();
+                    let (mut busy_ns, mut claimed) = (0u64, 0u64);
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(owner, base, len, shared)) = chunks.get(k) else {
+                            break;
+                        };
+                        let job = &jobs[owner];
+                        let chunk_t0 = opts.prof.map(|_| Instant::now());
+                        if shared && opts.shared_roots {
+                            // Shared process roots: scan the owner's
+                            // words into every arena's shadow. Only the
+                            // owner's pass counts (words are read once
+                            // per target map but *charged* once).
+                            let mut scratch = ParallelMarkStats::default();
+                            for (j, target) in jobs.iter().enumerate() {
+                                let local = if j == owner {
+                                    &mut locals[owner]
+                                } else {
+                                    &mut scratch
+                                };
+                                mark_chunk(
+                                    job.space,
+                                    target.space.layout(),
+                                    tier,
+                                    target.filter,
+                                    None,
+                                    target.forensics,
+                                    base,
+                                    len,
+                                    &mut writers[j],
+                                    local,
+                                );
+                            }
+                        } else {
+                            mark_chunk(
+                                job.space,
+                                job.space.layout(),
+                                tier,
+                                job.filter,
+                                job.cache,
+                                job.forensics,
+                                base,
+                                len,
+                                &mut writers[owner],
+                                &mut locals[owner],
+                            );
+                        }
+                        if let (Some(p), Some(t0)) = (opts.prof, chunk_t0) {
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            p.chunk_scan_ns.record(ns);
+                            busy_ns += ns;
+                            claimed += 1;
+                        }
+                    }
+                    if let (Some(p), Some(t0)) = (opts.prof, thread_t0) {
+                        for w in &mut writers {
+                            p.fold_writer(&w.take_prof());
+                        }
+                        let wall = t0.elapsed().as_nanos() as u64;
+                        p.helper_chunks.record(claimed);
+                        p.helper_busy_pct.record(
+                            (busy_ns * 100)
+                                .checked_div(wall)
+                                .map_or(100, |pct| pct.min(100)),
+                        );
+                        prof_busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+                        prof_claimed.fetch_add(claimed, Ordering::Relaxed);
+                        p.chunks_claimed.add(claimed);
+                        if thread_idx > 0 {
+                            prof_stolen.fetch_add(claimed, Ordering::Relaxed);
+                            p.chunks_stolen.add(claimed);
+                        }
+                    }
+                    drop(writers);
+                    for (local, total) in locals.iter().zip(totals) {
+                        total.words.fetch_add(local.words, Ordering::Relaxed);
+                        total.heap_words.fetch_add(local.heap_words, Ordering::Relaxed);
+                        total
+                            .filter_rejects
+                            .fetch_add(local.filter_rejects, Ordering::Relaxed);
+                        total
+                            .pages_skipped
+                            .fetch_add(local.pages_skipped, Ordering::Relaxed);
+                        total
+                            .pages_replayed
+                            .fetch_add(local.pages_replayed, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("pool marker thread panicked");
+        }
+    });
+    let per_job = totals
+        .into_iter()
+        .zip(owned_chunks)
+        .map(|(t, chunks)| ParallelMarkStats {
+            words: t.words.into_inner(),
+            heap_words: t.heap_words.into_inner(),
+            filter_rejects: t.filter_rejects.into_inner(),
+            pages_skipped: t.pages_skipped.into_inner(),
+            pages_replayed: t.pages_replayed.into_inner(),
+            chunks,
+            effective_helpers: helpers,
+            prof: MarkProfile::default(),
+        })
+        .collect();
+    PoolMarkResult {
+        per_job,
+        profile: MarkProfile {
+            chunks_claimed: prof_claimed.into_inner(),
+            chunks_stolen: prof_stolen.into_inner(),
+            busy_ns: prof_busy_ns.into_inner(),
+            wall_ns: mark_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
+        },
     }
 }
 

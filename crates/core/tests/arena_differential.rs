@@ -1,0 +1,266 @@
+//! Differential property test for the sharded multi-arena path.
+//!
+//! For **any** interleaving of per-arena mutator ops and sweep rounds,
+//! the pooled path — per-arena quarantine/shadow shards, the global
+//! scheduler's coalesced batches, one cross-arena work-stealing mark —
+//! must make release decisions **bit-identical** to running each arena
+//! through today's single-arena `MineSweeper` path: shadow maps (marked
+//! granule sets), failed-free ledgers and release sets all equal, sweep
+//! for sweep.
+//!
+//! The workloads here are heap-only (no root-segment writes): tenant
+//! heaps are disjoint, so pooled heap marking is arena-local by design
+//! and the single-arena path is the exact spec. Shared-root semantics
+//! (deliberately *not* identical — that is the point of them) are
+//! covered by the cross-arena pin tests in `arena.rs` and
+//! `sim/exploit.rs`.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use minesweeper::{
+    Arena, ArenaId, ArenaPool, ForensicsMode, HeapBackend, MineSweeper, MsConfig,
+};
+use vmem::{Addr, AddrSpace};
+
+const ARENAS: usize = 3;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate `size` bytes in arena `k`.
+    Malloc { k: usize, size: u64 },
+    /// Free live object `n` (mod live count) in arena `k`.
+    Free { k: usize, n: usize },
+    /// Re-free a currently quarantined entry in arena `k` (a double
+    /// free the quarantine must dedupe identically in both runs).
+    DoubleFree { k: usize, n: usize },
+    /// Write a pointer to arena `k`'s object `to` into object `holder`'s
+    /// first word (a heap-internal edge; may dangle after a free).
+    Point { k: usize, holder: usize, to: usize },
+    /// Zero object `holder`'s first word in arena `k`.
+    Unpoint { k: usize, holder: usize },
+    /// One scheduler round over the pool (sweeps only due/coalesced
+    /// arenas; often a no-op on tiny heaps).
+    Round,
+    /// Force-sweep every arena in one pooled round.
+    ForceRound,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..ARENAS, 16u64..6000).prop_map(|(k, size)| Op::Malloc { k, size }),
+        4 => (0..ARENAS, any::<usize>()).prop_map(|(k, n)| Op::Free { k, n }),
+        1 => (0..ARENAS, any::<usize>()).prop_map(|(k, n)| Op::DoubleFree { k, n }),
+        3 => (0..ARENAS, any::<usize>(), any::<usize>())
+            .prop_map(|(k, holder, to)| Op::Point { k, holder, to }),
+        1 => (0..ARENAS, any::<usize>()).prop_map(|(k, holder)| Op::Unpoint { k, holder }),
+        1 => Just(Op::Round),
+        2 => Just(Op::ForceRound),
+    ]
+}
+
+/// One standalone (single-arena, pre-sharding semantics) replica.
+struct Solo {
+    ms: MineSweeper,
+    space: AddrSpace,
+}
+
+/// Asserts that arena `k` of the pool and its standalone replica agree on
+/// every observable release decision.
+fn assert_arena_eq(
+    pool_arena: &Arena,
+    solo: &Solo,
+    round: u64,
+) -> Result<(), TestCaseError> {
+    let (pq, sq) = (pool_arena.ms().quarantine(), solo.ms.quarantine());
+    let p_pending: BTreeSet<u64> = pq.pending().map(|e| e.base.raw()).collect();
+    let s_pending: BTreeSet<u64> = sq.pending().map(|e| e.base.raw()).collect();
+    prop_assert_eq!(p_pending, s_pending, "round {}: quarantine sets differ", round);
+    prop_assert_eq!(pq.tracked_bytes(), sq.tracked_bytes());
+    prop_assert_eq!(pq.failed_bytes(), sq.failed_bytes());
+    prop_assert_eq!(pq.len(), sq.len());
+    prop_assert_eq!(
+        pool_arena.ms().shadow().marked_count(),
+        solo.ms.shadow().marked_count(),
+        "round {}: shadow maps differ",
+        round
+    );
+    prop_assert_eq!(
+        pool_arena.ms().ledger().totals(),
+        solo.ms.ledger().totals(),
+        "round {}: failed-free ledgers differ",
+        round
+    );
+    let (ps, ss) = (pool_arena.ms().stats(), solo.ms.stats());
+    prop_assert_eq!(ps.released, ss.released);
+    prop_assert_eq!(ps.released_bytes, ss.released_bytes);
+    prop_assert_eq!(ps.failed_frees, ss.failed_frees);
+    prop_assert_eq!(ps.quarantined_bytes, ss.quarantined_bytes);
+    prop_assert_eq!(ps.double_frees, ss.double_frees);
+    prop_assert_eq!(
+        pool_arena.ms().heap().allocated_bytes(),
+        solo.ms.heap().allocated_bytes()
+    );
+    Ok(())
+}
+
+fn run_differential(cfg: MsConfig, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut pool = ArenaPool::new(ARENAS as u32, cfg);
+    pool.set_helpers(2);
+    let mut solos: Vec<Solo> = (0..ARENAS)
+        .map(|_| Solo { ms: MineSweeper::new(cfg), space: AddrSpace::new() })
+        .collect();
+    // All bases ever allocated per arena (pointer-write targets) and the
+    // currently live subset (the only legal `free` arguments — the layer
+    // trusts callers not to free memory it has already released back to
+    // the heap). Identical in both runs (asserted as we go).
+    let mut objects: Vec<Vec<Addr>> = vec![Vec::new(); ARENAS];
+    let mut live: Vec<Vec<Addr>> = vec![Vec::new(); ARENAS];
+    let mut rounds = 0u64;
+
+    for op in ops {
+        match op {
+            Op::Malloc { k, size } => {
+                let pa = pool.arena_mut(k).malloc(size);
+                let solo = &mut solos[k];
+                let sa = solo.ms.malloc(&mut solo.space, size);
+                prop_assert_eq!(pa, sa, "allocator sequences diverged");
+                objects[k].push(pa);
+                live[k].push(pa);
+            }
+            Op::Free { k, n } => {
+                if live[k].is_empty() {
+                    continue;
+                }
+                let idx = n % live[k].len();
+                let base = live[k].swap_remove(idx);
+                let po = pool.arena_mut(k).free(base);
+                let solo = &mut solos[k];
+                let so = solo.ms.free(&mut solo.space, base);
+                prop_assert_eq!(po, so, "free outcomes diverged");
+            }
+            Op::DoubleFree { k, n } => {
+                let pending: Vec<Addr> = pool
+                    .arena(k)
+                    .ms()
+                    .quarantine()
+                    .pending()
+                    .map(|e| e.base)
+                    .collect();
+                if pending.is_empty() {
+                    continue;
+                }
+                let base = pending[n % pending.len()];
+                let po = pool.arena_mut(k).free(base);
+                let solo = &mut solos[k];
+                let so = solo.ms.free(&mut solo.space, base);
+                prop_assert_eq!(po, so, "double-free outcomes diverged");
+            }
+            Op::Point { k, holder, to } => {
+                if objects[k].is_empty() {
+                    continue;
+                }
+                let h = objects[k][holder % objects[k].len()];
+                let t = objects[k][to % objects[k].len()];
+                // Writes into quarantined-but-unmapped pages fault in
+                // both runs; ignore identically.
+                let _ = pool.arena_mut(k).space_mut().write_word(h, t.raw());
+                let _ = solos[k].space.write_word(h, t.raw());
+            }
+            Op::Unpoint { k, holder } => {
+                if objects[k].is_empty() {
+                    continue;
+                }
+                let h = objects[k][holder % objects[k].len()];
+                let _ = pool.arena_mut(k).space_mut().write_word(h, 0);
+                let _ = solos[k].space.write_word(h, 0);
+            }
+            Op::Round | Op::ForceRound => {
+                rounds += 1;
+                let report = if matches!(op, Op::ForceRound) {
+                    pool.sweep_all()
+                } else {
+                    // The scheduler picks from pressure the standalone
+                    // replicas share (their state is identical by
+                    // induction), so replaying its batch is fair.
+                    pool.sweep_round()
+                };
+                for (id, pool_report) in &report.swept {
+                    let k = id.raw() as usize;
+                    let solo = &mut solos[k];
+                    let solo_report = solo.ms.sweep_now(&mut solo.space);
+                    prop_assert_eq!(
+                        (pool_report.released, pool_report.failed),
+                        (solo_report.released, solo_report.failed),
+                        "arena {}: release decisions diverged",
+                        k
+                    );
+                    prop_assert_eq!(
+                        pool_report.released_bytes,
+                        solo_report.released_bytes
+                    );
+                    prop_assert_eq!(
+                        pool_report.marked_granules,
+                        solo_report.marked_granules,
+                        "arena {}: marked granule counts diverged",
+                        k
+                    );
+                }
+                for (k, solo) in solos.iter().enumerate() {
+                    assert_arena_eq(pool.arena(k), solo, rounds)?;
+                }
+            }
+        }
+    }
+    // Terminal force-round so every scenario ends with fresh decisions.
+    let report = pool.sweep_all();
+    for (id, pool_report) in &report.swept {
+        let k = id.raw() as usize;
+        let solo = &mut solos[k];
+        let solo_report = solo.ms.sweep_now(&mut solo.space);
+        prop_assert_eq!(
+            (pool_report.released, pool_report.failed),
+            (solo_report.released, solo_report.failed)
+        );
+    }
+    for (k, solo) in solos.iter().enumerate() {
+        assert_arena_eq(pool.arena(k), solo, rounds + 1)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fully-concurrent mode with forensics on: pooled scheduled sweeps
+    /// must be bit-identical to the single-arena path, ledgers included.
+    #[test]
+    fn pooled_sweeps_match_single_arena_path(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let mut cfg = MsConfig::fully_concurrent();
+        cfg.forensics = ForensicsMode::Full;
+        run_differential(cfg, ops)?;
+    }
+
+    /// Mostly-concurrent mode (with the stop-the-world re-check in the
+    /// shared sweep tail) must also be identical.
+    #[test]
+    fn pooled_sweeps_match_single_arena_path_mostly_concurrent(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        run_differential(MsConfig::mostly_concurrent(), ops)?;
+    }
+}
+
+#[test]
+fn arena_ids_route_to_distinct_shards() {
+    // The sharding sanity anchor: N arenas are N fully isolated shards
+    // with their own ids end to end.
+    let pool = ArenaPool::new(4, MsConfig::fully_concurrent());
+    for k in 0..4 {
+        assert_eq!(pool.arena(k).id(), ArenaId::new(k as u32));
+        assert_eq!(pool.arena(k).ms().quarantine().arena(), ArenaId::new(k as u32));
+        assert_eq!(pool.arena(k).ms().shadow().arena(), ArenaId::new(k as u32));
+    }
+}

@@ -34,13 +34,15 @@ mod cost;
 mod engine;
 mod exploit;
 mod metrics;
+mod pool;
 pub mod report;
 mod system;
 
 pub use cost::CostModel;
 pub use engine::{Engine, ENGINE_SUBSYSTEM};
-pub use exploit::{run_exploit, ExploitReport};
+pub use exploit::{run_cross_arena_pin, run_exploit, CrossArenaReport, ExploitReport};
 pub use metrics::{geomean, RunMetrics};
+pub use pool::{run_arenas, ARENA_SUBSYSTEM};
 pub use system::System;
 
 use workloads::{Op, Profile};

@@ -56,6 +56,15 @@ impl System {
         System::MineSweeperScudo(MsConfig::fully_concurrent())
     }
 
+    /// The MineSweeper layer configuration, for the systems that carry
+    /// one (the multi-arena runner only accepts those).
+    pub fn ms_config(&self) -> Option<MsConfig> {
+        match self {
+            System::MineSweeper(cfg) | System::MineSweeperScudo(cfg) => Some(*cfg),
+            _ => None,
+        }
+    }
+
     /// Short label used in tables and metric records.
     pub fn label(&self) -> &'static str {
         match self {

@@ -106,9 +106,16 @@ fn strip_us(name: &str) -> Option<&str> {
 fn config_stats(snap: &Snapshot, config: &str) -> Option<(f64, f64)> {
     let h = snap.histogram("bench", &format!("{config}_us")).filter(|h| h.count() > 0)?;
     let mean = h.sum as f64 / h.count() as f64;
-    let best = snap
-        .counter("bench", &format!("{config}_best_us"))
-        .map_or(mean, |b| b as f64);
+    // A degraded run's best-rep counter timed a hardware-clamped,
+    // helperless configuration — letting it stand in for the config would
+    // let a multi-core host trip the gate against a 1-CPU baseline (or a
+    // 1-CPU host mask a real regression). Degraded rows fall back to the
+    // histogram mean and are additionally excluded from gating below.
+    let best = if degraded(snap, config) {
+        mean
+    } else {
+        snap.counter("bench", &format!("{config}_best_us")).map_or(mean, |b| b as f64)
+    };
     Some((best, mean))
 }
 
@@ -291,6 +298,29 @@ mod tests {
         assert!(report.rows.is_empty());
         assert!(report.regressions().is_empty());
         assert_eq!(report.unmatched, vec!["fresh".to_owned(), "gone".to_owned()]);
+    }
+
+    #[test]
+    fn degraded_best_counters_never_represent_a_config() {
+        // A 1-CPU CI container records a parallel row as degraded: its
+        // _best_us timed a clamped, helperless run. A multi-core host
+        // comparing against that baseline must neither trip the gate on
+        // the bogus number nor let it mask a real regression — the row's
+        // stats fall back to the histogram mean and gating skips it.
+        let old = bench_snapshot(&[("steal_parallel_h6", &[4000, 4100], true)], 1, "swar");
+        let new =
+            bench_snapshot(&[("steal_parallel_h6", &[1000, 1050], false)], 8, "avx2");
+        let report = compare(&old, &new, DEFAULT_THRESHOLD_PCT);
+        let r = &report.rows[0];
+        assert!(r.degraded && !r.regressed, "{r:?}");
+        assert!((r.old_best_us - 4050.0).abs() < 1e-9, "mean, not the counter: {r:?}");
+        assert!((r.new_best_us - 1000.0).abs() < 1e-9, "clean side keeps its best: {r:?}");
+
+        // The reverse direction — a regression hiding behind a degraded
+        // new run — is likewise skipped, not reported as ok.
+        let report = compare(&new, &old, DEFAULT_THRESHOLD_PCT);
+        assert!(report.rows[0].degraded && !report.rows[0].regressed);
+        assert!(report.regressions().is_empty());
     }
 
     #[test]

@@ -38,6 +38,24 @@ cargo run -q --release -p ms-cli --bin ms-report -- "$smoke_dir/run.jsonl" \
     | grep -q "reconcile: trace totals match metrics counters" \
     || { echo "trace/metrics reconciliation failed"; exit 1; }
 
+echo "== multi-arena sim smoke-test =="
+# N tenants over one sharded pool: the metrics-only ms-report mode must
+# render the per-arena table, and --check must reconcile the per-shard
+# counters (copied from each layer) exactly against the independently
+# accumulated arena/total_* globals — a lost update on either path fails.
+cargo run -q --release -p ms-cli --bin minesweeper-sim -- run demo \
+    --system ms --arenas 4 \
+    --metrics-out "$smoke_dir/arena_metrics.json" > /dev/null
+cargo run -q --release -p ms-cli --bin ms-report -- \
+    --metrics "$smoke_dir/arena_metrics.json" --check \
+    | grep -q "reconcile: arena shard counters match global totals" \
+    || { echo "arena shard/global reconciliation failed"; exit 1; }
+# The qratio objective judges each shard separately on sharded snapshots;
+# a generous ceiling must still pass through the per-arena path.
+cargo run -q --release -p ms-cli --bin ms-report -- \
+    --slo qratio=1000 --metrics "$smoke_dir/arena_metrics.json" > /dev/null \
+    || { echo "per-arena qratio SLO must pass a generous ceiling"; exit 1; }
+
 echo "== forensics trace smoke-test =="
 # The same run with forensics on: the trace must carry the forensic event
 # schema (pin edges, ledger snapshots), the pinner view must render, and
@@ -73,7 +91,9 @@ cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
 for key in requested_helpers effective_helpers degraded dirty_pct \
     incremental_d5 incremental_filtered_d5 words_per_sec forensics_off \
     forensics_sampled_s8 forensics_full simd_serial swar_serial \
-    steal_parallel share_parallel simd_vs_scalar; do
+    steal_parallel share_parallel simd_vs_scalar \
+    arenas_n4_serial arenas_n16_barrier_h6 arenas_n64_sched_h6 \
+    n16_sched_vs_serial; do
     grep -q "$key" "$smoke_dir/bench.json" \
         || { echo "bench JSON missing $key"; exit 1; }
 done
@@ -103,10 +123,25 @@ cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
     --metrics-out "$smoke_dir/on_metrics.json" > /dev/null
 grep -q '"profiler": true' "$smoke_dir/on.json" \
     || { echo "bench JSON missing profiler host field"; exit 1; }
-cargo run -q --release -p ms-cli --bin ms-report -- \
+# The off and on runs are minutes apart on a shared 1-CPU host, so a
+# multi-second contention window can swallow a whole block of configs in
+# one run only. One retry with a fresh pair tells drift from real
+# overhead: genuine profiler cost regresses both pairs.
+if ! cargo run -q --release -p ms-cli --bin ms-report -- \
     --compare "$smoke_dir/off_metrics.json" "$smoke_dir/on_metrics.json" \
-    --threshold 10 > /dev/null \
-    || { echo "profiler-on bench regressed beyond noise vs profiler-off"; exit 1; }
+    --threshold 10 > /dev/null; then
+    echo "profiler pair regressed once — retrying with a fresh pair"
+    cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
+        --pages 256 --reps 8 --out "$smoke_dir/off.json" \
+        --metrics-out "$smoke_dir/off_metrics.json" > /dev/null
+    cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
+        --pages 256 --reps 8 --profiler --out "$smoke_dir/on.json" \
+        --metrics-out "$smoke_dir/on_metrics.json" > /dev/null
+    cargo run -q --release -p ms-cli --bin ms-report -- \
+        --compare "$smoke_dir/off_metrics.json" "$smoke_dir/on_metrics.json" \
+        --threshold 10 > /dev/null \
+        || { echo "profiler-on bench regressed beyond noise vs profiler-off"; exit 1; }
+fi
 
 echo "== bench regression-gate self-test =="
 # Inject a synthetic 2x slowdown on a non-degraded row and prove the
