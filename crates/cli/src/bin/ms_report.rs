@@ -16,6 +16,7 @@ USAGE:
     ms-report --metrics <metrics.json> [--check]
     ms-report --slo <spec> --metrics <metrics.json>
     ms-report --compare <old.json> <new.json> [--threshold <pct>]
+    ms-report --security <matrix.json> [--baseline <matrix.json>] [--check]
 
 Prints a per-sweep timeline plus failed-free and quarantine tables from
 the JSONL event stream; with --metrics also the engine's pause/STW/sweep
@@ -40,6 +41,19 @@ table and exits 2 on any violation.
 --metrics-out) config by config, prints per-config best/mean deltas with
 the runs' measured noise, and exits 2 when a non-degraded config slowed
 beyond both --threshold (default 5%) and the noise on a same-host pair.
+
+--security renders the scenario x backend verdict matrix from a
+SECURITY_matrix.json (minesweeper-sim exploit --corpus --out); --check
+reconciles its embedded security/* counters against the cells. With
+--baseline it diffs the matrix against a committed baseline and exits 2
+when a cell's verdict regressed, a baseline cell went missing, or any
+minesweeper cell is compromised (the hard floor).
+
+EXIT CODES:
+    0  success — report printed, every requested gate passed
+    1  bad input — unreadable file, malformed document, unknown flag
+    2  gate failure — SLO breach, bench regression, or security
+       verdict regression
 ";
 
 /// Exit code for a failed gate (SLO breach or bench regression) —
@@ -68,6 +82,8 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
     let mut trace = None;
     let mut metrics = None;
     let mut slo = None;
+    let mut security = None;
+    let mut baseline = None;
     let mut compare: Option<(String, String)> = None;
     let mut threshold = telemetry::DEFAULT_THRESHOLD_PCT;
     let mut opts = ReportOpts::default();
@@ -85,6 +101,20 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
             "--slo" => {
                 slo = Some(
                     it.next().ok_or_else(|| CliError("--slo needs a spec".into()))?.clone(),
+                );
+            }
+            "--security" => {
+                security = Some(
+                    it.next()
+                        .ok_or_else(|| CliError("--security needs a value".into()))?
+                        .clone(),
+                );
+            }
+            "--baseline" => {
+                baseline = Some(
+                    it.next()
+                        .ok_or_else(|| CliError("--baseline needs a value".into()))?
+                        .clone(),
                 );
             }
             "--compare" => {
@@ -117,6 +147,21 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
         }
     }
 
+    if baseline.is_some() && security.is_none() {
+        return Err(CliError("--baseline needs --security <matrix.json>".into()));
+    }
+    if let Some(path) = security {
+        let new_text = read(&path)?;
+        let mut out = ms_cli::render_security(&new_text, opts.check)?;
+        return match baseline {
+            None => Ok((out, true)),
+            Some(base) => {
+                let (gate, failed) = ms_cli::gate_security(&read(&base)?, &new_text)?;
+                out.push_str(&gate);
+                Ok((out, !failed))
+            }
+        };
+    }
     if let Some((old, new)) = compare {
         let old_text = read(&old)?;
         let new_text = read(&new)?;

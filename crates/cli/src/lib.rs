@@ -49,10 +49,22 @@ pub enum Command {
         /// Trace seed.
         seed: u64,
     },
-    /// Replay the Figure 2 exploit under one system.
+    /// Replay the Figure 2 exploit under one system, or run the whole
+    /// adversarial scenario corpus differentially across every backend.
     Exploit {
-        /// System label.
+        /// System label (single-scenario mode).
         system: String,
+        /// Run the full scenario × backend security matrix.
+        corpus: bool,
+        /// Write the matrix as `SECURITY_matrix.json` here.
+        out: Option<String>,
+        /// Number of fuzzed scenarios appended to the named corpus.
+        fuzz: u32,
+        /// Protection-weakening knob (`quarantine-off`,
+        /// `ignore-failed-frees`) for the CI gate self-test.
+        weaken: Option<String>,
+        /// Seed for the scenario fuzzer.
+        seed: u64,
     },
     /// Write a benchmark's generated allocation trace to a file.
     Record {
@@ -112,8 +124,27 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut metrics_out = None;
             let mut forensics = None;
             let mut arenas = None;
+            let mut corpus = false;
+            let mut fuzz = 3u32;
+            let mut weaken = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
+                    "--corpus" => corpus = true,
+                    "--fuzz" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--fuzz needs a value".into()))?;
+                        fuzz = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad fuzz count: {v}")))?;
+                    }
+                    "--weaken" => {
+                        weaken = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--weaken needs a value".into()))?
+                                .clone(),
+                        );
+                    }
                     "--system" => {
                         system = it
                             .next()
@@ -205,6 +236,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         .into(),
                 ));
             }
+            if cmd != "exploit" && (corpus || fuzz != 3 || weaken.is_some()) {
+                return Err(CliError(
+                    "--corpus/--fuzz/--weaken are only valid with `exploit`".into(),
+                ));
+            }
             match cmd.as_str() {
                 "run" => Ok(Command::Run {
                     benchmark: positional("run needs a benchmark name")?,
@@ -230,7 +266,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     knobs,
                     seed,
                 }),
-                _ => Ok(Command::Exploit { system }),
+                _ => Ok(Command::Exploit { system, corpus, out, fuzz, weaken, seed }),
             }
         }
         other => Err(CliError(format!("unknown command: {other}"))),
@@ -467,15 +503,35 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             }
             Ok(table(&rows))
         }
-        Command::Exploit { system } => {
-            let sys = system_by_label(system)?;
-            let r = run_exploit(&figure2_attack(), sys);
-            Ok(format!(
-                "system: {}\nvictim reallocated: {}\noutcome: {:?}\n",
-                sys.label(),
-                r.victim_reallocated,
-                r.outcome
-            ))
+        Command::Exploit { system, corpus, out, fuzz, weaken, seed } => {
+            if *corpus {
+                let weaken = match weaken.as_deref() {
+                    None => sim::Weaken::None,
+                    Some(label) => sim::Weaken::parse(label)
+                        .ok_or_else(|| CliError(format!("unknown weaken knob: {label}")))?,
+                };
+                let matrix = sim::run_corpus(*seed, *fuzz, weaken);
+                let json = matrix.to_json();
+                let mut text = render_security(&json, false)?;
+                if let Some(path) = out {
+                    std::fs::write(path, &json)
+                        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                    text.push_str(&format!("wrote security matrix to {path}\n"));
+                }
+                Ok(text)
+            } else {
+                if weaken.is_some() {
+                    return Err(CliError("--weaken needs --corpus".into()));
+                }
+                let sys = system_by_label(system)?;
+                let r = run_exploit(&figure2_attack(), sys);
+                Ok(format!(
+                    "system: {}\nvictim reallocated: {}\noutcome: {:?}\n",
+                    sys.label(),
+                    r.victim_reallocated,
+                    r.outcome
+                ))
+            }
         }
         Command::Record { benchmark, out, seed } => {
             let profile = profile_by_name(benchmark)?;
@@ -776,6 +832,280 @@ pub fn render_compare(
     Ok((out, regressed && !report.cross_host()))
 }
 
+/// A `(scenario, backend) -> verdict label` view of a parsed
+/// `SECURITY_matrix.json`, plus the run's provenance fields.
+struct SecDoc {
+    weaken: String,
+    seed: u64,
+    fuzz: u64,
+    backends: Vec<String>,
+    scenarios: Vec<String>,
+    /// `(scenario, backend, verdict label, attack_window)` per cell.
+    cells: Vec<(String, String, String, Option<u64>)>,
+    counters: Vec<(String, u64)>,
+}
+
+fn parse_security(text: &str) -> Result<SecDoc, CliError> {
+    let doc = telemetry::json::Json::parse(text)
+        .map_err(|e| CliError(format!("bad security matrix: {e}")))?;
+    let schema = doc.get("schema").and_then(telemetry::json::Json::as_u64);
+    if schema != Some(u64::from(sim::SECURITY_SCHEMA)) {
+        return Err(CliError(format!(
+            "unsupported security matrix schema {schema:?} (want {})",
+            sim::SECURITY_SCHEMA
+        )));
+    }
+    let str_list = |key: &str, field: &str| -> Result<Vec<String>, CliError> {
+        doc.get(key)
+            .and_then(telemetry::json::Json::as_array)
+            .ok_or_else(|| CliError(format!("security matrix missing {key}")))?
+            .iter()
+            .map(|v| {
+                let s = if field.is_empty() {
+                    v.as_str()
+                } else {
+                    v.get(field).and_then(telemetry::json::Json::as_str)
+                };
+                s.map(String::from)
+                    .ok_or_else(|| CliError(format!("malformed {key} entry")))
+            })
+            .collect()
+    };
+    let backends = str_list("backends", "")?;
+    let scenarios = str_list("scenarios", "name")?;
+    let mut cells = Vec::new();
+    for cell in doc
+        .get("cells")
+        .and_then(telemetry::json::Json::as_array)
+        .ok_or_else(|| CliError("security matrix missing cells".into()))?
+    {
+        let field = |k: &str| {
+            cell.get(k)
+                .and_then(telemetry::json::Json::as_str)
+                .map(String::from)
+                .ok_or_else(|| CliError(format!("cell missing {k}")))
+        };
+        let window = cell.get("attack_window").and_then(telemetry::json::Json::as_u64);
+        let verdict = field("verdict")?;
+        if workloads::exploit::ExploitOutcome::from_label(&verdict).is_none() {
+            return Err(CliError(format!("unknown verdict label: {verdict}")));
+        }
+        cells.push((field("scenario")?, field("backend")?, verdict, window));
+    }
+    let mut counters = Vec::new();
+    if let Some(telemetry::json::Json::Obj(pairs)) = doc.get("counters") {
+        for (k, v) in pairs {
+            counters.push((
+                k.clone(),
+                v.as_u64().ok_or_else(|| CliError(format!("bad counter {k}")))?,
+            ));
+        }
+    }
+    Ok(SecDoc {
+        weaken: doc
+            .get("weaken")
+            .and_then(telemetry::json::Json::as_str)
+            .unwrap_or("none")
+            .to_string(),
+        seed: doc.get("seed").and_then(telemetry::json::Json::as_u64).unwrap_or(0),
+        fuzz: doc.get("fuzz").and_then(telemetry::json::Json::as_u64).unwrap_or(0),
+        backends,
+        scenarios,
+        cells,
+        counters,
+    })
+}
+
+fn verdict_rank(label: &str) -> u8 {
+    workloads::exploit::ExploitOutcome::from_label(label).map_or(0, |o| o.rank())
+}
+
+/// Renders the human-readable scenario × backend security matrix from a
+/// `SECURITY_matrix.json` document (`ms-report --security`). With
+/// `check`, every `security/*` counter embedded in the document is
+/// recomputed from the cells and must match — a drifted counter means the
+/// exporter and the matrix disagree about what actually ran.
+///
+/// # Errors
+///
+/// [`CliError`] on a malformed document or (with `check`) a counter
+/// reconciliation mismatch.
+pub fn render_security(text: &str, check: bool) -> Result<String, CliError> {
+    let doc = parse_security(text)?;
+    let mut out = format!(
+        "security matrix: {} scenarios x {} backends (seed {}, fuzz {})\n",
+        doc.scenarios.len(),
+        doc.backends.len(),
+        doc.seed,
+        doc.fuzz
+    );
+    if doc.weaken != "none" {
+        out.push_str(&format!(
+            "WARNING: protection weakened ({}) — self-test run, NOT a baseline\n",
+            doc.weaken
+        ));
+    }
+    let code_of = |scenario: &str, backend: &str| {
+        doc.cells
+            .iter()
+            .find(|(s, b, _, _)| s == scenario && b == backend)
+            .map(|(_, _, v, _)| {
+                workloads::exploit::ExploitOutcome::from_label(v)
+                    .map(|o| o.code().to_string())
+                    .unwrap_or_else(|| "?".into())
+            })
+            .unwrap_or_else(|| "-".into())
+    };
+    let mut rows = Vec::with_capacity(doc.scenarios.len() + 1);
+    let mut header = vec!["scenario".to_string()];
+    header.extend(doc.backends.iter().cloned());
+    header.push("window".into());
+    rows.push(header);
+    for sc in &doc.scenarios {
+        let mut row = vec![sc.clone()];
+        for b in &doc.backends {
+            row.push(code_of(sc, b));
+        }
+        // Attack-window latency on the unprotected baseline column: how
+        // many frees an attacker needs before the victim slot recycles.
+        let window = doc
+            .cells
+            .iter()
+            .find(|(s, b, _, _)| s == sc && b == "baseline")
+            .and_then(|(_, _, _, w)| *w)
+            .map_or_else(|| "-".into(), |w| w.to_string());
+        row.push(window);
+        rows.push(row);
+    }
+    out.push_str(&table(&rows));
+    out.push_str("verdicts: C=compromised T=clean-termination B=benign D=detected\n");
+
+    let mut verdictcount = [0u64; 4];
+    let mut ms_compromised = 0u64;
+    for (_, backend, verdict, _) in &doc.cells {
+        let o = workloads::exploit::ExploitOutcome::from_label(verdict)
+            .expect("parse_security validated labels");
+        verdictcount[o.rank() as usize] += 1;
+        if backend == "minesweeper" && o == workloads::exploit::ExploitOutcome::Compromised {
+            ms_compromised += 1;
+        }
+    }
+    out.push_str(&format!(
+        "totals: {} compromised, {} clean-termination, {} benign, {} detected\n",
+        verdictcount[0], verdictcount[1], verdictcount[2], verdictcount[3]
+    ));
+    out.push_str(&format!("minesweeper compromised cells: {ms_compromised}\n"));
+
+    if check {
+        let counter = |key: &str| {
+            doc.counters.iter().find(|(k, _)| k == key).map_or(0, |(_, v)| *v)
+        };
+        let mut mismatches = Vec::new();
+        let mut expect = |key: &str, want: u64| {
+            let got = counter(key);
+            if got != want {
+                mismatches.push(format!("{key}: counter {got} != cells {want}"));
+            }
+        };
+        expect("security/cells", doc.cells.len() as u64);
+        expect("security/verdict_compromised", verdictcount[0]);
+        expect("security/verdict_clean_termination", verdictcount[1]);
+        expect("security/verdict_benign", verdictcount[2]);
+        expect("security/verdict_detected", verdictcount[3]);
+        for sc in &doc.scenarios {
+            let want = doc
+                .cells
+                .iter()
+                .filter(|(s, _, v, _)| s == sc && v == "compromised")
+                .count() as u64;
+            expect(&format!("security/s_{}_compromised", sc.replace('-', "_")), want);
+        }
+        if !mismatches.is_empty() {
+            return Err(CliError(format!(
+                "security counter reconciliation failed:\n  {}",
+                mismatches.join("\n  ")
+            )));
+        }
+        out.push_str("check: counters reconcile with cells\n");
+    }
+    Ok(out)
+}
+
+/// Diffs a fresh security matrix against the committed baseline
+/// (`ms-report --security NEW --baseline OLD --check`). Returns the
+/// report and whether the gate should fail.
+///
+/// The gate fails when (a) a baseline cell is missing from the new
+/// matrix, (b) any cell's verdict regresses to a strictly worse rank
+/// (named by scenario and backend), or (c) — the hard floor — any
+/// minesweeper cell in the new matrix is Compromised, even for cells the
+/// baseline never covered. New-only cells are otherwise informational,
+/// so growing the corpus never needs a baseline refresh to merge.
+///
+/// # Errors
+///
+/// [`CliError`] when either document is malformed.
+pub fn gate_security(baseline_text: &str, new_text: &str) -> Result<(String, bool), CliError> {
+    let old = parse_security(baseline_text)?;
+    let new = parse_security(new_text)?;
+    let mut out = String::new();
+    let mut failures = Vec::new();
+    if old.weaken != "none" {
+        failures.push("baseline was produced with a weaken knob — regenerate it".into());
+    }
+    if new.weaken != "none" {
+        out.push_str(&format!(
+            "WARNING: new matrix is protection-weakened ({})\n",
+            new.weaken
+        ));
+    }
+    let find = |doc: &SecDoc, s: &str, b: &str| -> Option<String> {
+        doc.cells
+            .iter()
+            .find(|(cs, cb, _, _)| cs == s && cb == b)
+            .map(|(_, _, v, _)| v.clone())
+    };
+    let mut compared = 0u64;
+    for (s, b, old_verdict, _) in &old.cells {
+        match find(&new, s, b) {
+            None => failures.push(format!("{s}/{b}: cell missing from new matrix")),
+            Some(new_verdict) => {
+                compared += 1;
+                if verdict_rank(&new_verdict) < verdict_rank(old_verdict) {
+                    failures.push(format!(
+                        "{s}/{b}: verdict regressed {old_verdict} -> {new_verdict}"
+                    ));
+                }
+            }
+        }
+    }
+    let mut new_only = 0u64;
+    for (s, b, verdict, _) in &new.cells {
+        if find(&old, s, b).is_none() {
+            new_only += 1;
+            out.push_str(&format!("new cell (not in baseline): {s}/{b} = {verdict}\n"));
+        }
+        if b == "minesweeper" && verdict == "compromised" {
+            failures.push(format!("{s}/minesweeper: COMPROMISED (hard floor)"));
+        }
+    }
+    out.push_str(&format!(
+        "security gate: {compared} cells compared, {new_only} new-only\n"
+    ));
+    if failures.is_empty() {
+        out.push_str("security gate: PASS — no verdict regressions\n");
+        Ok((out, false))
+    } else {
+        failures.sort();
+        failures.dedup();
+        out.push_str("security gate: FAIL\n");
+        for f in &failures {
+            out.push_str(&format!("  {f}\n"));
+        }
+        Ok((out, true))
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 minesweeper-sim — MineSweeper (ASPLOS'22) reproduction driver
@@ -787,6 +1117,8 @@ USAGE:
                         [--forensics <off|full|sampled:n>] [--arenas <n>]
     minesweeper-sim compare <benchmark> [--seed <n>]
     minesweeper-sim exploit [--system <label>]
+    minesweeper-sim exploit --corpus [--out <matrix.json>] [--fuzz <n>]
+                        [--weaken <quarantine-off|ignore-failed-frees>] [--seed <n>]
     minesweeper-sim record <benchmark> --out <file> [--seed <n>]
     minesweeper-sim replay <file> [--system <label>] [--knobs <benchmark>] [--seed <n>]
     minesweeper-sim help
@@ -895,12 +1227,118 @@ mod tests {
         let list = execute(&Command::List).unwrap();
         assert!(list.contains("xalancbmk"));
         assert!(list.contains("mimalloc-bench"));
-        let out =
-            execute(&Command::Exploit { system: "baseline".into() }).unwrap();
+        let single = |system: &str| Command::Exploit {
+            system: system.into(),
+            corpus: false,
+            out: None,
+            fuzz: 3,
+            weaken: None,
+            seed: 42,
+        };
+        let out = execute(&single("baseline")).unwrap();
         assert!(out.contains("Compromised"));
-        let out =
-            execute(&Command::Exploit { system: "ms".into() }).unwrap();
+        let out = execute(&single("ms")).unwrap();
         assert!(out.contains("Benign"));
+    }
+
+    #[test]
+    fn parse_corpus_flags() {
+        let cmd = parse(&argv(
+            "exploit --corpus --fuzz 2 --seed 7 --weaken quarantine-off --out /tmp/m.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Exploit {
+                system: "minesweeper".into(),
+                corpus: true,
+                out: Some("/tmp/m.json".into()),
+                fuzz: 2,
+                weaken: Some("quarantine-off".into()),
+                seed: 7,
+            }
+        );
+        assert!(parse(&argv("run demo --corpus")).is_err());
+        assert!(parse(&argv("compare demo --weaken quarantine-off")).is_err());
+        assert!(parse(&argv("exploit --fuzz nope")).is_err());
+    }
+
+    #[test]
+    fn corpus_execute_renders_matrix_and_writes_json() {
+        let path = std::env::temp_dir().join("ms_cli_sec_matrix_test.json");
+        let path = path.to_string_lossy().to_string();
+        let out = execute(&Command::Exploit {
+            system: "minesweeper".into(),
+            corpus: true,
+            out: Some(path.clone()),
+            fuzz: 1,
+            weaken: None,
+            seed: 42,
+        })
+        .unwrap();
+        assert!(out.contains("security matrix:"));
+        assert!(out.contains("minesweeper compromised cells: 0"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // The written document round-trips through the reporting path.
+        let rendered = render_security(&json, true).unwrap();
+        assert!(rendered.contains("check: counters reconcile with cells"));
+        // Unknown weaken knobs are a CLI error, not a panic.
+        let bad = execute(&Command::Exploit {
+            system: "minesweeper".into(),
+            corpus: true,
+            out: None,
+            fuzz: 0,
+            weaken: Some("bogus".into()),
+            seed: 42,
+        });
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn security_gate_passes_and_fails() {
+        let base = sim::run_corpus(42, 1, sim::Weaken::None).to_json();
+        // Identical run: pass.
+        let (report, fail) = gate_security(&base, &base).unwrap();
+        assert!(!fail, "{report}");
+        assert!(report.contains("PASS"));
+        // Weakened run flips minesweeper cells: fail, named by scenario.
+        let weakened = sim::run_corpus(42, 1, sim::Weaken::QuarantineOff).to_json();
+        let (report, fail) = gate_security(&base, &weakened).unwrap();
+        assert!(fail, "{report}");
+        assert!(report.contains("FAIL"));
+        assert!(report.contains("minesweeper"));
+        assert!(report.contains("hard floor"));
+        assert!(report.contains("regressed"));
+        // A weakened document can never serve as the baseline.
+        let (_, fail) = gate_security(&weakened, &weakened).unwrap();
+        assert!(fail);
+        // Shrinking the corpus (missing baseline cells) also fails.
+        let small = sim::run_corpus(42, 0, sim::Weaken::None).to_json();
+        let (report, fail) = gate_security(&base, &small).unwrap();
+        assert!(fail);
+        assert!(report.contains("missing"));
+        // Growing it does not: new-only cells are informational.
+        let grown = sim::run_corpus(42, 2, sim::Weaken::None).to_json();
+        let (report, fail) = gate_security(&base, &grown).unwrap();
+        assert!(!fail, "{report}");
+        assert!(report.contains("new cell"));
+        // Garbage input is an error, not a pass.
+        assert!(gate_security("junk", &base).is_err());
+        assert!(gate_security(&base, "junk").is_err());
+    }
+
+    #[test]
+    fn render_security_check_catches_counter_drift() {
+        let good = sim::run_corpus(1, 0, sim::Weaken::None).to_json();
+        assert!(render_security(&good, true).is_ok());
+        // Corrupt one verdict counter; --check must notice.
+        let bad = good.replacen("\"security/verdict_benign\": ", "\"security/verdict_benign\": 9", 1);
+        assert!(bad != good, "fixture must actually change");
+        let err = render_security(&bad, true).unwrap_err();
+        assert!(err.0.contains("reconciliation"), "{err}");
+        // Without --check the drift is not fatal.
+        assert!(render_security(&bad, false).is_ok());
     }
 
     #[test]

@@ -351,7 +351,14 @@ impl<B: HeapBackend> MineSweeper<B> {
                     self.counters.unmapped_pages.add(interior.page_count());
                 }
             }
-            self.heap.free(space, addr).expect("usable_size certified the base");
+            // The allocator can still reject the free (e.g. a double free
+            // of a block it already recycled — usable_size may answer for
+            // a freed-but-cached block). Without a quarantine to absorb
+            // it idempotently, record and refuse rather than crash.
+            if self.heap.free(space, addr).is_err() {
+                self.counters.invalid_frees.inc();
+                return FreeOutcome::Invalid;
+            }
             return FreeOutcome::Passthrough;
         }
 

@@ -171,6 +171,13 @@ impl<B: HeapBackend> MteHeap<B> {
         self.detections
     }
 
+    /// Whether the wrapped layer's sweep trigger has fired (so callers
+    /// can pair it with [`MteHeap::sweep_now_tag_aware`] the way plain
+    /// users pair [`MineSweeper::sweep_needed`] with `sweep_now`).
+    pub fn sweep_needed(&self, space: &AddrSpace) -> bool {
+        self.ms.sweep_needed(space)
+    }
+
     fn fresh_tag(&mut self) -> u8 {
         // Cycle 1..=14, reserving 0 (untagged) and 0xF (quarantine).
         let tag = self.next_tag;

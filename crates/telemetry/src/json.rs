@@ -88,6 +88,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -330,6 +338,9 @@ mod tests {
     fn parses_scalars() {
         assert_eq!(Json::parse("null").unwrap(), Json::Null);
         assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("true").unwrap().as_bool(), Some(true));
+        assert_eq!(Json::parse("false").unwrap().as_bool(), Some(false));
+        assert_eq!(Json::parse("1").unwrap().as_bool(), None);
         assert_eq!(Json::parse("42").unwrap().as_u64(), Some(42));
         assert_eq!(Json::parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
         assert_eq!(Json::parse("\"a\\nb\"").unwrap().as_str(), Some("a\nb"));

@@ -141,3 +141,27 @@ fn cross_stack_determinism() {
         "different seeds should perturb the run"
     );
 }
+
+/// The full adversarial corpus through the whole stack: the differential
+/// matrix covers every (scenario, backend) pair, the unprotected baseline
+/// falls to at least one scenario, and the minesweeper column holds the
+/// line with zero Compromised cells — the invariant the CI security gate
+/// enforces against the committed baseline.
+#[test]
+fn security_corpus_differential_matrix() {
+    use minesweeper_repro::sim::{run_corpus, Weaken};
+    let m = run_corpus(42, 3, Weaken::None);
+    assert!(m.scenarios.len() >= 8 + 3);
+    assert_eq!(m.backends.len(), 10);
+    assert_eq!(m.cells.len(), m.scenarios.len() * m.backends.len());
+    assert!(m.column("baseline").any(|c| c.outcome == ExploitOutcome::Compromised));
+    for c in m.column("minesweeper") {
+        assert_ne!(
+            c.outcome,
+            ExploitOutcome::Compromised,
+            "minesweeper compromised by {}",
+            c.scenario
+        );
+        assert!(c.attack_window.is_none(), "{} opened a window", c.scenario);
+    }
+}
