@@ -334,6 +334,7 @@ fn main() {
     let mut out_path = "BENCH_sweep.json".to_string();
     let mut metrics_path = "BENCH_sweep_metrics.json".to_string();
     let mut trajectory_path: Option<String> = None;
+    let mut trajectory_configs: Option<Vec<String>> = None;
     let mut profiler = false;
     let mut handicaps: Vec<(String, f64)> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -344,6 +345,13 @@ fn main() {
             "--out" => out_path = args.next().expect("--out PATH"),
             "--metrics-out" => metrics_path = args.next().expect("--metrics-out PATH"),
             "--trajectory" => trajectory_path = Some(args.next().expect("--trajectory PATH")),
+            "--trajectory-configs" => {
+                let spec = args.next().expect("--trajectory-configs NAME[,NAME...]");
+                let names: Vec<String> =
+                    spec.split(',').filter(|s| !s.is_empty()).map(String::from).collect();
+                assert!(!names.is_empty(), "--trajectory-configs needs at least one name");
+                trajectory_configs = Some(names);
+            }
             "--profiler" => profiler = true,
             "--handicap" => {
                 let spec = args.next().expect("--handicap NAME:FACTOR");
@@ -359,7 +367,8 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: sweep_bandwidth [--pages N] [--reps N] [--out PATH] \
-                     [--metrics-out PATH] [--trajectory PATH] [--profiler] \
+                     [--metrics-out PATH] [--trajectory PATH] \
+                     [--trajectory-configs NAME[,NAME...]] [--profiler] \
                      [--handicap NAME:FACTOR] [--quick]"
                 );
                 panic!("unknown argument {other:?}");
@@ -960,29 +969,55 @@ fn main() {
     // history `ms-report --compare` can gate against.
     if let Some(path) = trajectory_path {
         use std::io::Write as _;
-        let mut line = format!(
-            "{{ \"schema\": {TRAJECTORY_SCHEMA}, \"utc\": \"{utc}\", \"git_rev\": \"{rev}\", \
-             \"host_cpus\": {cpus}, \"scan_tier\": \"{active_tier}\", \"pages\": {pages}, \
-             \"reps\": {reps}, \"profiler\": {profiler}, \"rows\": ["
-        );
-        for (i, s) in samples.iter().enumerate() {
-            let comma = if i + 1 < samples.len() { ", " } else { "" };
-            let _ = write!(
-                line,
-                "{{ \"name\": \"{}\", \"best_us\": {:.1}, \"words_per_sec\": {:.0}, \"degraded\": {} }}{comma}",
-                s.name,
-                s.best_secs * 1e6,
-                s.words_per_sec,
-                s.degraded
+        // With `--trajectory-configs`, only the named configs enter the
+        // history, and degraded samples (fewer effective helpers than
+        // requested) are dropped — CI gates on this file, and a degraded
+        // row would poison every later drift comparison against it.
+        let gating: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| match &trajectory_configs {
+                None => true,
+                Some(names) => names.contains(&s.name) && !s.degraded,
+            })
+            .collect();
+        let skipped = samples.len() - gating.len();
+        if gating.is_empty() {
+            println!(
+                "trajectory: no rows left after --trajectory-configs filter \
+                 ({skipped} skipped) — nothing appended to {path}"
             );
+        } else {
+            let mut line = format!(
+                "{{ \"schema\": {TRAJECTORY_SCHEMA}, \"utc\": \"{utc}\", \"git_rev\": \"{rev}\", \
+                 \"host_cpus\": {cpus}, \"scan_tier\": \"{active_tier}\", \"pages\": {pages}, \
+                 \"reps\": {reps}, \"profiler\": {profiler}, \"rows\": ["
+            );
+            for (i, s) in gating.iter().enumerate() {
+                let comma = if i + 1 < gating.len() { ", " } else { "" };
+                let _ = write!(
+                    line,
+                    "{{ \"name\": \"{}\", \"best_us\": {:.1}, \"words_per_sec\": {:.0}, \"degraded\": {} }}{comma}",
+                    s.name,
+                    s.best_secs * 1e6,
+                    s.words_per_sec,
+                    s.degraded
+                );
+            }
+            line.push_str("] }\n");
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()))
+                .expect("append trajectory line");
+            if trajectory_configs.is_some() {
+                println!(
+                    "appended trajectory line to {path} ({} gating rows, {skipped} filtered)",
+                    gating.len()
+                );
+            } else {
+                println!("appended trajectory line to {path}");
+            }
         }
-        line.push_str("] }\n");
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .and_then(|mut f| f.write_all(line.as_bytes()))
-            .expect("append trajectory line");
-        println!("appended trajectory line to {path}");
     }
 }

@@ -17,6 +17,8 @@ USAGE:
     ms-report --slo <spec> --metrics <metrics.json>
     ms-report --compare <old.json> <new.json> [--threshold <pct>]
     ms-report --security <matrix.json> [--baseline <matrix.json>] [--check]
+    ms-report --costs <metrics.json> [<run.jsonl>] [--check]
+    ms-report --trajectory <trajectory.jsonl>
 
 Prints a per-sweep timeline plus failed-free and quarantine tables from
 the JSONL event stream; with --metrics also the engine's pause/STW/sweep
@@ -44,16 +46,31 @@ beyond both --threshold (default 5%) and the noise on a same-host pair.
 
 --security renders the scenario x backend verdict matrix from a
 SECURITY_matrix.json (minesweeper-sim exploit --corpus --out); --check
-reconciles its embedded security/* counters against the cells. With
---baseline it diffs the matrix against a committed baseline and exits 2
-when a cell's verdict regressed, a baseline cell went missing, or any
-minesweeper cell is compromised (the hard floor).
+reconciles its embedded security/* counters against the cells — including
+each cell's schema-2 defence-cycle attribution. With --baseline it diffs
+the matrix against a committed baseline and exits 2 when a cell's verdict
+regressed, a baseline cell went missing, or any minesweeper cell is
+compromised (the hard floor).
+
+--costs renders the defence-cost attribution ledger from a metrics
+snapshot (minesweeper-sim run --metrics-out): per-kind, per-site and
+per-arena cycle tables with their share of cost/total_cycles, plus the
+per-sweep cost distribution. An optional trace file joins the top sites
+against the bytes they pin in quarantine (needs forensics). --check
+verifies the ledger's conservation invariants — every dimension must sum
+to the total and each kind's counter must match its histogram — and
+exits 2 naming the leaking kind otherwise.
+
+--trajectory renders the per-config trend table from an append-only
+BENCH_trajectory.jsonl history (sweep_bandwidth --trajectory): best_us
+at the oldest and newest revision per config, with degraded samples
+marked.
 
 EXIT CODES:
     0  success — report printed, every requested gate passed
     1  bad input — unreadable file, malformed document, unknown flag
-    2  gate failure — SLO breach, bench regression, or security
-       verdict regression
+    2  gate failure — SLO breach, bench regression, security verdict
+       regression, or a cost-ledger conservation leak
 ";
 
 /// Exit code for a failed gate (SLO breach or bench regression) —
@@ -84,6 +101,8 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
     let mut slo = None;
     let mut security = None;
     let mut baseline = None;
+    let mut costs = None;
+    let mut trajectory = None;
     let mut compare: Option<(String, String)> = None;
     let mut threshold = telemetry::DEFAULT_THRESHOLD_PCT;
     let mut opts = ReportOpts::default();
@@ -114,6 +133,22 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
                 baseline = Some(
                     it.next()
                         .ok_or_else(|| CliError("--baseline needs a value".into()))?
+                        .clone(),
+                );
+            }
+            "--costs" => {
+                costs = Some(
+                    it.next()
+                        .ok_or_else(|| CliError("--costs needs a metrics file".into()))?
+                        .clone(),
+                );
+            }
+            "--trajectory" => {
+                trajectory = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            CliError("--trajectory needs a history file".into())
+                        })?
                         .clone(),
                 );
             }
@@ -149,6 +184,18 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
 
     if baseline.is_some() && security.is_none() {
         return Err(CliError("--baseline needs --security <matrix.json>".into()));
+    }
+    if let Some(path) = trajectory {
+        return Ok((ms_cli::render_trajectory(&read(&path)?)?, true));
+    }
+    if let Some(path) = costs {
+        // The positional trace file, when given, joins pinned bytes into
+        // the per-site cost table.
+        let trace_text = match &trace {
+            Some(p) => Some(read(p)?),
+            None => None,
+        };
+        return ms_cli::render_costs(&read(&path)?, trace_text.as_deref(), opts.check);
     }
     if let Some(path) = security {
         let new_text = read(&path)?;

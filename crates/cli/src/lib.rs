@@ -41,6 +41,10 @@ pub enum Command {
         /// sharded [`minesweeper::ArenaPool`]; needs a minesweeper-layered
         /// system.
         arenas: Option<u32>,
+        /// Deliberately drop one cost kind's per-kind counter — the leak
+        /// self-test for the `ms-report --costs --check` gate. Needs a
+        /// minesweeper-layered system.
+        cost_drop: Option<String>,
     },
     /// Run one benchmark under every system and print the overhead table.
     Compare {
@@ -124,6 +128,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut metrics_out = None;
             let mut forensics = None;
             let mut arenas = None;
+            let mut cost_drop = None;
             let mut corpus = false;
             let mut fuzz = 3u32;
             let mut weaken = None;
@@ -211,6 +216,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         }
                         arenas = Some(n);
                     }
+                    "--cost-drop" => {
+                        cost_drop = Some(
+                            it.next()
+                                .ok_or_else(|| {
+                                    CliError("--cost-drop needs a cost kind".into())
+                                })?
+                                .clone(),
+                        );
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(CliError(format!("unknown flag: {flag}")));
                     }
@@ -228,11 +242,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 && (trace_out.is_some()
                     || metrics_out.is_some()
                     || forensics.is_some()
-                    || arenas.is_some())
+                    || arenas.is_some()
+                    || cost_drop.is_some())
             {
                 return Err(CliError(
-                    "--trace-out/--metrics-out/--forensics/--arenas are only valid \
-                     with `run`"
+                    "--trace-out/--metrics-out/--forensics/--arenas/--cost-drop are \
+                     only valid with `run`"
                         .into(),
                 ));
             }
@@ -250,6 +265,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     metrics_out,
                     forensics,
                     arenas,
+                    cost_drop,
                 }),
                 "compare" => Ok(Command::Compare {
                     benchmark: positional("compare needs a benchmark name")?,
@@ -382,13 +398,46 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             out.push_str("  demo           (synthetic quick-run profile)\n");
             Ok(out)
         }
-        Command::Run { benchmark, system, seed, trace_out, metrics_out, forensics, arenas } => {
+        Command::Run {
+            benchmark,
+            system,
+            seed,
+            trace_out,
+            metrics_out,
+            forensics,
+            arenas,
+            cost_drop,
+        } => {
             let profile = profile_by_name(benchmark)?;
             let mut sys = system_by_label(system)?;
             if let Some(label) = forensics {
                 sys = apply_forensics(sys, label)?;
             }
+            let drop_kind = match cost_drop {
+                None => None,
+                Some(label) => {
+                    let kind = sim::CostKind::from_label(label).ok_or_else(|| {
+                        CliError(format!(
+                            "unknown cost kind: {label} (try one of {})",
+                            sim::CostKind::ALL.map(|k| k.label()).join(", ")
+                        ))
+                    })?;
+                    if sys.ms_config().is_none() {
+                        return Err(CliError(format!(
+                            "--cost-drop needs a minesweeper-layered system, not {system}"
+                        )));
+                    }
+                    Some(kind)
+                }
+            };
             if let Some(n) = arenas {
+                if drop_kind.is_some() {
+                    return Err(CliError(
+                        "--cost-drop is not supported with --arenas (the pooled \
+                         runner's shared recorder has no leak-injection hook)"
+                            .into(),
+                    ));
+                }
                 if trace_out.is_some() {
                     return Err(CliError(
                         "--trace-out is not supported with --arenas (the pooled \
@@ -427,8 +476,12 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 out.push_str(&arena_table(snap)?);
                 return Ok(out);
             }
-            let m = if trace_out.is_some() || metrics_out.is_some() {
+            let m = if trace_out.is_some() || metrics_out.is_some() || drop_kind.is_some()
+            {
                 let mut eng = Engine::new(&profile, sys, *seed);
+                if let Some(kind) = drop_kind {
+                    eng.set_cost_drop(kind);
+                }
                 if let Some(path) = trace_out {
                     let file = std::fs::File::create(path)
                         .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
@@ -567,7 +620,11 @@ const ARENA_KEYS: [&str; 4] =
 
 /// Renders the per-arena shard table (one row per tenant, a totals row
 /// from the independently accumulated `arena/total_*` counters) plus a
-/// scheduler summary line, from a multi-arena metrics snapshot.
+/// scheduler summary line, from a multi-arena metrics snapshot. When the
+/// snapshot carries a cost ledger, each shard also shows its share of
+/// `cost/total_cycles` next to the SLO-facing counters, so a tenant whose
+/// quarantine ratio looks healthy but who is eating the sweep budget is
+/// visible in the same table.
 ///
 /// # Errors
 ///
@@ -579,12 +636,21 @@ fn arena_table(snap: &Snapshot) -> Result<String, CliError> {
             "metrics carry no arena shard counters (produced without --arenas?)".into(),
         )
     })?;
+    let cost_total = snap.counter(sim::COST_SUBSYSTEM, "total_cycles").unwrap_or(0);
+    let cost_share = |cycles: u64| {
+        if cost_total == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", cycles as f64 * 100.0 / cost_total as f64)
+        }
+    };
     let mut rows = vec![vec![
         "arena".to_string(),
         "quar bytes".into(),
         "released".into(),
         "failed".into(),
         "sweeps".into(),
+        "cost share".into(),
     ]];
     let fmt = |key: &str, v: u64| {
         if key.ends_with("bytes") {
@@ -593,6 +659,7 @@ fn arena_table(snap: &Snapshot) -> Result<String, CliError> {
             v.to_string()
         }
     };
+    let mut attributed = 0u64;
     for k in 0..n {
         let label = format!("a{k}");
         let mut row = vec![label.clone()];
@@ -600,6 +667,10 @@ fn arena_table(snap: &Snapshot) -> Result<String, CliError> {
             let v = snap.counter(ARENA_SUBSYSTEM, &format!("{label}_{key}")).unwrap_or(0);
             row.push(fmt(key, v));
         }
+        let cycles =
+            snap.counter(sim::COST_SUBSYSTEM, &format!("arena_{label}_cycles")).unwrap_or(0);
+        attributed += cycles;
+        row.push(cost_share(cycles));
         rows.push(row);
     }
     let mut total_row = vec!["total".to_string()];
@@ -607,6 +678,7 @@ fn arena_table(snap: &Snapshot) -> Result<String, CliError> {
         let v = snap.counter(ARENA_SUBSYSTEM, &format!("total_{key}")).unwrap_or(0);
         total_row.push(fmt(key, v));
     }
+    total_row.push(cost_share(attributed));
     rows.push(total_row);
     let mut out = table(&rows);
     out.push_str(&format!(
@@ -832,16 +904,30 @@ pub fn render_compare(
     Ok((out, regressed && !report.cross_host()))
 }
 
+/// One parsed `SECURITY_matrix.json` cell: a scenario × backend verdict
+/// with its baseline attack-window latency and — schema 2 — the defence
+/// cycles that backend spent earning the verdict, broken down by
+/// [`sim::CostKind`]. Schema-1 documents predate the cost ledger; their
+/// cells parse with zero defence cost.
+struct SecCellView {
+    scenario: String,
+    backend: String,
+    verdict: String,
+    window: Option<u64>,
+    defence_cycles: u64,
+    defence_kinds: Vec<(String, u64)>,
+}
+
 /// A `(scenario, backend) -> verdict label` view of a parsed
 /// `SECURITY_matrix.json`, plus the run's provenance fields.
 struct SecDoc {
+    schema: u64,
     weaken: String,
     seed: u64,
     fuzz: u64,
     backends: Vec<String>,
     scenarios: Vec<String>,
-    /// `(scenario, backend, verdict label, attack_window)` per cell.
-    cells: Vec<(String, String, String, Option<u64>)>,
+    cells: Vec<SecCellView>,
     counters: Vec<(String, u64)>,
 }
 
@@ -849,12 +935,16 @@ fn parse_security(text: &str) -> Result<SecDoc, CliError> {
     let doc = telemetry::json::Json::parse(text)
         .map_err(|e| CliError(format!("bad security matrix: {e}")))?;
     let schema = doc.get("schema").and_then(telemetry::json::Json::as_u64);
-    if schema != Some(u64::from(sim::SECURITY_SCHEMA)) {
-        return Err(CliError(format!(
-            "unsupported security matrix schema {schema:?} (want {})",
-            sim::SECURITY_SCHEMA
-        )));
-    }
+    let min = u64::from(sim::SECURITY_MIN_SCHEMA);
+    let max = u64::from(sim::SECURITY_SCHEMA);
+    let schema = match schema {
+        Some(s) if (min..=max).contains(&s) => s,
+        _ => {
+            return Err(CliError(format!(
+                "unsupported security matrix schema {schema:?} (want {min}..={max})"
+            )))
+        }
+    };
     let str_list = |key: &str, field: &str| -> Result<Vec<String>, CliError> {
         doc.get(key)
             .and_then(telemetry::json::Json::as_array)
@@ -890,7 +980,30 @@ fn parse_security(text: &str) -> Result<SecDoc, CliError> {
         if workloads::exploit::ExploitOutcome::from_label(&verdict).is_none() {
             return Err(CliError(format!("unknown verdict label: {verdict}")));
         }
-        cells.push((field("scenario")?, field("backend")?, verdict, window));
+        // Schema 1 predates the cost ledger: no defence fields, cost 0.
+        let defence_cycles =
+            cell.get("defence_cycles").and_then(telemetry::json::Json::as_u64).unwrap_or(0);
+        let mut defence_kinds = Vec::new();
+        if let Some(telemetry::json::Json::Obj(pairs)) = cell.get("defence_kinds") {
+            for (k, v) in pairs {
+                if sim::CostKind::from_label(k).is_none() {
+                    return Err(CliError(format!("unknown defence cost kind: {k}")));
+                }
+                defence_kinds.push((
+                    k.clone(),
+                    v.as_u64()
+                        .ok_or_else(|| CliError(format!("bad defence kind {k}")))?,
+                ));
+            }
+        }
+        cells.push(SecCellView {
+            scenario: field("scenario")?,
+            backend: field("backend")?,
+            verdict,
+            window,
+            defence_cycles,
+            defence_kinds,
+        });
     }
     let mut counters = Vec::new();
     if let Some(telemetry::json::Json::Obj(pairs)) = doc.get("counters") {
@@ -902,6 +1015,7 @@ fn parse_security(text: &str) -> Result<SecDoc, CliError> {
         }
     }
     Ok(SecDoc {
+        schema,
         weaken: doc
             .get("weaken")
             .and_then(telemetry::json::Json::as_str)
@@ -948,9 +1062,9 @@ pub fn render_security(text: &str, check: bool) -> Result<String, CliError> {
     let code_of = |scenario: &str, backend: &str| {
         doc.cells
             .iter()
-            .find(|(s, b, _, _)| s == scenario && b == backend)
-            .map(|(_, _, v, _)| {
-                workloads::exploit::ExploitOutcome::from_label(v)
+            .find(|c| c.scenario == scenario && c.backend == backend)
+            .map(|c| {
+                workloads::exploit::ExploitOutcome::from_label(&c.verdict)
                     .map(|o| o.code().to_string())
                     .unwrap_or_else(|| "?".into())
             })
@@ -960,6 +1074,7 @@ pub fn render_security(text: &str, check: bool) -> Result<String, CliError> {
     let mut header = vec!["scenario".to_string()];
     header.extend(doc.backends.iter().cloned());
     header.push("window".into());
+    header.push("ms defence".into());
     rows.push(header);
     for sc in &doc.scenarios {
         let mut row = vec![sc.clone()];
@@ -971,10 +1086,18 @@ pub fn render_security(text: &str, check: bool) -> Result<String, CliError> {
         let window = doc
             .cells
             .iter()
-            .find(|(s, b, _, _)| s == sc && b == "baseline")
-            .and_then(|(_, _, _, w)| *w)
+            .find(|c| c.scenario == *sc && c.backend == "baseline")
+            .and_then(|c| c.window)
             .map_or_else(|| "-".into(), |w| w.to_string());
         row.push(window);
+        // What the verdict cost: minesweeper's defence cycles for this
+        // scenario, the price of the protection next to its outcome.
+        let defence = doc
+            .cells
+            .iter()
+            .find(|c| c.scenario == *sc && c.backend == "minesweeper")
+            .map_or_else(|| "-".into(), |c| c.defence_cycles.to_string());
+        row.push(defence);
         rows.push(row);
     }
     out.push_str(&table(&rows));
@@ -982,19 +1105,28 @@ pub fn render_security(text: &str, check: bool) -> Result<String, CliError> {
 
     let mut verdictcount = [0u64; 4];
     let mut ms_compromised = 0u64;
-    for (_, backend, verdict, _) in &doc.cells {
-        let o = workloads::exploit::ExploitOutcome::from_label(verdict)
+    let mut defence_total = 0u64;
+    for c in &doc.cells {
+        let o = workloads::exploit::ExploitOutcome::from_label(&c.verdict)
             .expect("parse_security validated labels");
         verdictcount[o.rank() as usize] += 1;
-        if backend == "minesweeper" && o == workloads::exploit::ExploitOutcome::Compromised {
+        if c.backend == "minesweeper"
+            && o == workloads::exploit::ExploitOutcome::Compromised
+        {
             ms_compromised += 1;
         }
+        defence_total += c.defence_cycles;
     }
     out.push_str(&format!(
         "totals: {} compromised, {} clean-termination, {} benign, {} detected\n",
         verdictcount[0], verdictcount[1], verdictcount[2], verdictcount[3]
     ));
     out.push_str(&format!("minesweeper compromised cells: {ms_compromised}\n"));
+    if doc.schema >= 2 {
+        out.push_str(&format!(
+            "defence cycles: {defence_total} across all cells\n"
+        ));
+    }
 
     if check {
         let counter = |key: &str| {
@@ -1016,9 +1148,22 @@ pub fn render_security(text: &str, check: bool) -> Result<String, CliError> {
             let want = doc
                 .cells
                 .iter()
-                .filter(|(s, _, v, _)| s == sc && v == "compromised")
+                .filter(|c| c.scenario == *sc && c.verdict == "compromised")
                 .count() as u64;
             expect(&format!("security/s_{}_compromised", sc.replace('-', "_")), want);
+        }
+        // Schema 2: the exporter's defence_cycles counter is the sum of
+        // every cell's total, and each cell's per-kind breakdown must
+        // itself sum to that cell's total.
+        expect("security/defence_cycles", defence_total);
+        for c in &doc.cells {
+            let kind_sum: u64 = c.defence_kinds.iter().map(|(_, v)| v).sum();
+            if kind_sum != c.defence_cycles {
+                mismatches.push(format!(
+                    "{}/{}: defence kinds sum to {kind_sum}, defence_cycles is {}",
+                    c.scenario, c.backend, c.defence_cycles
+                ));
+            }
         }
         if !mismatches.is_empty() {
             return Err(CliError(format!(
@@ -1062,11 +1207,12 @@ pub fn gate_security(baseline_text: &str, new_text: &str) -> Result<(String, boo
     let find = |doc: &SecDoc, s: &str, b: &str| -> Option<String> {
         doc.cells
             .iter()
-            .find(|(cs, cb, _, _)| cs == s && cb == b)
-            .map(|(_, _, v, _)| v.clone())
+            .find(|c| c.scenario == s && c.backend == b)
+            .map(|c| c.verdict.clone())
     };
     let mut compared = 0u64;
-    for (s, b, old_verdict, _) in &old.cells {
+    for c in &old.cells {
+        let (s, b, old_verdict) = (&c.scenario, &c.backend, &c.verdict);
         match find(&new, s, b) {
             None => failures.push(format!("{s}/{b}: cell missing from new matrix")),
             Some(new_verdict) => {
@@ -1080,7 +1226,8 @@ pub fn gate_security(baseline_text: &str, new_text: &str) -> Result<(String, boo
         }
     }
     let mut new_only = 0u64;
-    for (s, b, verdict, _) in &new.cells {
+    for c in &new.cells {
+        let (s, b, verdict) = (&c.scenario, &c.backend, &c.verdict);
         if find(&old, s, b).is_none() {
             new_only += 1;
             out.push_str(&format!("new cell (not in baseline): {s}/{b} = {verdict}\n"));
@@ -1106,6 +1253,257 @@ pub fn gate_security(baseline_text: &str, new_text: &str) -> Result<(String, boo
     }
 }
 
+/// Renders the `ms-report --costs` defence-cost attribution report from a
+/// metrics snapshot: per-kind, per-site (top 10) and per-arena cycle
+/// tables with each entry's share of `cost/total_cycles`, plus the
+/// per-sweep cost distribution. When a forensics trace is supplied, the
+/// site table is joined against the bytes each site's failed frees pin in
+/// quarantine — sites that are both expensive to defend and pin memory
+/// are the tuning targets. With `check`, the ledger's conservation
+/// invariants must hold: each kind's counter equals its histogram sum and
+/// the kind/site/arena dimensions each sum to the total. A violation
+/// names the leaking kind or dimension and gates (the second tuple field
+/// is `false`, so `ms-report` exits 2).
+///
+/// # Errors
+///
+/// [`CliError`] on malformed metrics, a snapshot without a cost ledger,
+/// or a malformed trace.
+pub fn render_costs(
+    metrics_text: &str,
+    trace_text: Option<&str>,
+    check: bool,
+) -> Result<(String, bool), CliError> {
+    let snap = Snapshot::from_json(metrics_text)
+        .map_err(|e| CliError(format!("bad metrics: {e}")))?;
+    let ledger = sim::CostLedger::from_snapshot(&snap).ok_or_else(|| {
+        CliError(
+            "metrics carry no cost ledger (cost/total_cycles missing — produced by \
+             a baseline, or with the ledger off?)"
+                .into(),
+        )
+    })?;
+    let share = |v: u64| {
+        if ledger.total == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", v as f64 * 100.0 / ledger.total as f64)
+        }
+    };
+    let mut out = format!("defence cost ledger: {} total cycles\n\n", ledger.total);
+
+    let mut kinds: Vec<_> = ledger.kinds.iter().filter(|(_, c, _)| *c > 0).collect();
+    kinds.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut rows =
+        vec![vec!["kind".to_string(), "cycles".into(), "share".into(), "charges".into()]];
+    for (label, counted, _) in kinds {
+        let charges = snap
+            .histogram(sim::COST_SUBSYSTEM, &format!("kind_{label}_cycles_hist"))
+            .map_or(0, |h| h.count());
+        rows.push(vec![
+            label.clone(),
+            counted.to_string(),
+            share(*counted),
+            charges.to_string(),
+        ]);
+    }
+    out.push_str(&table(&rows));
+
+    // Optional forensics join: pinned bytes per site from the trace.
+    let pinned_by_site: Vec<(String, u64)> = match trace_text {
+        None => Vec::new(),
+        Some(text) => {
+            let report = RunReport::from_jsonl(text)
+                .map_err(|e| CliError(format!("bad trace: {e}")))?;
+            let mut agg: Vec<(String, u64)> = Vec::new();
+            for a in report.pinned_now() {
+                let key = a.site.to_string();
+                match agg.iter_mut().find(|(k, _)| *k == key) {
+                    Some(e) => e.1 += a.bytes,
+                    None => agg.push((key, a.bytes)),
+                }
+            }
+            agg
+        }
+    };
+    let joined = trace_text.is_some();
+    const TOP_SITES: usize = 10;
+    out.push('\n');
+    let mut header = vec!["site".to_string(), "cycles".into(), "share".into()];
+    if joined {
+        header.push("pinned bytes".into());
+    }
+    let mut rows = vec![header];
+    for (key, cycles) in ledger.sites.iter().take(TOP_SITES) {
+        let mut row = vec![key.clone(), cycles.to_string(), share(*cycles)];
+        if joined {
+            let pinned = pinned_by_site
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or_else(|| "-".into(), |(_, b)| bytes(*b));
+            row.push(pinned);
+        }
+        rows.push(row);
+    }
+    if ledger.sites.len() > TOP_SITES {
+        let rest: u64 = ledger.sites[TOP_SITES..].iter().map(|(_, v)| v).sum();
+        let mut row = vec![
+            format!("({} more)", ledger.sites.len() - TOP_SITES),
+            rest.to_string(),
+            share(rest),
+        ];
+        if joined {
+            row.push("-".into());
+        }
+        rows.push(row);
+    }
+    out.push_str(&table(&rows));
+
+    if !ledger.arenas.is_empty() {
+        out.push('\n');
+        let mut rows = vec![vec!["arena".to_string(), "cycles".into(), "share".into()]];
+        for (label, cycles) in &ledger.arenas {
+            rows.push(vec![label.clone(), cycles.to_string(), share(*cycles)]);
+        }
+        out.push_str(&table(&rows));
+    }
+
+    if let Some(h) = snap.histogram(sim::COST_SUBSYSTEM, "per_sweep_cycles") {
+        if h.count() > 0 {
+            out.push_str("\nper-sweep defence cost:\n");
+            out.push_str(&pause_table(h, "cycles"));
+        }
+    }
+
+    if check {
+        let leaks = ledger.reconcile();
+        if !leaks.is_empty() {
+            out.push_str("\ncost reconciliation FAILED:\n");
+            for l in &leaks {
+                out.push_str(&format!("  {l}\n"));
+            }
+            return Ok((out, false));
+        }
+        out.push_str(
+            "\nreconcile: kind/site/arena dimensions each sum to total_cycles\n",
+        );
+    }
+    Ok((out, true))
+}
+
+/// Schema of `BENCH_trajectory.jsonl` lines this renderer understands
+/// (written by `sweep_bandwidth --trajectory`).
+const TRAJECTORY_SCHEMA: u64 = 1;
+
+/// Renders the `ms-report --trajectory` per-config trend table from an
+/// append-only `BENCH_trajectory.jsonl` history: one row per bench
+/// config with its best time at the oldest and newest recorded revision,
+/// the drift between them, and how many of its samples ran degraded
+/// (fewer effective helpers than requested — those samples are real but
+/// not comparable, so CI filters them out before appending gating rows).
+///
+/// # Errors
+///
+/// [`CliError`] on an empty history, a malformed line (named by number),
+/// or an unsupported line schema.
+pub fn render_trajectory(text: &str) -> Result<String, CliError> {
+    use telemetry::json::Json;
+    /// One config sample in file order: (git_rev, best_us, degraded).
+    type Sample = (String, f64, bool);
+    let mut configs: Vec<(String, Vec<Sample>)> = Vec::new();
+    let mut lines = 0u64;
+    let mut first_rev = String::new();
+    let mut last_rev = String::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| CliError(format!("bad trajectory line {}: {what}", i + 1));
+        let doc = Json::parse(line)
+            .map_err(|e| CliError(format!("bad trajectory line {}: {e}", i + 1)))?;
+        let schema = doc.get("schema").and_then(Json::as_u64);
+        if schema != Some(TRAJECTORY_SCHEMA) {
+            return Err(bad(&format!(
+                "unsupported schema {schema:?} (want {TRAJECTORY_SCHEMA})"
+            )));
+        }
+        let rev = doc
+            .get("git_rev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing git_rev"))?
+            .to_string();
+        if lines == 0 {
+            first_rev.clone_from(&rev);
+        }
+        last_rev.clone_from(&rev);
+        lines += 1;
+        for row in doc
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("missing rows"))?
+        {
+            let name = row
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("row missing name"))?;
+            let best_us = row
+                .get("best_us")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("row missing best_us"))?;
+            let degraded = matches!(row.get("degraded"), Some(Json::Bool(true)));
+            let sample = (rev.clone(), best_us, degraded);
+            match configs.iter_mut().find(|(n, _)| n == name) {
+                Some((_, samples)) => samples.push(sample),
+                None => configs.push((name.to_string(), vec![sample])),
+            }
+        }
+    }
+    if lines == 0 {
+        return Err(CliError("trajectory is empty".into()));
+    }
+    let mut out = format!(
+        "bench trajectory: {lines} runs, {} configs, revs {first_rev}..{last_rev}\n",
+        configs.len()
+    );
+    let mut rows = vec![vec![
+        "config".to_string(),
+        "runs".into(),
+        "first us".into(),
+        "last us".into(),
+        "drift".into(),
+        "degraded".into(),
+    ]];
+    for (name, samples) in &configs {
+        let (first, last) = (&samples[0], &samples[samples.len() - 1]);
+        let drift = if first.1 > 0.0 {
+            format!("{:+.1}%", (last.1 / first.1 - 1.0) * 100.0)
+        } else {
+            "-".into()
+        };
+        let degraded = samples.iter().filter(|(_, _, d)| *d).count();
+        let mark = if last.2 {
+            format!("{degraded} [latest]")
+        } else {
+            degraded.to_string()
+        };
+        rows.push(vec![
+            name.clone(),
+            samples.len().to_string(),
+            format!("{:.1}", first.1),
+            format!("{:.1}", last.1),
+            drift,
+            mark,
+        ]);
+    }
+    out.push_str(&table(&rows));
+    out.push_str(
+        "drift: latest best_us vs oldest; degraded samples ran with fewer helpers \
+         than requested\n",
+    );
+    Ok(out)
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 minesweeper-sim — MineSweeper (ASPLOS'22) reproduction driver
@@ -1115,6 +1513,7 @@ USAGE:
     minesweeper-sim run <benchmark> [--system <label>] [--seed <n>]
                         [--trace-out <run.jsonl>] [--metrics-out <metrics.json>]
                         [--forensics <off|full|sampled:n>] [--arenas <n>]
+                        [--cost-drop <kind>]
     minesweeper-sim compare <benchmark> [--seed <n>]
     minesweeper-sim exploit [--system <label>]
     minesweeper-sim exploit --corpus [--out <matrix.json>] [--fuzz <n>]
@@ -1127,6 +1526,10 @@ SYSTEMS:
     baseline, minesweeper (ms), minesweeper-mostly (mostly), markus,
     ffmalloc (ff), scudo, minesweeper-scudo (ms-scudo), crcount (cr),
     oscar, psweeper (ps), dangsan
+
+COST KINDS (--cost-drop; see ms-report --costs):
+    zeroing, quarantine, mark_scan, skip_replay, forensics, stw,
+    sched_setup, release, commit
 ";
 
 #[cfg(test)]
@@ -1149,7 +1552,8 @@ mod tests {
                 trace_out: None,
                 metrics_out: None,
                 forensics: None,
-                arenas: None
+                arenas: None,
+                cost_drop: None
             }
         );
     }
@@ -1168,7 +1572,8 @@ mod tests {
                 trace_out: Some("/tmp/t.jsonl".into()),
                 metrics_out: Some("/tmp/m.json".into()),
                 forensics: None,
-                arenas: None
+                arenas: None,
+                cost_drop: None
             }
         );
         assert!(parse(&argv("compare demo --trace-out /tmp/t.jsonl")).is_err());
@@ -1187,7 +1592,8 @@ mod tests {
                 trace_out: None,
                 metrics_out: None,
                 forensics: None,
-                arenas: None
+                arenas: None,
+                cost_drop: None
             }
         );
         assert_eq!(parse(&[]).unwrap(), Command::Help);
@@ -1393,6 +1799,7 @@ mod tests {
             metrics_out: None,
             forensics: None,
             arenas: None,
+            cost_drop: None,
         })
         .unwrap();
         assert!(out.contains("sweeps"));
@@ -1411,6 +1818,7 @@ mod tests {
             metrics_out: None,
             forensics: None,
             arenas: None,
+            cost_drop: None,
         })
         .unwrap_err();
         assert!(err.0.contains("layered"), "{err}");
@@ -1429,6 +1837,7 @@ mod tests {
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             forensics: None,
             arenas: None,
+            cost_drop: None,
         })
         .unwrap();
         let trace_text = std::fs::read_to_string(&trace).unwrap();
@@ -1464,7 +1873,8 @@ mod tests {
                 trace_out: None,
                 metrics_out: None,
                 forensics: Some("sampled:8".into()),
-                arenas: None
+                arenas: None,
+                cost_drop: None
             }
         );
         assert!(parse(&argv("compare demo --forensics full")).is_err());
@@ -1495,6 +1905,7 @@ mod tests {
             metrics_out: None,
             forensics: Some("full".into()),
             arenas: None,
+            cost_drop: None,
         })
         .unwrap_err();
         assert!(err.0.contains("layered"), "{err}");
@@ -1512,6 +1923,7 @@ mod tests {
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             forensics: Some("full".into()),
             arenas: None,
+            cost_drop: None,
         })
         .unwrap();
         let trace_text = std::fs::read_to_string(&trace).unwrap();
@@ -1531,6 +1943,7 @@ mod tests {
             metrics_out: None,
             forensics: None,
             arenas: None,
+            cost_drop: None,
         });
         plain.unwrap();
         let plain_text = std::fs::read_to_string(&trace).unwrap();
@@ -1614,7 +2027,8 @@ mod tests {
                 trace_out: None,
                 metrics_out: None,
                 forensics: None,
-                arenas: Some(4)
+                arenas: Some(4),
+                cost_drop: None
             }
         );
         assert!(parse(&argv("run demo --arenas 0")).is_err());
@@ -1633,6 +2047,7 @@ mod tests {
             metrics_out: None,
             forensics: None,
             arenas: Some(2),
+            cost_drop: None,
         })
         .unwrap_err();
         assert!(err.0.contains("layered"), "{err}");
@@ -1644,6 +2059,7 @@ mod tests {
             metrics_out: None,
             forensics: None,
             arenas: Some(2),
+            cost_drop: None,
         })
         .unwrap_err();
         assert!(err.0.contains("--trace-out"), "{err}");
@@ -1660,11 +2076,14 @@ mod tests {
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             forensics: None,
             arenas: Some(3),
+            cost_drop: None,
         })
         .unwrap();
         assert!(out.contains("minesweeper-arenas3"), "{out}");
         assert!(out.contains("a2"), "per-shard rows:\n{out}");
         assert!(out.contains("scheduler:"), "{out}");
+        assert!(out.contains("cost share"), "per-arena cost shares:\n{out}");
+        assert!(out.contains('%'), "shares are percentages:\n{out}");
 
         // The snapshot round-trips through the metrics-only ms-report path
         // and its two accounting paths reconcile.
@@ -1698,5 +2117,172 @@ mod tests {
         assert!(err.0.contains("counted 5"), "{err}");
 
         assert!(render_metrics_report("not json", false).is_err());
+    }
+
+    #[test]
+    fn parse_cost_drop_flag() {
+        let cmd = parse(&argv("run demo --cost-drop zeroing")).unwrap();
+        match cmd {
+            Command::Run { cost_drop, .. } => {
+                assert_eq!(cost_drop.as_deref(), Some("zeroing"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&argv("run demo --cost-drop")).is_err());
+        assert!(parse(&argv("compare demo --cost-drop zeroing")).is_err());
+    }
+
+    #[test]
+    fn cost_drop_needs_layered_system_and_known_kind() {
+        let run = |system: &str, kind: &str| {
+            execute(&Command::Run {
+                benchmark: "demo".into(),
+                system: system.into(),
+                seed: 1,
+                trace_out: None,
+                metrics_out: None,
+                forensics: None,
+                arenas: None,
+                cost_drop: Some(kind.into()),
+            })
+        };
+        let err = run("baseline", "zeroing").unwrap_err();
+        assert!(err.0.contains("layered"), "{err}");
+        let err = run("ms", "bogus").unwrap_err();
+        assert!(err.0.contains("unknown cost kind"), "{err}");
+    }
+
+    #[test]
+    fn costs_report_reconciles_and_catches_injected_leak() {
+        let metrics = std::env::temp_dir().join("ms_cli_costs_test.json");
+        let path = metrics.to_string_lossy().into_owned();
+        let run = |drop: Option<&str>| {
+            execute(&Command::Run {
+                benchmark: "demo".into(),
+                system: "ms".into(),
+                seed: 5,
+                trace_out: None,
+                metrics_out: Some(path.clone()),
+                forensics: None,
+                arenas: None,
+                cost_drop: drop.map(String::from),
+            })
+            .unwrap();
+            std::fs::read_to_string(&path).unwrap()
+        };
+        // Clean run: tables render and every dimension reconciles.
+        let clean = run(None);
+        let (out, ok) = render_costs(&clean, None, true).unwrap();
+        assert!(ok, "{out}");
+        assert!(out.contains("defence cost ledger:"), "{out}");
+        assert!(out.contains("zeroing"), "{out}");
+        assert!(out.contains("reconcile: kind/site/arena"), "{out}");
+        // Injected leak: the gate fails (ms-report exit 2) naming the kind.
+        let leaky = run(Some("zeroing"));
+        let (out, ok) = render_costs(&leaky, None, true).unwrap();
+        assert!(!ok, "{out}");
+        assert!(out.contains("FAILED"), "{out}");
+        assert!(out.contains("zeroing"), "{out}");
+        // Without --check the leaky report still renders and passes.
+        assert!(render_costs(&leaky, None, false).unwrap().1);
+        // A snapshot without the ledger is a clear input error.
+        let reg = telemetry::Registry::new();
+        reg.counter("layer", "sweeps").inc();
+        let err = render_costs(&reg.snapshot().to_json(), None, false).unwrap_err();
+        assert!(err.0.contains("no cost ledger"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn costs_report_joins_pinned_bytes_from_a_forensic_trace() {
+        let trace = std::env::temp_dir().join("ms_cli_costs_join.jsonl");
+        let metrics = std::env::temp_dir().join("ms_cli_costs_join.json");
+        execute(&Command::Run {
+            benchmark: "demo".into(),
+            system: "ms".into(),
+            seed: 5,
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            forensics: Some("full".into()),
+            arenas: None,
+            cost_drop: None,
+        })
+        .unwrap();
+        let (out, ok) = render_costs(
+            &std::fs::read_to_string(&metrics).unwrap(),
+            Some(&std::fs::read_to_string(&trace).unwrap()),
+            true,
+        )
+        .unwrap();
+        assert!(ok, "{out}");
+        assert!(out.contains("pinned bytes"), "{out}");
+        std::fs::remove_file(trace).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn schema1_security_matrix_still_parses() {
+        let doc = r#"{
+  "schema": 1,
+  "weaken": "none",
+  "seed": 42,
+  "fuzz": 0,
+  "backends": ["baseline", "minesweeper"],
+  "scenarios": [ {"name": "uaf-basic"} ],
+  "cells": [
+    {"scenario": "uaf-basic", "backend": "baseline", "verdict": "compromised", "attack_window": 3},
+    {"scenario": "uaf-basic", "backend": "minesweeper", "verdict": "benign"}
+  ],
+  "counters": {"security/cells": 2, "security/verdict_compromised": 1, "security/verdict_clean_termination": 0, "security/verdict_benign": 1, "security/verdict_detected": 0, "security/s_uaf_basic_compromised": 1}
+}"#;
+        // Pre-ledger documents still render and reconcile; their cells
+        // parse with zero defence cost and no totals line is shown.
+        let out = render_security(doc, true).unwrap();
+        assert!(out.contains("check: counters reconcile"), "{out}");
+        assert!(!out.contains("defence cycles:"), "{out}");
+        // Above the supported range stays rejected.
+        let future = doc.replacen("\"schema\": 1", "\"schema\": 99", 1);
+        let err = render_security(&future, false).unwrap_err();
+        assert!(err.0.contains("unsupported security matrix schema"), "{err}");
+    }
+
+    #[test]
+    fn security_defence_costs_render_and_reconcile() {
+        let good = sim::run_corpus(1, 0, sim::Weaken::None).to_json();
+        let out = render_security(&good, true).unwrap();
+        assert!(out.contains("ms defence"), "{out}");
+        assert!(out.contains("defence cycles:"), "{out}");
+        // Corrupting one cell's total breaks both the exporter counter
+        // and that cell's per-kind sum; --check catches it.
+        let bad = good.replacen("\"defence_cycles\": ", "\"defence_cycles\": 9", 1);
+        assert!(bad != good, "fixture must actually change");
+        let err = render_security(&bad, true).unwrap_err();
+        assert!(err.0.contains("defence"), "{err}");
+        assert!(render_security(&bad, false).is_ok());
+    }
+
+    #[test]
+    fn trajectory_renders_per_config_trends() {
+        let lines = concat!(
+            "{ \"schema\": 1, \"utc\": \"t0\", \"git_rev\": \"aaaa111\", \"host_cpus\": 8, ",
+            "\"scan_tier\": \"avx2\", \"pages\": 2048, \"reps\": 5, \"profiler\": false, ",
+            "\"rows\": [{ \"name\": \"simd_serial\", \"best_us\": 100.0, \"words_per_sec\": 10, \"degraded\": false }, ",
+            "{ \"name\": \"ws_h6\", \"best_us\": 50.0, \"words_per_sec\": 20, \"degraded\": true }] }\n",
+            "{ \"schema\": 1, \"utc\": \"t1\", \"git_rev\": \"bbbb222\", \"host_cpus\": 8, ",
+            "\"scan_tier\": \"avx2\", \"pages\": 2048, \"reps\": 5, \"profiler\": false, ",
+            "\"rows\": [{ \"name\": \"simd_serial\", \"best_us\": 110.0, \"words_per_sec\": 9, \"degraded\": false }] }\n",
+        );
+        let out = render_trajectory(lines).unwrap();
+        assert!(out.contains("2 runs"), "{out}");
+        assert!(out.contains("aaaa111..bbbb222"), "{out}");
+        assert!(out.contains("simd_serial"), "{out}");
+        assert!(out.contains("+10.0%"), "{out}");
+        assert!(out.contains("[latest]"), "degraded latest sample marked: {out}");
+
+        assert!(render_trajectory("").is_err());
+        let err = render_trajectory("{ \"schema\": 7, \"git_rev\": \"x\", \"rows\": [] }")
+            .unwrap_err();
+        assert!(err.0.contains("unsupported"), "{err}");
+        assert!(render_trajectory("not json").is_err());
     }
 }

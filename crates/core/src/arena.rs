@@ -62,6 +62,17 @@ impl ArenaId {
     pub fn label(self) -> String {
         format!("a{}", self.0)
     }
+
+    /// Parses a [`label`](Self::label) (`a0`, `a17`, …) back into an id.
+    /// Reporting uses this to join per-arena metric keys — shard counters
+    /// and `cost/arena_a{k}_cycles` shares — into numeric shard order.
+    pub fn from_label(label: &str) -> Option<ArenaId> {
+        let idx = label.strip_prefix('a')?;
+        if idx.is_empty() || idx.len() > 1 && idx.starts_with('0') {
+            return None;
+        }
+        idx.parse().ok().map(ArenaId)
+    }
 }
 
 impl std::fmt::Display for ArenaId {
@@ -486,6 +497,18 @@ mod tests {
         let by_id: std::collections::HashMap<_, _> = round.swept.into_iter().collect();
         assert_eq!(by_id[&ArenaId::new(0)].failed, 1, "dangling pointer pins");
         assert_eq!(by_id[&ArenaId::new(1)].released, 1, "clean arena releases");
+    }
+
+    #[test]
+    fn arena_labels_roundtrip() {
+        for k in [0u32, 1, 9, 10, 4095] {
+            let id = ArenaId::new(k);
+            assert_eq!(ArenaId::from_label(&id.label()), Some(id));
+        }
+        assert_eq!(ArenaId::from_label("a"), None);
+        assert_eq!(ArenaId::from_label("a01"), None);
+        assert_eq!(ArenaId::from_label("b3"), None);
+        assert_eq!(ArenaId::from_label("none"), None);
     }
 
     #[test]

@@ -199,10 +199,25 @@ impl CostModel {
     /// protected/unmapped skips pay only the flat per-page
     /// [`sweep_skip_page`](Self::sweep_skip_page) cost).
     pub fn mark_cost(&self, scanned_bytes: u64, skipped_bytes: u64, heap_words: u64) -> u64 {
-        scanned_bytes / (vmem::WORD_SIZE as u64 * self.sweep_chunk_words)
+        let (scan, skip) = self.mark_cost_parts(scanned_bytes, skipped_bytes, heap_words);
+        scan + skip
+    }
+
+    /// [`mark_cost`](Self::mark_cost) split into its attribution kinds:
+    /// `(mark_scan, skip_replay)`. The parts sum to `mark_cost` exactly,
+    /// so the cost ledger can tag them separately without perturbing the
+    /// engine's totals.
+    pub fn mark_cost_parts(
+        &self,
+        scanned_bytes: u64,
+        skipped_bytes: u64,
+        heap_words: u64,
+    ) -> (u64, u64) {
+        let scan = scanned_bytes / (vmem::WORD_SIZE as u64 * self.sweep_chunk_words)
             * self.sweep_chunk_cycles
-            + heap_words * self.sweep_survivor_cycles
-            + skipped_bytes / vmem::PAGE_SIZE as u64 * self.sweep_skip_page
+            + heap_words * self.sweep_survivor_cycles;
+        let skip = skipped_bytes / vmem::PAGE_SIZE as u64 * self.sweep_skip_page;
+        (scan, skip)
     }
 
     /// Words the SIMD classify kernel advances per cycle when no

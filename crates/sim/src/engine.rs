@@ -14,7 +14,9 @@ use baselines::{
 use jalloc::{JAlloc, JallocConfig};
 use minesweeper::{FreeOutcome, HeapBackend, MineSweeper, LAYER_SUBSYSTEM};
 use scudo::Scudo;
-use telemetry::{Histogram, Registry, Sink, SloPolicy, Watchdog};
+use telemetry::{
+    CostKind, CostRecorder, Histogram, Registry, Sink, SloPolicy, Watchdog,
+};
 use vmem::{Addr, AddrSpace, Segment, PAGE_SIZE, WORD_SIZE};
 use workloads::{Op, Profile, Rng, TraceGen};
 
@@ -138,6 +140,13 @@ pub struct Engine {
     seed: u64,
     /// Present for MineSweeper-layered systems (they own the registry).
     telem: Option<EngineTelem>,
+    /// Cost-attribution ledger ([`telemetry::CostRecorder`]) on the same
+    /// registry; on by default for layered systems, purely observational
+    /// (disabling it never changes verdicts, traces or virtual time).
+    cost_rec: Option<CostRecorder>,
+    /// Ledger total at the current sweep's start, for the per-generation
+    /// `cost/per_sweep_cycles` attribution histogram.
+    cost_sweep_start: u64,
     /// Pause-budget SLO objectives checked at finalize
     /// ([`Engine::set_slo_policy`]); breaches emit typed
     /// [`telemetry::EventKind::SloViolation`] trace events.
@@ -187,6 +196,11 @@ impl Engine {
             Sys::MsScudo(ms) => Some(EngineTelem::register(ms.registry())),
             _ => None,
         };
+        let cost_rec = match &sys {
+            Sys::Ms(ms) => Some(CostRecorder::new(ms.registry())),
+            Sys::MsScudo(ms) => Some(CostRecorder::new(ms.registry())),
+            _ => None,
+        };
         // Mirror `sweeper_threads()`: requested = config helpers + main
         // sweeper; effective = clamped by cores spared by the mutator.
         if let Some(requested) = match &sys {
@@ -234,7 +248,40 @@ impl Engine {
             next_sample: sample_interval,
             seed,
             telem,
+            cost_rec,
+            cost_sweep_start: 0,
             slo: None,
+        }
+    }
+
+    /// Turns the cost-attribution ledger on or off. It is on by default
+    /// for layered systems; turning it off stops all `cost/*` counter
+    /// traffic (the run is otherwise bit-identical — the ledger only
+    /// observes charges, it never changes them). No-op for baselines.
+    pub fn set_cost_ledger(&mut self, on: bool) {
+        if !on {
+            self.cost_rec = None;
+        } else if self.cost_rec.is_none() {
+            self.cost_rec = match &self.sys {
+                Sys::Ms(ms) => Some(CostRecorder::new(ms.registry())),
+                Sys::MsScudo(ms) => Some(CostRecorder::new(ms.registry())),
+                _ => None,
+            };
+        }
+    }
+
+    /// Self-test leak injection: skip `kind`'s per-kind counter on every
+    /// future charge (histogram and total still accumulate), so
+    /// `ms-report --costs --check` must fail naming exactly that kind.
+    pub fn set_cost_drop(&mut self, kind: CostKind) {
+        if let Some(rec) = &mut self.cost_rec {
+            rec.set_drop(Some(kind));
+        }
+    }
+
+    fn record_cost(&mut self, kind: CostKind, cycles: u64, site: Option<u32>) {
+        if let Some(rec) = &mut self.cost_rec {
+            rec.charge(kind, cycles, site, None);
         }
     }
 
@@ -728,16 +775,18 @@ impl Engine {
                 let outcome = ms.free_sited(&mut self.space, obj.base, obj.site);
                 debug_assert_eq!(outcome, FreeOutcome::Quarantined);
                 let st = ms.stats();
-                let mut c = self.cost.quarantine_insert;
-                c += self.cost.zero_cost(st.zeroed_bytes - st0.zeroed_bytes);
+                let zeroing = self.cost.zero_cost(st.zeroed_bytes - st0.zeroed_bytes);
+                let mut quarantine = self.cost.quarantine_insert;
                 if st.unmapped_pages > st0.unmapped_pages {
-                    c += self.cost.unmap_syscall;
+                    quarantine += self.cost.unmap_syscall;
                 }
                 if st.tl_flushes > st0.tl_flushes {
-                    c += ms.config().tl_buffer_capacity as u64
+                    quarantine += ms.config().tl_buffer_capacity as u64
                         * self.cost.quarantine_flush_per_entry;
                 }
-                self.charge_mutator(c);
+                self.record_cost(CostKind::Zeroing, zeroing, Some(obj.site));
+                self.record_cost(CostKind::Quarantine, quarantine, Some(obj.site));
+                self.charge_mutator(zeroing + quarantine);
             }
             Sys::Mu(mu) => {
                 let p0 = mu.stats().unmapped_pages;
@@ -767,16 +816,20 @@ impl Engine {
                 let outcome = ms.free_sited(&mut self.space, obj.base, obj.site);
                 debug_assert_eq!(outcome, FreeOutcome::Quarantined);
                 let st = ms.stats();
-                let mut c = self.cost.quarantine_insert + self.cost.scudo_free / 4;
-                c += self.cost.zero_cost(st.zeroed_bytes - st0.zeroed_bytes);
+                let zeroing = self.cost.zero_cost(st.zeroed_bytes - st0.zeroed_bytes);
+                let mut quarantine = self.cost.quarantine_insert;
                 if st.unmapped_pages > st0.unmapped_pages {
-                    c += self.cost.unmap_syscall;
+                    quarantine += self.cost.unmap_syscall;
                 }
                 if st.tl_flushes > st0.tl_flushes {
-                    c += ms.config().tl_buffer_capacity as u64
+                    quarantine += ms.config().tl_buffer_capacity as u64
                         * self.cost.quarantine_flush_per_entry;
                 }
-                self.charge_mutator(c);
+                // The Scudo substrate's own free-path share is allocator
+                // cost, not defence cost: charged, never attributed.
+                self.record_cost(CostKind::Zeroing, zeroing, Some(obj.site));
+                self.record_cost(CostKind::Quarantine, quarantine, Some(obj.site));
+                self.charge_mutator(zeroing + quarantine + self.cost.scudo_free / 4);
             }
             Sys::Cr(cr) => {
                 let usable = cr.usable_size(obj.base).expect("live allocation");
@@ -828,6 +881,8 @@ impl Engine {
                     if let Some(t) = &mut self.telem {
                         t.sweep_start = self.now;
                     }
+                    self.cost_sweep_start =
+                        self.cost_rec.as_ref().map_or(0, CostRecorder::total);
                     if !ms.config().concurrent {
                         // Sequential version: the whole sweep runs in the
                         // mutator (§5.4).
@@ -842,6 +897,8 @@ impl Engine {
                     if let Some(t) = &mut self.telem {
                         t.sweep_start = self.now;
                     }
+                    self.cost_sweep_start =
+                        self.cost_rec.as_ref().map_or(0, CostRecorder::total);
                     if !ms.config().concurrent {
                         self.fast_forward_sweep(true);
                     }
@@ -883,13 +940,14 @@ impl Engine {
         let space = &mut self.space;
         let metrics = &mut self.metrics;
         let background = &mut self.background;
+        let rec = self.cost_rec.as_mut();
         let finished = match &mut self.sys {
-            Sys::Ms(ms) => {
-                progress_one(ms, space, metrics, background, &cost, cores, mut_threads, wall)
-            }
-            Sys::MsScudo(ms) => {
-                progress_one(ms, space, metrics, background, &cost, cores, mut_threads, wall)
-            }
+            Sys::Ms(ms) => progress_one(
+                ms, space, metrics, background, rec, &cost, cores, mut_threads, wall,
+            ),
+            Sys::MsScudo(ms) => progress_one(
+                ms, space, metrics, background, rec, &cost, cores, mut_threads, wall,
+            ),
             _ => return,
         };
         if finished {
@@ -916,15 +974,25 @@ impl Engine {
             _ => return,
         };
         self.metrics.sweep_demand_commits += dcs;
+        // Attribution: the drained mark bill (background) lands on
+        // MarkScan wholesale — fast-forward collapses the skip/forensics
+        // detail into one wall figure — the blocking stall on Stw, and
+        // demand commits on Commit. The amounts recorded are exactly the
+        // amounts charged below.
+        let mark_bill = wall * self.sweeper_threads();
+        let commit = dcs * self.cost.demand_commit;
+        self.record_cost(CostKind::MarkScan, mark_bill, None);
+        self.record_cost(CostKind::Commit, commit, None);
         if blocking {
-            self.now += wall + dcs * self.cost.demand_commit;
+            self.record_cost(CostKind::Stw, wall, None);
+            self.now += wall + commit;
             self.metrics.pause_cycles += wall;
             if let Some(t) = &self.telem {
                 t.pause_cycles.record(wall);
             }
-            self.background += wall * self.sweeper_threads();
+            self.background += mark_bill;
         } else {
-            self.background += wall * self.sweeper_threads() + dcs * self.cost.demand_commit;
+            self.background += mark_bill + commit;
         }
         self.finish_sweep();
     }
@@ -949,6 +1017,7 @@ impl Engine {
         };
         // Stop-the-world re-check hits the mutator.
         let stw = report.stw_pages * self.cost.stw_page;
+        self.record_cost(CostKind::Stw, stw, None);
         self.now += stw;
         self.metrics.stw_cycles += stw;
         if let Some(t) = &self.telem {
@@ -960,6 +1029,7 @@ impl Engine {
         // Release + purge work.
         let finish_cost =
             report.released * self.cost.release_entry + purged * self.cost.purge_page;
+        self.record_cost(CostKind::Release, finish_cost, None);
         if concurrent {
             self.background += finish_cost;
         } else {
@@ -968,6 +1038,10 @@ impl Engine {
         self.metrics.sweeps += 1;
         self.metrics.failed_frees += report.failed;
         self.sweep_active = false;
+        // Close the generation's attribution window.
+        if let Some(rec) = &self.cost_rec {
+            rec.record_sweep(rec.total().saturating_sub(self.cost_sweep_start));
+        }
         self.sample();
     }
 
@@ -1022,6 +1096,7 @@ fn progress_one<B: HeapBackend>(
     space: &mut AddrSpace,
     metrics: &mut RunMetrics,
     background: &mut u64,
+    cost_rec: Option<&mut CostRecorder>,
     cost: &CostModel,
     cores: u64,
     mutator_threads: u64,
@@ -1040,9 +1115,17 @@ fn progress_one<B: HeapBackend>(
     metrics.sweep_demand_commits += dcs;
     // Skipped pages (incremental sweep) advance the cursor without the
     // word-by-word re-read; they cost a flat per-page lookup instead.
-    *background += cost.mark_cost(r.bytes - r.skipped_bytes, r.skipped_bytes, r.heap_words)
-        + r.pin_edges * cost.forensics_edge
-        + dcs * cost.demand_commit;
+    let (scan, skip) =
+        cost.mark_cost_parts(r.bytes - r.skipped_bytes, r.skipped_bytes, r.heap_words);
+    let forensics = r.pin_edges * cost.forensics_edge;
+    let commit = dcs * cost.demand_commit;
+    if let Some(rec) = cost_rec {
+        rec.charge(CostKind::MarkScan, scan, None, None);
+        rec.charge(CostKind::SkipReplay, skip, None, None);
+        rec.charge(CostKind::Forensics, forensics, None, None);
+        rec.charge(CostKind::Commit, commit, None, None);
+    }
+    *background += scan + skip + forensics + commit;
     r.finished
 }
 

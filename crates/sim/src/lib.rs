@@ -42,14 +42,16 @@ mod system;
 pub use cost::CostModel;
 pub use engine::{Engine, ENGINE_SUBSYSTEM};
 pub use exploit::{
-    run_cross_arena_pin, run_exploit, run_scenario, CrossArenaReport, ExploitReport,
-    ScenarioRun, SecSystem, Weaken,
+    run_cross_arena_pin, run_exploit, run_scenario, CrossArenaReport, DefenceCost,
+    ExploitReport, ScenarioRun, SecSystem, Weaken,
 };
 pub use metrics::{geomean, RunMetrics};
 pub use pool::{run_arenas, ARENA_SUBSYSTEM};
 pub use security::{
-    run_corpus, SecCell, SecurityMatrix, SECURITY_SCHEMA, SECURITY_SUBSYSTEM,
+    run_corpus, SecCell, SecurityMatrix, SECURITY_MIN_SCHEMA, SECURITY_SCHEMA,
+    SECURITY_SUBSYSTEM,
 };
+pub use telemetry::{CostKind, CostLedger, CostRecorder, COST_SUBSYSTEM};
 pub use system::System;
 
 use workloads::{Op, Profile};

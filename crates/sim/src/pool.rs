@@ -22,7 +22,7 @@
 //! the sums diverge.
 
 use minesweeper::{ArenaPool, MsConfig};
-use telemetry::{Histogram, Registry};
+use telemetry::{CostKind, CostRecorder, Histogram, Registry};
 use vmem::{Addr, Segment};
 use workloads::{Op, Profile, TraceGen};
 
@@ -70,8 +70,10 @@ pub fn run_arenas(profile: &Profile, n: u32, seed: u64, cfg: MsConfig) -> RunMet
     assert!(n > 0, "at least one arena");
     let cost = CostModel::desktop();
     let registry = Registry::new();
+    let mut cost_rec = CostRecorder::new(&registry);
     let mut pool = ArenaPool::new(n, cfg);
     pool.set_helpers(cfg.helper_threads);
+    let labels: Vec<String> = (0..n as usize).map(|k| pool.arena(k).id().label()).collect();
     let mut tenants: Vec<Tenant> = (0..n)
         .map(|k| {
             let ops: Vec<Op> =
@@ -142,11 +144,19 @@ pub fn run_arenas(profile: &Profile, n: u32, seed: u64, cfg: MsConfig) -> RunMet
                     let st = pool.arena(k).ms().stats();
                     totals.quarantined_bytes +=
                         st.quarantined_bytes - st0.quarantined_bytes;
-                    now += cost.quarantine_insert
-                        + cost.zero_cost(st.zeroed_bytes - st0.zeroed_bytes);
+                    let zeroing = cost.zero_cost(st.zeroed_bytes - st0.zeroed_bytes);
+                    let mut quarantine = cost.quarantine_insert;
                     if st.unmapped_pages > st0.unmapped_pages {
-                        now += cost.unmap_syscall;
+                        quarantine += cost.unmap_syscall;
                     }
+                    cost_rec.charge(CostKind::Zeroing, zeroing, None, Some(&labels[k]));
+                    cost_rec.charge(
+                        CostKind::Quarantine,
+                        quarantine,
+                        None,
+                        Some(&labels[k]),
+                    );
+                    now += zeroing + quarantine;
                     let slot = tenants[k].next_root % root_slots;
                     tenants[k].next_root += 1;
                     let root = pool.arena(k).space().layout().segment_base(Segment::Stack)
@@ -160,8 +170,8 @@ pub fn run_arenas(profile: &Profile, n: u32, seed: u64, cfg: MsConfig) -> RunMet
                 Op::Teardown => {}
             }
             sweep_if_due(
-                &mut pool, &mut tenants, &cost, &mut totals, &mut metrics, &mut now,
-                &mut background,
+                &mut pool, &mut tenants, &cost, &mut cost_rec, &labels, &mut totals,
+                &mut metrics, &mut now, &mut background,
             );
         }
         while now >= next_sample {
@@ -224,6 +234,8 @@ fn sweep_if_due(
     pool: &mut ArenaPool,
     tenants: &mut [Tenant],
     cost: &CostModel,
+    cost_rec: &mut CostRecorder,
+    labels: &[String],
     totals: &mut Totals,
     metrics: &mut RunMetrics,
     now: &mut u64,
@@ -241,11 +253,16 @@ fn sweep_if_due(
     let threads = (round.effective_helpers as u64 + 1).max(1);
     for ((id, report), stats) in round.swept.iter().zip(&round.mark_stats) {
         let k = id.raw() as usize;
-        let mark = cost.mark_cost(
+        let arena = Some(labels[k].as_str());
+        cost_rec.charge(CostKind::SchedSetup, cost.sweep_round_setup, None, arena);
+        let (scan, skip) = cost.mark_cost_parts(
             stats.words * vmem::WORD_SIZE as u64,
             report.skipped_bytes,
             stats.heap_words,
         );
+        cost_rec.charge(CostKind::MarkScan, scan, None, arena);
+        cost_rec.charge(CostKind::SkipReplay, skip, None, arena);
+        let mark = scan + skip;
         let wall = mark / threads;
         *background += mark;
         tenants[k].sweep_cycles.record(wall);
@@ -255,14 +272,18 @@ fn sweep_if_due(
             metrics.stw_cycles += stw;
             tenants[k].stw_cycles.record(stw);
         }
+        cost_rec.charge(CostKind::Stw, stw, None, arena);
         if paused[k] {
             // The valve was open: this tenant's mutator stalled for the
             // round's mark wall time.
             *now += wall;
             metrics.pause_cycles += wall;
             tenants[k].pause_cycles.record(wall);
+            cost_rec.charge(CostKind::Stw, wall, None, arena);
         }
-        *background += report.released * cost.release_entry;
+        let release = report.released * cost.release_entry;
+        cost_rec.charge(CostKind::Release, release, None, arena);
+        *background += release;
         totals.released_bytes += report.released_bytes;
         totals.failed_frees += report.failed;
         totals.sweeps += 1;

@@ -10,16 +10,21 @@
 //! a byte-identical document, which is what lets CI treat any diff
 //! against the committed baseline as a real behaviour change.
 
-use telemetry::Registry;
+use telemetry::{CostKind, Registry};
 use workloads::exploit::{corpus, fuzz_corpus, validate, ExploitOutcome};
 
-use crate::exploit::{run_scenario, SecSystem, Weaken};
+use crate::exploit::{run_scenario, DefenceCost, SecSystem, Weaken};
 
 /// Registry subsystem for the corpus runner's counters.
 pub const SECURITY_SUBSYSTEM: &str = "security";
 
-/// Wire-format version of `SECURITY_matrix.json`.
-pub const SECURITY_SCHEMA: u32 = 1;
+/// Wire-format version of `SECURITY_matrix.json`. Schema 2 added the
+/// per-cell `defence_cycles` total and `defence_kinds` breakdown.
+pub const SECURITY_SCHEMA: u32 = 2;
+
+/// Oldest schema readers must still accept. Schema-1 documents carry no
+/// defence costs; they parse with all-zero bills.
+pub const SECURITY_MIN_SCHEMA: u32 = 1;
 
 /// One (scenario, backend) cell of the matrix.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -43,6 +48,9 @@ pub struct SecCell {
     pub judged: u64,
     /// MTE tag-mismatch detections raised.
     pub detections: u64,
+    /// What defending this cell cost the backend, in model cycles
+    /// (schema 2; zero for cells parsed from schema-1 documents).
+    pub defence: DefenceCost,
 }
 
 /// The full matrix plus the run's provenance and telemetry.
@@ -90,6 +98,7 @@ pub fn run_corpus(seed: u64, fuzz: u32, weaken: Weaken) -> SecurityMatrix {
     let c_judged = registry.counter(SECURITY_SUBSYSTEM, "judged_accesses");
     let c_detect = registry.counter(SECURITY_SUBSYSTEM, "detections");
     let c_reuse = registry.counter(SECURITY_SUBSYSTEM, "reuses");
+    let c_defence = registry.counter(SECURITY_SUBSYSTEM, "defence_cycles");
     let c_verdict = |o: ExploitOutcome| {
         registry.counter(
             SECURITY_SUBSYSTEM,
@@ -115,6 +124,7 @@ pub fn run_corpus(seed: u64, fuzz: u32, weaken: Weaken) -> SecurityMatrix {
             c_frees.add(run.frees);
             c_judged.add(run.judged);
             c_detect.add(run.detections);
+            c_defence.add(run.defence.total);
             if run.victim_reallocated {
                 c_reuse.inc();
             }
@@ -132,6 +142,7 @@ pub fn run_corpus(seed: u64, fuzz: u32, weaken: Weaken) -> SecurityMatrix {
                 frees: run.frees,
                 judged: run.judged,
                 detections: run.detections,
+                defence: run.defence,
             });
         }
     }
@@ -193,11 +204,23 @@ impl SecurityMatrix {
                 Some(w) => w.to_string(),
                 None => "null".to_string(),
             };
+            // Schema 2: the defence bill, nonzero kinds only (ALL order).
+            let mut kinds = String::new();
+            for k in CostKind::ALL {
+                let v = c.defence.kind(k);
+                if v > 0 {
+                    if !kinds.is_empty() {
+                        kinds.push_str(", ");
+                    }
+                    let _ = write!(kinds, "\"{}\": {v}", k.label());
+                }
+            }
             let _ = writeln!(
                 out,
                 "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"verdict\": \"{}\", \
                  \"victim_reallocated\": {}, \"attack_window\": {window}, \
-                 \"allocs\": {}, \"frees\": {}, \"judged\": {}, \"detections\": {}}}{comma}",
+                 \"allocs\": {}, \"frees\": {}, \"judged\": {}, \"detections\": {}, \
+                 \"defence_cycles\": {}, \"defence_kinds\": {{{kinds}}}}}{comma}",
                 esc(&c.scenario),
                 esc(c.backend),
                 c.outcome.label(),
@@ -206,6 +229,7 @@ impl SecurityMatrix {
                 c.frees,
                 c.judged,
                 c.detections,
+                c.defence.total,
             );
         }
         out.push_str("  ],\n");
@@ -273,6 +297,27 @@ mod tests {
         assert!(
             m.column("minesweeper").any(|c| c.outcome == ExploitOutcome::Compromised),
             "quarantine-off must reopen at least one scenario"
+        );
+    }
+
+    #[test]
+    fn defence_cycles_reconcile_with_the_counter() {
+        let m = run_corpus(42, 0, Weaken::None);
+        let cell_sum: u64 = m.cells.iter().map(|c| c.defence.total).sum();
+        let counter = m
+            .counters
+            .iter()
+            .find(|(k, _)| k == "security/defence_cycles")
+            .map(|(_, v)| *v);
+        assert_eq!(counter, Some(cell_sum), "counter must equal the cell sum");
+        assert!(cell_sum > 0, "protected columns must have been billed");
+        assert!(
+            m.column("baseline").all(|c| c.defence.total == 0),
+            "the unprotected baseline defends for free"
+        );
+        assert!(
+            m.column("minesweeper").any(|c| c.defence.total > 0),
+            "minesweeper must pay for its quarantine somewhere"
         );
     }
 

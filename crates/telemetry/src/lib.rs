@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod compare;
+pub mod cost;
 pub mod json;
 pub mod registry;
 pub mod timeline;
@@ -34,6 +35,7 @@ pub mod trace;
 pub mod watchdog;
 
 pub use compare::{compare, CompareReport, ConfigDelta, DEFAULT_THRESHOLD_PCT};
+pub use cost::{CostKind, CostLedger, CostRecorder, COST_SUBSYSTEM};
 pub use json::{Json, JsonError};
 pub use registry::{
     Counter, CounterSample, Histogram, HistogramSample, Registry, Snapshot,

@@ -166,12 +166,25 @@ stage_profiler_pair() {
     # must not slow any non-degraded row beyond threshold + the pair's
     # measured noise (the disabled path is a single branch). The off run
     # also appends this CI run to the append-only bench trajectory.
+    # Only the serial configs enter the gating history: parallel rows on
+    # this shared host can run degraded (zero helpers), and degraded
+    # samples would poison every later drift comparison.
     cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
         --pages 256 --reps 8 --out "$smoke_dir/off.json" \
         --metrics-out "$smoke_dir/off_metrics.json" \
-        --trajectory BENCH_trajectory.jsonl > /dev/null
+        --trajectory BENCH_trajectory.jsonl \
+        --trajectory-configs simd_serial,swar_serial > /dev/null
     grep -q '"git_rev"' BENCH_trajectory.jsonl \
         || { echo "trajectory line missing host metadata"; exit 1; }
+    tail -n 1 BENCH_trajectory.jsonl | grep -q '"name": "simd_serial"' \
+        || { echo "trajectory gating row simd_serial missing"; exit 1; }
+    if tail -n 1 BENCH_trajectory.jsonl | grep -q '"degraded": true'; then
+        echo "filtered trajectory line must not carry degraded rows"; exit 1
+    fi
+    # The whole history (old unfiltered lines included) must still render.
+    cargo run -q --release -p ms-cli --bin ms-report -- \
+        --trajectory BENCH_trajectory.jsonl > /dev/null \
+        || { echo "trajectory history failed to render"; exit 1; }
     cargo run -q --release -p ms-bench --bin sweep_bandwidth -- \
         --pages 256 --reps 8 --profiler --out "$smoke_dir/on.json" \
         --metrics-out "$smoke_dir/on_metrics.json" > /dev/null
@@ -306,6 +319,45 @@ stage_security_selftest() {
         || { echo "clean matrix must pass with exit 0"; exit 1; }
 }
 
+# desc: cost ledger reconciles; injected leak fails the gate (exit 2)
+stage_costs() {
+    # The defence-cost observatory's acceptance gate: a clean run's
+    # ledger must reconcile across every attribution dimension, the
+    # regenerated security matrix must carry per-cell defence costs
+    # (schema 2), and deliberately dropping one kind's counter must make
+    # `--costs --check` fail with exactly exit 2, naming the kind.
+    ensure_demo_metrics
+    cargo run -q --release -p ms-cli --bin ms-report -- \
+        --costs "$smoke_dir/metrics.json" --check > "$smoke_dir/costs.txt" \
+        || { echo "clean cost ledger failed to reconcile"; exit 1; }
+    grep -q "defence cost ledger:" "$smoke_dir/costs.txt" \
+        || { echo "cost report missing the ledger header"; exit 1; }
+    grep -q "reconcile: kind/site/arena" "$smoke_dir/costs.txt" \
+        || { echo "cost report missing the reconcile line"; exit 1; }
+    ensure_security_matrix
+    grep -q '"schema": 2' "$smoke_dir/SECURITY_matrix.json" \
+        || { echo "security matrix must be schema 2"; exit 1; }
+    grep -q '"defence_cycles"' "$smoke_dir/SECURITY_matrix.json" \
+        || { echo "security matrix cells missing defence_cycles"; exit 1; }
+    # Leak self-test: drop the zeroing counter, the gate must fire.
+    cargo run -q --release -p ms-cli --bin minesweeper-sim -- run demo \
+        --system ms --cost-drop zeroing \
+        --metrics-out "$smoke_dir/leaky_metrics.json" > /dev/null
+    local rc=0
+    cargo run -q --release -p ms-cli --bin ms-report -- \
+        --costs "$smoke_dir/leaky_metrics.json" --check \
+        > "$smoke_dir/cost_leak.txt" || rc=$?
+    [ "$rc" -eq 2 ] \
+        || { echo "dropped-kind ledger must fail with exit 2 (got $rc)"; exit 1; }
+    grep -q "zeroing" "$smoke_dir/cost_leak.txt" \
+        || { echo "leak report must name the dropped kind"; exit 1; }
+    # Exit-code contract: unreadable input is 1, not a gate failure.
+    rc=0
+    cargo run -q --release -p ms-cli --bin ms-report -- \
+        --costs "$smoke_dir/does_not_exist.json" > /dev/null 2>&1 || rc=$?
+    [ "$rc" -eq 1 ] || { echo "bad costs input must exit 1 (got $rc)"; exit 1; }
+}
+
 # desc: clippy with warnings denied
 stage_clippy() {
     cargo clippy -p ms-telemetry --all-targets -- -D warnings
@@ -332,6 +384,7 @@ STAGES=(
     slo-smoke
     security
     security-selftest
+    costs
     clippy
 )
 
